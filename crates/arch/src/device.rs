@@ -1,0 +1,83 @@
+//! The device abstraction the beam simulator drives.
+
+use crate::WorkloadProfile;
+use mpr_softfloat::Precision;
+use serde::{Deserialize, Serialize};
+
+/// What a device exposes to the beam while executing one workload, as
+/// *rate weights*: multiplied by flux and execution time they give the
+/// expected strike counts per run (arbitrary units; only ratios between
+/// configurations matter, as in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exposure {
+    /// Weight for strikes in computation state (datapath, registers,
+    /// resident data). Each such strike is resolved by injecting a fault
+    /// into a live execution — it may be masked or become an SDC.
+    pub compute: f64,
+    /// Weight for strikes in control state (schedulers, sequencers,
+    /// memory interfaces). These surface as DUEs.
+    pub due: f64,
+    /// Probability that a compute strike is a wide pipeline corruption
+    /// rather than a single register bit flip (core-complexity dependent;
+    /// feeds `mpr_fault::FaultModel::Pipeline`).
+    pub pipeline_fraction: f64,
+    /// `Some` when compute strikes are *persistent* (FPGA configuration
+    /// memory): the corrupted circuit keeps mangling every operation
+    /// mapped to the struck processing element until reprogramming.
+    pub persistence: Option<PersistentFaults>,
+}
+
+/// Persistence semantics of FPGA configuration-memory strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PersistentFaults {
+    /// Number of physical processing elements the computation is folded
+    /// onto; a config strike corrupts one PE, i.e. every `pe_count`-th
+    /// dynamic operation.
+    pub pe_count: u64,
+}
+
+/// A device under the beam: answers how long a workload runs and what is
+/// exposed while it does.
+///
+/// Implemented by [`crate::Fpga`], [`crate::XeonPhiKnc`] and
+/// [`crate::VoltaGpu`].
+pub trait Device: Sync {
+    /// Device name for reports.
+    fn name(&self) -> &str;
+
+    /// Whether the device has hardware for this precision (the KNC has
+    /// no half-precision support — paper Section 3.1).
+    fn supports(&self, precision: Precision) -> bool;
+
+    /// Wall-clock seconds for one execution of the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the precision is unsupported.
+    fn exec_time(&self, profile: &WorkloadProfile, precision: Precision) -> f64;
+
+    /// Beam exposure while executing the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the precision is unsupported.
+    fn exposure(&self, profile: &WorkloadProfile, precision: Precision) -> Exposure;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposure_is_plain_data() {
+        let e = Exposure {
+            compute: 1.0,
+            due: 0.1,
+            pipeline_fraction: 0.2,
+            persistence: Some(PersistentFaults { pe_count: 16 }),
+        };
+        let e2 = e;
+        assert_eq!(e, e2);
+        assert!(format!("{e:?}").contains("pe_count"));
+    }
+}

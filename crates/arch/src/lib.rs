@@ -1,0 +1,57 @@
+//! # mpr-arch
+//!
+//! Architecture models of the three devices the paper irradiates:
+//!
+//! * [`Fpga`] — the Xilinx Zynq-7000: a synthesis model mapping each
+//!   circuit and precision to LUT/DSP/BRAM utilization, a configuration
+//!   memory whose strikes are *persistent* (the corrupted circuit keeps
+//!   producing wrong results until reprogrammed), and a timing model.
+//! * [`XeonPhiKnc`] — the Intel Xeon Phi 3120A (Knights Corner): 57
+//!   in-order cores with 512-bit VPUs processing 16 single or 8 double
+//!   lanes per operation, MCA/ECC protection on the register file and
+//!   memory, and a compiler model that allocates more vector registers for
+//!   single precision (the paper's optimization-report observation).
+//! * [`VoltaGpu`] — the NVIDIA Titan V: separate FP64 (2,688) and
+//!   FP32/half2 (5,376) core pools, per-precision operation latencies
+//!   (8/4/6 cycles), an unprotected register file, and triplicated HBM2
+//!   output storage as in the paper's setup.
+//!
+//! All three implement [`Device`], which answers the two questions the
+//! beam simulator asks: *how long does one execution of this workload
+//! take* ([`Device::exec_time`]) and *what is exposed to the beam while it
+//! runs* ([`Device::exposure`]). Every constant in the models lives in
+//! [`calib`] with a citation to the paper sentence or vendor document it
+//! comes from.
+//!
+//! # Example
+//!
+//! ```rust
+//! use mpr_arch::{Device, VoltaGpu, WorkloadProfile};
+//! use mpr_softfloat::Precision;
+//!
+//! let gpu = VoltaGpu::titan_v();
+//! let micro = WorkloadProfile::micro_fma();
+//! // Dependent-chain microbenchmarks are latency bound: 8/4/3 cycles per
+//! // double/single/half op (Volta whitepaper; Jia et al. 2018).
+//! let t_d = gpu.exec_time(&micro, Precision::Double);
+//! let t_s = gpu.exec_time(&micro, Precision::Single);
+//! let t_h = gpu.exec_time(&micro, Precision::Half);
+//! assert!((t_d / t_s - 2.0).abs() < 0.05);
+//! assert!((t_s / t_h - 4.0 / 3.0).abs() < 0.05);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod calib;
+mod device;
+mod fpga;
+mod knc;
+mod profile;
+mod volta;
+
+pub use device::{Device, Exposure, PersistentFaults};
+pub use fpga::{Fpga, FpgaResources};
+pub use knc::XeonPhiKnc;
+pub use profile::{OpMix, WorkloadKind, WorkloadProfile};
+pub use volta::VoltaGpu;

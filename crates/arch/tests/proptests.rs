@@ -1,0 +1,125 @@
+//! Property tests on the architecture models.
+
+use mpr_arch::{Device, Fpga, OpMix, VoltaGpu, WorkloadKind, WorkloadProfile, XeonPhiKnc};
+use mpr_softfloat::Precision;
+use proptest::prelude::*;
+
+fn arbitrary_profile() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        1e6f64..1e13,           // flops
+        0.0f64..1.0,            // fma fraction (rest split add/mul)
+        1e3f64..1e10,           // value traffic
+        1.0f64..1e6,            // threads
+        1.0f64..256.0,          // regs per thread
+        1.0f64..32.0,           // ilp
+        1e3f64..1e8,            // working set
+        0.0f64..1.0,            // memory boundedness
+        0.0f64..4.0,            // control density
+    )
+        .prop_map(
+            |(flops, fma, traffic, threads, regs, ilp, ws, bound, ctrl)| {
+                let rest = 1.0 - fma;
+                WorkloadProfile {
+                    name: "synthetic".to_string(),
+                    flops,
+                    mix: OpMix::new(rest * 0.5, rest * 0.5, fma, 0.0, 0.0),
+                    value_traffic: traffic,
+                    threads,
+                    regs_per_thread: regs,
+                    ilp,
+                    working_set_values: ws,
+                    memory_boundedness: bound,
+                    control_density: ctrl,
+                    kind: WorkloadKind::Numeric,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_device_answers_any_profile(profile in arbitrary_profile()) {
+        let devices: Vec<Box<dyn Device>> = vec![
+            Box::new(VoltaGpu::titan_v()),
+            Box::new(VoltaGpu::tesla_v100()),
+            Box::new(XeonPhiKnc::coprocessor_3120a()),
+            Box::new(Fpga::zynq7000()),
+        ];
+        for d in &devices {
+            for p in Precision::ALL {
+                if !d.supports(p) {
+                    continue;
+                }
+                let t = d.exec_time(&profile, p);
+                let e = d.exposure(&profile, p);
+                prop_assert!(t.is_finite() && t > 0.0, "{} {p}", d.name());
+                prop_assert!(e.compute.is_finite() && e.compute > 0.0);
+                prop_assert!(e.due.is_finite() && e.due >= 0.0);
+                prop_assert!((0.0..=1.0).contains(&e.pipeline_fraction));
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_micro_latency_scaling_is_invariant(profile in arbitrary_profile()) {
+        // Micro-style latency-bound profiles keep the 8:4:3 time ratio
+        // regardless of the chain length.
+        let gpu = VoltaGpu::titan_v();
+        let mut micro = profile;
+        micro.ilp = 1.0;
+        micro.threads = micro.threads.min(2000.0); // fewer chains than cores
+        micro.value_traffic = micro.threads; // negligible memory
+        micro.flops = micro.threads * 1e7; // long dependent chains dominate
+        let d = gpu.exec_time(&micro, Precision::Double);
+        let s = gpu.exec_time(&micro, Precision::Single);
+        let h = gpu.exec_time(&micro, Precision::Half);
+        prop_assert!((d / s - 2.0).abs() < 0.1, "d/s = {}", d / s);
+        prop_assert!((s / h - 4.0 / 3.0).abs() < 0.1, "s/h = {}", s / h);
+    }
+
+    #[test]
+    fn ecc_never_raises_sdc_exposure(profile in arbitrary_profile()) {
+        let bare = VoltaGpu::titan_v();
+        let ecc = VoltaGpu::tesla_v100();
+        for p in Precision::ALL {
+            let b = bare.exposure(&profile, p);
+            let e = ecc.exposure(&profile, p);
+            prop_assert!(e.compute <= b.compute + 1e-9);
+            prop_assert!(e.due >= b.due - 1e-9, "ECC adds detected events");
+        }
+    }
+
+    #[test]
+    fn knc_due_exposure_scales_exactly_with_lanes(profile in arbitrary_profile()) {
+        let knc = XeonPhiKnc::coprocessor_3120a();
+        let d = knc.exposure(&profile, Precision::Double).due;
+        let s = knc.exposure(&profile, Precision::Single).due;
+        prop_assert!((s / d - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fpga_exposure_is_precision_monotone_for_studied_designs(
+        name in prop_oneof![Just("MxM"), Just("MNIST")]
+    ) {
+        let fpga = Fpga::zynq7000();
+        let profile = WorkloadProfile {
+            name: name.to_string(),
+            flops: 1e7,
+            mix: OpMix::pure_fma(),
+            value_traffic: 1e4,
+            threads: 1.0,
+            regs_per_thread: 8.0,
+            ilp: 8.0,
+            working_set_values: 1e4,
+            memory_boundedness: 0.2,
+            control_density: 0.2,
+            kind: WorkloadKind::Numeric,
+        };
+        let d = fpga.exposure(&profile, Precision::Double).compute;
+        let s = fpga.exposure(&profile, Precision::Single).compute;
+        let h = fpga.exposure(&profile, Precision::Half).compute;
+        prop_assert!(d > s && s > h, "{name}: {d} {s} {h}");
+    }
+}

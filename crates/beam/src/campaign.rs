@@ -1,0 +1,442 @@
+//! The beam campaign driver.
+
+use crate::BeamSession;
+use mpr_arch::{Device, WorkloadProfile};
+use mpr_fault::{FaultModel, Workload};
+use mpr_metrics::{CrossSection, FitRate, Mebf, TreCurve};
+use mpr_softfloat::ulp::max_relative_error;
+use mpr_softfloat::Precision;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A classification of one SDC's end-user impact, attached by an
+/// optional domain classifier (MNIST: tolerable/critical; YOLOv3:
+/// tolerable/detection/classification — paper Figures 3 and 11c).
+pub type SdcLabel = &'static str;
+
+/// One beam campaign: device x workload x precision x session.
+pub struct BeamCampaign<'a> {
+    device: &'a dyn Device,
+    workload: &'a dyn Workload,
+    profile: &'a WorkloadProfile,
+    precision: Precision,
+    session: BeamSession,
+    classifier: Option<&'a (dyn Fn(&[f64], &[f64]) -> SdcLabel + Sync)>,
+}
+
+impl std::fmt::Debug for BeamCampaign<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BeamCampaign")
+            .field("device", &self.device.name())
+            .field("workload", &self.workload.name())
+            .field("precision", &self.precision)
+            .field("session", &self.session)
+            .field("has_classifier", &self.classifier.is_some())
+            .finish()
+    }
+}
+
+impl<'a> BeamCampaign<'a> {
+    /// Stages a campaign with the paper-scale session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device or workload does not support the precision.
+    pub fn new(
+        device: &'a dyn Device,
+        workload: &'a dyn Workload,
+        profile: &'a WorkloadProfile,
+        precision: Precision,
+    ) -> BeamCampaign<'a> {
+        assert!(
+            device.supports(precision),
+            "{} has no {precision}-precision hardware",
+            device.name()
+        );
+        assert!(
+            workload.supports(precision),
+            "{} has no {precision}-precision implementation",
+            workload.name()
+        );
+        BeamCampaign {
+            device,
+            workload,
+            profile,
+            precision,
+            session: BeamSession::paper(0),
+            classifier: None,
+        }
+    }
+
+    /// Sets the beam session.
+    pub fn session(mut self, session: BeamSession) -> Self {
+        self.session = session;
+        self
+    }
+
+    /// Attaches a domain classifier labelling each SDC from
+    /// `(golden, corrupted)` outputs.
+    pub fn classifier(
+        mut self,
+        classifier: &'a (dyn Fn(&[f64], &[f64]) -> SdcLabel + Sync),
+    ) -> Self {
+        self.classifier = Some(classifier);
+        self
+    }
+
+    /// Runs the campaign.
+    pub fn run(&self) -> CampaignResult {
+        let exec_time = self.device.exec_time(self.profile, self.precision);
+        let exposure = self.device.exposure(self.profile, self.precision);
+        let seconds = self.session.hours * 3600.0;
+        // Flux chosen so the expected compute-strike count hits the
+        // session target; the cross section (events / fluence) does not
+        // depend on it.
+        let flux = self.session.target_candidates as f64 / (exposure.compute * seconds);
+        let fluence = flux * seconds;
+
+        let golden = self.workload.run_golden(self.precision);
+        let golden_bits: Vec<u64> = golden.iter().map(|v| v.to_bits()).collect();
+        let sites = self.workload.site_count(self.precision);
+        let width = self.precision.total_bits();
+        let model = FaultModel::pipeline(exposure.pipeline_fraction);
+
+        let mut rng = StdRng::seed_from_u64(self.session.seed ^ 0xBEA0_0000);
+        let candidates = poisson(flux * exposure.compute * seconds, &mut rng);
+        let due_events = poisson(flux * exposure.due * seconds, &mut rng);
+
+        // Resolve every candidate strike by injection, in parallel.
+        let nthreads = match self.session.threads {
+            0 => std::thread::available_parallelism().map_or(4, |n| n.get()),
+            n => n,
+        }
+        .min(candidates.max(1) as usize);
+        let mut partials: Vec<(u64, Vec<f64>, Vec<SdcLabel>)> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..nthreads {
+                let golden = &golden;
+                let golden_bits = &golden_bits;
+                let campaign = &*self;
+                handles.push(scope.spawn(move |_| {
+                    let mut sdc = 0u64;
+                    let mut severities = Vec::new();
+                    let mut labels = Vec::new();
+                    let mut i = t as u64;
+                    while i < candidates {
+                        let mut rng = StdRng::seed_from_u64(
+                            campaign.session.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i,
+                        );
+                        let out = campaign.resolve_strike(sites, width, model, &mut rng);
+                        let corrupted = out.len() != golden.len()
+                            || out
+                                .iter()
+                                .zip(golden_bits)
+                                .any(|(v, &g)| v.to_bits() != g);
+                        if corrupted {
+                            sdc += 1;
+                            severities.push(max_relative_error(&out, golden));
+                            if let Some(classify) = campaign.classifier {
+                                labels.push(classify(golden, &out));
+                            }
+                        }
+                        i += nthreads as u64;
+                    }
+                    (sdc, severities, labels)
+                }));
+            }
+            for h in handles {
+                partials.push(h.join().expect("beam worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+
+        let mut sdc_events = 0;
+        let mut severities = Vec::new();
+        let mut labels = Vec::new();
+        for (s, sev, lab) in partials {
+            sdc_events += s;
+            severities.extend(sev);
+            labels.extend(lab);
+        }
+
+        CampaignResult {
+            device: self.device.name().to_string(),
+            workload: self.workload.name().to_string(),
+            precision: self.precision,
+            exec_time_s: exec_time,
+            runs: seconds / exec_time,
+            fluence,
+            candidates,
+            sdc: CrossSection::new(sdc_events, fluence),
+            due: CrossSection::new(due_events, fluence),
+            severities,
+            labels,
+        }
+    }
+
+    /// Resolves one compute strike into a (possibly corrupted) output.
+    fn resolve_strike(
+        &self,
+        sites: u64,
+        width: u32,
+        model: FaultModel,
+        rng: &mut StdRng,
+    ) -> Vec<f64> {
+        match self
+            .device
+            .exposure(self.profile, self.precision)
+            .persistence
+        {
+            Some(_) => {
+                // FPGA configuration strike: a LUT or routing pip of one
+                // processing element is rewired into a stuck-at function.
+                // The fault is persistent but only *sensitized* by the
+                // operand patterns that exercise the corrupted cone —
+                // modeled as a stuck bit on one operation slot; values
+                // already agreeing with the stuck level are untouched
+                // (the dominant configuration-upset masking mechanism).
+                // The paper reprograms the device at each observed
+                // error, and runs are deterministic, so one run decides
+                // the strike's fate.
+                let site = rng.gen_range(0..sites);
+                let fault = FaultModel::StuckBit.sample(width, rng);
+                self.workload.run_with_fault(self.precision, site, fault)
+            }
+            None => {
+                // Transient strike in a register / datapath value of a
+                // live execution.
+                let site = rng.gen_range(0..sites);
+                let fault = model.sample(width, rng);
+                self.workload.run_with_fault(self.precision, site, fault)
+            }
+        }
+    }
+}
+
+/// Poisson sample via inversion for small means and normal approximation
+/// for large ones (means here range from tens to tens of thousands).
+fn poisson(mean: f64, rng: &mut StdRng) -> u64 {
+    assert!(mean.is_finite() && mean >= 0.0, "mean must be >= 0");
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean < 50.0 {
+        let limit = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    }
+    // Normal approximation with continuity correction.
+    let (u1, u2) = (rng.gen::<f64>(), rng.gen::<f64>());
+    let z = (-2.0 * u1.max(1e-12).ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (mean + z * mean.sqrt()).round().max(0.0) as u64
+}
+
+/// The outcome of one beam campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Device name.
+    pub device: String,
+    /// Workload name.
+    pub workload: String,
+    /// Precision tested.
+    pub precision: Precision,
+    /// Per-execution wall time (seconds).
+    pub exec_time_s: f64,
+    /// Executions completed during the session.
+    pub runs: f64,
+    /// Accumulated fluence (a.u.).
+    pub fluence: f64,
+    /// Compute strikes simulated.
+    pub candidates: u64,
+    /// SDC cross section.
+    pub sdc: CrossSection,
+    /// DUE cross section.
+    pub due: CrossSection,
+    /// Worst relative error of each SDC.
+    pub severities: Vec<f64>,
+    /// Domain labels of each SDC (when a classifier was attached).
+    pub labels: Vec<SdcLabel>,
+}
+
+impl CampaignResult {
+    /// SDC FIT rate in arbitrary units.
+    pub fn fit_sdc(&self) -> FitRate {
+        self.sdc.fit_au()
+    }
+
+    /// DUE FIT rate in arbitrary units.
+    pub fn fit_due(&self) -> FitRate {
+        self.due.fit_au()
+    }
+
+    /// Combined failure rate (SDC + DUE).
+    pub fn fit_total(&self) -> FitRate {
+        FitRate::from_au(self.fit_sdc().au() + self.fit_due().au())
+    }
+
+    /// Mean Executions Between Failures for this configuration.
+    pub fn mebf(&self) -> Mebf {
+        Mebf::from_fit(self.fit_total(), self.exec_time_s)
+    }
+
+    /// TRE curve over the campaign's SDC severities.
+    pub fn tre_curve(&self) -> TreCurve {
+        TreCurve::from_errors(self.severities.clone())
+    }
+
+    /// Fraction of SDCs carrying each domain label, in first-seen order.
+    pub fn label_fractions(&self) -> Vec<(SdcLabel, f64)> {
+        let mut order: Vec<SdcLabel> = Vec::new();
+        let mut counts: Vec<u64> = Vec::new();
+        for &l in &self.labels {
+            match order.iter().position(|&o| o == l) {
+                Some(i) => counts[i] += 1,
+                None => {
+                    order.push(l);
+                    counts.push(1);
+                }
+            }
+        }
+        let total = self.labels.len().max(1) as f64;
+        order
+            .into_iter()
+            .zip(counts)
+            .map(|(l, c)| (l, c as f64 / total))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpr_arch::{Fpga, VoltaGpu, XeonPhiKnc};
+    use mpr_kernels::{profiles, Gemm, Lud, Micro, MicroKernelOp};
+
+    #[test]
+    fn poisson_small_and_large_means() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let small: f64 = (0..2000).map(|_| poisson(3.0, &mut rng) as f64).sum::<f64>() / 2000.0;
+        assert!((small - 3.0).abs() < 0.2, "mean {small}");
+        let large: f64 = (0..500).map(|_| poisson(400.0, &mut rng) as f64).sum::<f64>() / 500.0;
+        assert!((large - 400.0).abs() < 5.0, "mean {large}");
+        assert_eq!(poisson(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn campaign_is_deterministic_in_the_seed() {
+        let gpu = VoltaGpu::titan_v();
+        let micro = Micro::new(MicroKernelOp::Add, 16, 64);
+        let profile = profiles::micro(MicroKernelOp::Add);
+        let run = |seed| {
+            BeamCampaign::new(&gpu, &micro, &profile, Precision::Single)
+                .session(BeamSession::quick(seed).with_target_candidates(120))
+                .run()
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a.sdc.events(), b.sdc.events());
+        assert_eq!(a.due.events(), b.due.events());
+        let c = run(6);
+        assert!(
+            c.sdc.events() != a.sdc.events() || c.severities != a.severities,
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn fit_estimate_is_flux_independent() {
+        // Doubling the target candidates (i.e. the flux) must not move
+        // the cross section materially, only tighten it.
+        let gpu = VoltaGpu::titan_v();
+        let micro = Micro::new(MicroKernelOp::Mul, 16, 64);
+        let profile = profiles::micro(MicroKernelOp::Mul);
+        let lo = BeamCampaign::new(&gpu, &micro, &profile, Precision::Half)
+            .session(BeamSession::quick(3).with_target_candidates(400))
+            .run();
+        let hi = BeamCampaign::new(&gpu, &micro, &profile, Precision::Half)
+            .session(BeamSession::quick(3).with_target_candidates(1600))
+            .run();
+        let ratio = lo.fit_sdc().au() / hi.fit_sdc().au();
+        assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn knc_campaign_counts_both_event_classes() {
+        let knc = XeonPhiKnc::coprocessor_3120a();
+        let lud = Lud::new(16);
+        let profile = profiles::lud_knc();
+        let r = BeamCampaign::new(&knc, &lud, &profile, Precision::Double)
+            .session(BeamSession::quick(7).with_target_candidates(200))
+            .run();
+        assert!(r.sdc.events() > 0);
+        assert!(r.due.events() > 0, "KNC control strikes cause DUEs");
+        assert_eq!(r.severities.len() as u64, r.sdc.events());
+    }
+
+    #[test]
+    fn fpga_campaign_uses_persistent_faults_and_never_dues() {
+        let fpga = Fpga::zynq7000();
+        let gemm = Gemm::new(12);
+        let profile = profiles::mxm_fpga();
+        let r = BeamCampaign::new(&fpga, &gemm, &profile, Precision::Half)
+            .session(BeamSession::quick(11).with_target_candidates(150))
+            .run();
+        assert_eq!(r.due.events(), 0, "no DUEs observed on the FPGA");
+        // Stuck-at faults are sensitized by roughly half the operand
+        // patterns; MxM has no structural masking beyond that.
+        let rate = r.sdc.events() as f64 / r.candidates as f64;
+        assert!((0.2..0.95).contains(&rate), "SDC rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no half-precision hardware")]
+    fn knc_half_campaign_rejected() {
+        let knc = XeonPhiKnc::coprocessor_3120a();
+        let lud = Lud::new(8);
+        let profile = profiles::lud_knc();
+        let _ = BeamCampaign::new(&knc, &lud, &profile, Precision::Half);
+    }
+
+    #[test]
+    fn classifier_labels_every_sdc() {
+        let gpu = VoltaGpu::titan_v();
+        let gemm = Gemm::new(10);
+        let profile = profiles::mxm_gpu();
+        let classify = |golden: &[f64], out: &[f64]| -> SdcLabel {
+            if max_relative_error(out, golden) > 0.01 {
+                "large"
+            } else {
+                "small"
+            }
+        };
+        let r = BeamCampaign::new(&gpu, &gemm, &profile, Precision::Single)
+            .session(BeamSession::quick(13).with_target_candidates(200))
+            .classifier(&classify)
+            .run();
+        assert_eq!(r.labels.len() as u64, r.sdc.events());
+        let fractions = r.label_fractions();
+        let total: f64 = fractions.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mebf_combines_fit_and_time() {
+        let gpu = VoltaGpu::titan_v();
+        let micro = Micro::new(MicroKernelOp::Fma, 16, 64);
+        let profile = profiles::micro(MicroKernelOp::Fma);
+        let r = BeamCampaign::new(&gpu, &micro, &profile, Precision::Double)
+            .session(BeamSession::quick(17).with_target_candidates(150))
+            .run();
+        let expect = Mebf::from_fit(r.fit_total(), r.exec_time_s);
+        assert_eq!(r.mebf(), expect);
+        assert!(r.runs > 0.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Ablation benches: ECC on/off and fault-model sensitivity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpr_bench::BENCH_SEED;
+use mpr_core::Study;
+
+fn bench_ablations(c: &mut Criterion) {
+    let study = Study::quick(BENCH_SEED);
+
+    println!("{}", study.ablation_gpu_ecc().to_table());
+    println!("{}", study.ablation_fault_models().to_table());
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("gpu_ecc", |b| {
+        b.iter(|| study.ablation_gpu_ecc().sdc_reduction()[1][0])
+    });
+    group.bench_function("fault_models", |b| {
+        b.iter(|| study.ablation_fault_models().avf[0][0])
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

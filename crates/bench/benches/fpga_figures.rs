@@ -1,0 +1,33 @@
+//! Regenerates Figures 2-5 (Zynq-7000 beam campaigns).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpr_bench::BENCH_SEED;
+use mpr_core::Study;
+
+fn bench_fpga(c: &mut Criterion) {
+    let study = Study::quick(BENCH_SEED);
+
+    println!("{}", study.fig2_fpga_resources().to_table());
+    println!("{}", study.fig3_fpga_fit().to_table());
+    println!("{}", study.fig4_fpga_tre().to_table());
+    println!("{}", study.fig5_fpga_mebf().to_table());
+
+    let mut group = c.benchmark_group("fpga_figures");
+    group.sample_size(10);
+    group.bench_function("fig2_resources", |b| {
+        b.iter(|| study.fig2_fpga_resources().rows.len())
+    });
+    group.bench_function("fig3_fit_campaigns", |b| {
+        b.iter(|| study.fig3_fpga_fit().mxm_fit[0])
+    });
+    group.bench_function("fig4_tre_campaigns", |b| {
+        b.iter(|| study.fig4_fpga_tre().surviving_at(1e-3)[0])
+    });
+    group.bench_function("fig5_mebf_campaigns", |b| {
+        b.iter(|| study.fig5_fpga_mebf().mxm_mebf[2])
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fpga);
+criterion_main!(benches);

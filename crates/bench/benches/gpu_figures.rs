@@ -1,0 +1,33 @@
+//! Regenerates Figures 10-13 (Titan V beam and injection campaigns).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpr_bench::BENCH_SEED;
+use mpr_core::Study;
+
+fn bench_gpu(c: &mut Criterion) {
+    let study = Study::quick(BENCH_SEED);
+
+    println!("{}", study.fig10_gpu_fit().to_table());
+    println!("{}", study.fig11_gpu_tre().to_table());
+    println!("{}", study.fig12_gpu_avf().to_table());
+    println!("{}", study.fig13_gpu_mebf().to_table());
+
+    let mut group = c.benchmark_group("gpu_figures");
+    group.sample_size(10);
+    group.bench_function("fig10_fit_campaigns", |b| {
+        b.iter(|| study.fig10_gpu_fit().micro_sdc[1][0])
+    });
+    group.bench_function("fig11_tre_campaigns", |b| {
+        b.iter(|| study.fig11_gpu_tre().yolo_criticality[0][0])
+    });
+    group.bench_function("fig12_avf_injection", |b| {
+        b.iter(|| study.fig12_gpu_avf().avf[0][0].factor())
+    });
+    group.bench_function("fig13_mebf_campaigns", |b| {
+        b.iter(|| study.fig13_gpu_mebf().mebf[4][2])
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gpu);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Host-CPU throughput of the study's kernels at each precision — the
+//! simulator's own mixed-precision cost profile (native f64/f32 vs the
+//! soft-float binary16).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpr_fault::Workload;
+use mpr_kernels::{Gemm, LavaMd, Lud, Micro, MicroKernelOp};
+use mpr_softfloat::Precision;
+
+fn bench_kernels(c: &mut Criterion) {
+    let gemm = Gemm::new(16);
+    let lavamd = LavaMd::new(2, 3);
+    let lud = Lud::new(20);
+    let micro = Micro::new(MicroKernelOp::Fma, 8, 256);
+    let workloads: [(&str, &dyn Workload); 4] = [
+        ("gemm16", &gemm),
+        ("lavamd_2x3", &lavamd),
+        ("lud20", &lud),
+        ("micro_fma", &micro),
+    ];
+
+    let mut group = c.benchmark_group("kernel_throughput");
+    for (name, w) in workloads {
+        for p in Precision::ALL {
+            if !w.supports(p) {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(name, p), &p, |b, &p| {
+                b.iter(|| w.run_golden(p))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Regenerates Figures 6-9 (Xeon Phi beam and injection campaigns).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpr_bench::BENCH_SEED;
+use mpr_core::Study;
+
+fn bench_knc(c: &mut Criterion) {
+    let study = Study::quick(BENCH_SEED);
+
+    println!("{}", study.fig6_knc_fit().to_table());
+    println!("{}", study.fig7_knc_pvf().to_table());
+    println!("{}", study.fig8_knc_tre().to_table());
+    println!("{}", study.fig9_knc_mebf().to_table());
+
+    let mut group = c.benchmark_group("knc_figures");
+    group.sample_size(10);
+    group.bench_function("fig6_fit_campaigns", |b| {
+        b.iter(|| study.fig6_knc_fit().sdc_fit[0][0])
+    });
+    group.bench_function("fig7_pvf_injection", |b| {
+        b.iter(|| study.fig7_knc_pvf().pvf[0][0].factor())
+    });
+    group.bench_function("fig8_tre_campaigns", |b| {
+        b.iter(|| study.fig8_knc_tre().surviving_at(0, 1e-3)[0])
+    });
+    group.bench_function("fig9_mebf_campaigns", |b| {
+        b.iter(|| study.fig9_knc_mebf().mebf[0][1])
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_knc);
+criterion_main!(benches);

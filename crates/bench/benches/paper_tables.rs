@@ -1,0 +1,29 @@
+//! Regenerates Tables 1-3 (execution times on each device).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpr_bench::BENCH_SEED;
+use mpr_core::Study;
+
+fn bench_tables(c: &mut Criterion) {
+    let study = Study::quick(BENCH_SEED);
+
+    // Print each table once so the bench log doubles as the artifact.
+    println!("{}", study.table1_fpga_times());
+    println!("{}", study.table2_knc_times());
+    println!("{}", study.table3_gpu_times());
+
+    let mut group = c.benchmark_group("paper_tables");
+    group.bench_function("table1_fpga_times", |b| {
+        b.iter(|| study.table1_fpga_times().row_count())
+    });
+    group.bench_function("table2_knc_times", |b| {
+        b.iter(|| study.table2_knc_times().row_count())
+    });
+    group.bench_function("table3_gpu_times", |b| {
+        b.iter(|| study.table3_gpu_times().row_count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Raw binary16 soft-float operation latencies — the cost of the
+//! simulator's own half-precision substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mpr_softfloat::Half;
+
+fn bench_softfloat(c: &mut Criterion) {
+    let a = Half::from_f64(1.2345);
+    let b = Half::from_f64(0.9876);
+    let d = Half::from_f64(-0.5);
+
+    let mut group = c.benchmark_group("softfloat_ops");
+    group.bench_function("half_add", |bch| {
+        bch.iter(|| black_box(a) + black_box(b))
+    });
+    group.bench_function("half_mul", |bch| {
+        bch.iter(|| black_box(a) * black_box(b))
+    });
+    group.bench_function("half_div", |bch| {
+        bch.iter(|| black_box(a) / black_box(b))
+    });
+    group.bench_function("half_fma_exact", |bch| {
+        bch.iter(|| black_box(a).mul_add(black_box(b), black_box(d)))
+    });
+    group.bench_function("half_sqrt", |bch| {
+        bch.iter(|| black_box(a).sqrt())
+    });
+    group.bench_function("half_exp_poly", |bch| {
+        bch.iter(|| mpr_softfloat::math::exp_poly(black_box(d)))
+    });
+    group.bench_function("half_from_f64", |bch| {
+        bch.iter(|| Half::from_f64(black_box(1.2345f64)))
+    });
+    group.bench_function("half_to_f64", |bch| {
+        bch.iter(|| black_box(a).to_f64())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_softfloat);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! # mpr-bench
+//!
+//! Criterion benchmark harness. Each bench target regenerates one group
+//! of the paper's tables/figures (printing them once per run) and times
+//! the regeneration:
+//!
+//! * `paper_tables` — Tables 1-3 (execution-time models).
+//! * `fpga_figures` — Figures 2-5 (Zynq-7000 campaigns).
+//! * `knc_figures` — Figures 6-9 (Xeon Phi campaigns).
+//! * `gpu_figures` — Figures 10-13 (Titan V campaigns).
+//! * `softfloat_ops` — raw binary16 soft-float operation latencies.
+//! * `kernel_throughput` — the study's kernels at each precision on the
+//!   host CPU (the simulator's own mixed-precision cost).
+//!
+//! Run with `cargo bench --workspace`.
+
+/// The seed every bench uses, so printed tables match EXPERIMENTS.md.
+pub const BENCH_SEED: u64 = 2019;

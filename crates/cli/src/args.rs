@@ -1,0 +1,376 @@
+//! Hand-rolled argument parsing (the workspace carries no CLI
+//! dependency; the grammar is small and fully tested below).
+
+use mpr_softfloat::Precision;
+use std::fmt;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print Tables 1-3.
+    Tables { scale: Scale },
+    /// Print every figure (2-13).
+    Figures { scale: Scale },
+    /// Print the ablations.
+    Ablations { scale: Scale },
+    /// Export all artifacts as CSV.
+    Export { dir: String, scale: Scale },
+    /// Run the executable shape validation.
+    Validate { scale: Scale },
+    /// Run one beam campaign.
+    Campaign {
+        device: DeviceArg,
+        workload: WorkloadArg,
+        precision: Precision,
+        strikes: u64,
+        hours: f64,
+        seed: u64,
+    },
+    /// Run one injection campaign.
+    Inject {
+        workload: WorkloadArg,
+        precision: Precision,
+        injections: u64,
+        model: ModelArg,
+        seed: u64,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Statistical scale of a study command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Fast statistics.
+    Quick,
+    /// Paper-scale statistics.
+    Paper,
+}
+
+/// Device selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceArg {
+    /// NVIDIA Titan V.
+    Gpu,
+    /// Titan V silicon with ECC (Tesla V100).
+    GpuEcc,
+    /// Intel Xeon Phi 3120A.
+    Knc,
+    /// Xilinx Zynq-7000.
+    Fpga,
+}
+
+/// Workload selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadArg {
+    /// Matrix multiplication.
+    Mxm,
+    /// Particle potentials (GPU software-exp variant).
+    Lavamd,
+    /// Particle potentials (KNC transcendental-unit variant).
+    LavamdKnc,
+    /// LU decomposition.
+    Lud,
+    /// Micro-ADD.
+    MicroAdd,
+    /// Micro-MUL.
+    MicroMul,
+    /// Micro-FMA.
+    MicroFma,
+    /// MNIST classifier.
+    Mnist,
+    /// YOLO-style detector.
+    Yolo,
+}
+
+/// Fault-model selector for `inject`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelArg {
+    /// Single bit flip.
+    Single,
+    /// Double bit flip.
+    Double,
+    /// Random byte.
+    Byte,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+mpr — mixed-precision reliability study
+
+USAGE:
+    mpr tables    [--paper]
+    mpr figures   [--paper]
+    mpr ablations [--paper]
+    mpr validate  [--paper]
+    mpr export    --dir <PATH> [--paper]
+    mpr campaign  --device <gpu|gpu-ecc|knc|fpga> --workload <WORKLOAD>
+                  --precision <double|single|half>
+                  [--strikes N] [--hours H] [--seed S]
+    mpr inject    --workload <WORKLOAD> --precision <double|single|half>
+                  [--n N] [--model single|double|byte] [--seed S]
+    mpr help
+
+WORKLOAD: mxm | lavamd | lavamd-knc | lud | micro-add | micro-mul |
+          micro-fma | mnist | yolo
+";
+
+/// Parses the command line (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first problem found.
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let mut it = args.iter().map(String::as_str);
+    let sub = it.next().ok_or_else(|| ParseError(USAGE.to_string()))?;
+    let rest: Vec<&str> = it.collect();
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "tables" => Ok(Command::Tables {
+            scale: scale_of(&rest)?,
+        }),
+        "figures" => Ok(Command::Figures {
+            scale: scale_of(&rest)?,
+        }),
+        "ablations" => Ok(Command::Ablations {
+            scale: scale_of(&rest)?,
+        }),
+        "validate" => Ok(Command::Validate {
+            scale: scale_of(&rest)?,
+        }),
+        "export" => Ok(Command::Export {
+            dir: required(&rest, "--dir")?.to_string(),
+            scale: scale_of(&rest)?,
+        }),
+        "campaign" => Ok(Command::Campaign {
+            device: device_of(required(&rest, "--device")?)?,
+            workload: workload_of(required(&rest, "--workload")?)?,
+            precision: precision_of(required(&rest, "--precision")?)?,
+            strikes: numeric(&rest, "--strikes", 2000)?,
+            hours: float(&rest, "--hours", 100.0)?,
+            seed: numeric(&rest, "--seed", 0)?,
+        }),
+        "inject" => Ok(Command::Inject {
+            workload: workload_of(required(&rest, "--workload")?)?,
+            precision: precision_of(required(&rest, "--precision")?)?,
+            injections: numeric(&rest, "--n", 2000)?,
+            model: model_of(optional(&rest, "--model").unwrap_or("single"))?,
+            seed: numeric(&rest, "--seed", 0)?,
+        }),
+        other => Err(ParseError(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+fn scale_of(rest: &[&str]) -> Result<Scale, ParseError> {
+    if rest.iter().any(|&a| a == "--paper") {
+        Ok(Scale::Paper)
+    } else if let Some(&bad) = rest.iter().find(|&&a| a != "--paper" && !a.starts_with("--dir")) {
+        // `export` carries --dir <path>; tolerate its value pair.
+        if bad.starts_with("--") {
+            Err(ParseError(format!("unknown flag `{bad}`")))
+        } else {
+            Ok(Scale::Quick)
+        }
+    } else {
+        Ok(Scale::Quick)
+    }
+}
+
+fn optional<'a>(rest: &[&'a str], flag: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|&a| a == flag)
+        .and_then(|i| rest.get(i + 1).copied())
+}
+
+fn required<'a>(rest: &[&'a str], flag: &str) -> Result<&'a str, ParseError> {
+    optional(rest, flag).ok_or_else(|| ParseError(format!("missing required flag `{flag}`")))
+}
+
+fn numeric(rest: &[&str], flag: &str, default: u64) -> Result<u64, ParseError> {
+    match optional(rest, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| ParseError(format!("`{flag}` expects an integer, got `{v}`"))),
+    }
+}
+
+fn float(rest: &[&str], flag: &str, default: f64) -> Result<f64, ParseError> {
+    match optional(rest, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<f64>()
+            .ok()
+            .filter(|x| x.is_finite() && *x > 0.0)
+            .ok_or_else(|| ParseError(format!("`{flag}` expects a positive number, got `{v}`"))),
+    }
+}
+
+fn device_of(s: &str) -> Result<DeviceArg, ParseError> {
+    match s {
+        "gpu" | "titan-v" => Ok(DeviceArg::Gpu),
+        "gpu-ecc" | "v100" => Ok(DeviceArg::GpuEcc),
+        "knc" | "xeon-phi" => Ok(DeviceArg::Knc),
+        "fpga" | "zynq" => Ok(DeviceArg::Fpga),
+        _ => Err(ParseError(format!(
+            "unknown device `{s}` (gpu | gpu-ecc | knc | fpga)"
+        ))),
+    }
+}
+
+fn workload_of(s: &str) -> Result<WorkloadArg, ParseError> {
+    match s {
+        "mxm" | "gemm" => Ok(WorkloadArg::Mxm),
+        "lavamd" => Ok(WorkloadArg::Lavamd),
+        "lavamd-knc" => Ok(WorkloadArg::LavamdKnc),
+        "lud" => Ok(WorkloadArg::Lud),
+        "micro-add" => Ok(WorkloadArg::MicroAdd),
+        "micro-mul" => Ok(WorkloadArg::MicroMul),
+        "micro-fma" => Ok(WorkloadArg::MicroFma),
+        "mnist" => Ok(WorkloadArg::Mnist),
+        "yolo" | "yolov3" => Ok(WorkloadArg::Yolo),
+        _ => Err(ParseError(format!("unknown workload `{s}`\n\n{USAGE}"))),
+    }
+}
+
+fn precision_of(s: &str) -> Result<Precision, ParseError> {
+    s.parse()
+        .map_err(|_| ParseError(format!("unknown precision `{s}` (double | single | half)")))
+}
+
+fn model_of(s: &str) -> Result<ModelArg, ParseError> {
+    match s {
+        "single" => Ok(ModelArg::Single),
+        "double" => Ok(ModelArg::Double),
+        "byte" => Ok(ModelArg::Byte),
+        _ => Err(ParseError(format!(
+            "unknown model `{s}` (single | double | byte)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(line: &str) -> Command {
+        let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+        parse(&args).expect(line)
+    }
+
+    fn parse_err(line: &str) -> ParseError {
+        let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+        parse(&args).expect_err(line)
+    }
+
+    #[test]
+    fn subcommands_parse() {
+        assert_eq!(parse_ok("tables"), Command::Tables { scale: Scale::Quick });
+        assert_eq!(
+            parse_ok("figures --paper"),
+            Command::Figures { scale: Scale::Paper }
+        );
+        assert_eq!(parse_ok("help"), Command::Help);
+        assert_eq!(
+            parse_ok("export --dir /tmp/x --paper"),
+            Command::Export {
+                dir: "/tmp/x".to_string(),
+                scale: Scale::Paper
+            }
+        );
+    }
+
+    #[test]
+    fn campaign_parses_with_defaults_and_overrides() {
+        let c = parse_ok("campaign --device gpu --workload mxm --precision half");
+        assert_eq!(
+            c,
+            Command::Campaign {
+                device: DeviceArg::Gpu,
+                workload: WorkloadArg::Mxm,
+                precision: Precision::Half,
+                strikes: 2000,
+                hours: 100.0,
+                seed: 0,
+            }
+        );
+        let c = parse_ok(
+            "campaign --device knc --workload lavamd-knc --precision single \
+             --strikes 500 --hours 10 --seed 7",
+        );
+        match c {
+            Command::Campaign {
+                device,
+                workload,
+                strikes,
+                hours,
+                seed,
+                ..
+            } => {
+                assert_eq!(device, DeviceArg::Knc);
+                assert_eq!(workload, WorkloadArg::LavamdKnc);
+                assert_eq!((strikes, hours, seed), (500, 10.0, 7));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn inject_parses() {
+        let c = parse_ok("inject --workload micro-fma --precision double --n 300 --model byte");
+        assert_eq!(
+            c,
+            Command::Inject {
+                workload: WorkloadArg::MicroFma,
+                precision: Precision::Double,
+                injections: 300,
+                model: ModelArg::Byte,
+                seed: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(parse_err("campaign --workload mxm --precision half")
+            .0
+            .contains("--device"));
+        assert!(parse_err("campaign --device tpu --workload mxm --precision half")
+            .0
+            .contains("unknown device"));
+        assert!(parse_err("inject --workload mxm --precision quad")
+            .0
+            .contains("unknown precision"));
+        assert!(parse_err("frobnicate").0.contains("unknown command"));
+        assert!(parse_err("export").0.contains("--dir"));
+        assert!(parse_err(
+            "campaign --device gpu --workload mxm --precision half --strikes lots"
+        )
+        .0
+        .contains("integer"));
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        assert!(matches!(
+            parse_ok("campaign --device v100 --workload gemm --precision double"),
+            Command::Campaign {
+                device: DeviceArg::GpuEcc,
+                workload: WorkloadArg::Mxm,
+                ..
+            }
+        ));
+    }
+}

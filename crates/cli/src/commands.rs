@@ -1,0 +1,239 @@
+//! Command execution.
+
+use crate::args::{Command, DeviceArg, ModelArg, Scale, WorkloadArg};
+use mpr_arch::{Device, Fpga, VoltaGpu, WorkloadProfile, XeonPhiKnc};
+use mpr_beam::{BeamCampaign, BeamSession};
+use mpr_core::Study;
+use mpr_fault::{FaultModel, InjectionCampaign, Workload};
+use mpr_kernels::{profiles as kprofiles, Gemm, LavaMd, Lud, Micro, MicroKernelOp};
+use mpr_metrics::{SeverityHistogram, Table};
+use mpr_nn::{profiles as nprofiles, Mnist, TinyYolo};
+use mpr_softfloat::Precision;
+
+/// Runs a parsed command, returning the process exit code.
+pub fn run(command: Command) -> i32 {
+    match command {
+        Command::Help => {
+            println!("{}", crate::args::USAGE);
+            0
+        }
+        Command::Tables { scale } => {
+            let study = study(scale);
+            println!("{}", study.table1_fpga_times());
+            println!("{}", study.table2_knc_times());
+            println!("{}", study.table3_gpu_times());
+            0
+        }
+        Command::Figures { scale } => {
+            let study = study(scale);
+            println!("{}", study.fig2_fpga_resources().to_table());
+            println!("{}", study.fig3_fpga_fit().to_table());
+            println!("{}", study.fig4_fpga_tre().to_table());
+            println!("{}", study.fig5_fpga_mebf().to_table());
+            println!("{}", study.fig6_knc_fit().to_table());
+            println!("{}", study.fig7_knc_pvf().to_table());
+            println!("{}", study.fig8_knc_tre().to_table());
+            println!("{}", study.fig9_knc_mebf().to_table());
+            println!("{}", study.fig10_gpu_fit().to_table());
+            println!("{}", study.fig11_gpu_tre().to_table());
+            println!("{}", study.fig12_gpu_avf().to_table());
+            println!("{}", study.fig13_gpu_mebf().to_table());
+            0
+        }
+        Command::Ablations { scale } => {
+            let study = study(scale);
+            println!("{}", study.ablation_gpu_ecc().to_table());
+            println!("{}", study.ablation_fault_models().to_table());
+            println!("{}", study.ablation_fault_accumulation().to_table());
+            0
+        }
+        Command::Validate { scale } => {
+            let report = study(scale).validate_shapes();
+            println!("{}", report.to_table());
+            if report.all_passed() {
+                0
+            } else {
+                1
+            }
+        }
+        Command::Export { dir, scale } => {
+            let study = study(scale);
+            match study.export_csv(std::path::Path::new(&dir)) {
+                Ok(paths) => {
+                    println!("wrote {} artifacts to {dir}", paths.len());
+                    0
+                }
+                Err(e) => {
+                    eprintln!("export failed: {e}");
+                    1
+                }
+            }
+        }
+        Command::Campaign {
+            device,
+            workload,
+            precision,
+            strikes,
+            hours,
+            seed,
+        } => run_campaign(device, workload, precision, strikes, hours, seed),
+        Command::Inject {
+            workload,
+            precision,
+            injections,
+            model,
+            seed,
+        } => run_inject(workload, precision, injections, model, seed),
+    }
+}
+
+fn study(scale: Scale) -> Study {
+    match scale {
+        Scale::Quick => Study::quick(2019),
+        Scale::Paper => Study::paper(2019),
+    }
+}
+
+fn device_of(arg: DeviceArg) -> Box<dyn Device> {
+    match arg {
+        DeviceArg::Gpu => Box::new(VoltaGpu::titan_v()),
+        DeviceArg::GpuEcc => Box::new(VoltaGpu::tesla_v100()),
+        DeviceArg::Knc => Box::new(XeonPhiKnc::coprocessor_3120a()),
+        DeviceArg::Fpga => Box::new(Fpga::zynq7000()),
+    }
+}
+
+fn workload_of(arg: WorkloadArg, device: DeviceArg) -> (Box<dyn Workload>, WorkloadProfile) {
+    match arg {
+        WorkloadArg::Mxm => (
+            Box::new(Gemm::new(16)),
+            match device {
+                DeviceArg::Knc => kprofiles::mxm_knc(),
+                DeviceArg::Fpga => kprofiles::mxm_fpga(),
+                _ => kprofiles::mxm_gpu(),
+            },
+        ),
+        WorkloadArg::Lavamd => (
+            Box::new(LavaMd::new(2, 4)),
+            match device {
+                DeviceArg::Knc => kprofiles::lavamd_knc(),
+                _ => kprofiles::lavamd_gpu(),
+            },
+        ),
+        WorkloadArg::LavamdKnc => (
+            Box::new(LavaMd::new(2, 4).for_knc()),
+            kprofiles::lavamd_knc(),
+        ),
+        WorkloadArg::Lud => (Box::new(Lud::new(20)), kprofiles::lud_knc()),
+        WorkloadArg::MicroAdd => (
+            Box::new(Micro::new(MicroKernelOp::Add, 32, 256)),
+            kprofiles::micro(MicroKernelOp::Add),
+        ),
+        WorkloadArg::MicroMul => (
+            Box::new(Micro::new(MicroKernelOp::Mul, 32, 256)),
+            kprofiles::micro(MicroKernelOp::Mul),
+        ),
+        WorkloadArg::MicroFma => (
+            Box::new(Micro::new(MicroKernelOp::Fma, 32, 256)),
+            kprofiles::micro(MicroKernelOp::Fma),
+        ),
+        WorkloadArg::Mnist => (Box::new(Mnist::new()), nprofiles::mnist_fpga()),
+        WorkloadArg::Yolo => (Box::new(TinyYolo::new()), nprofiles::yolo_gpu()),
+    }
+}
+
+fn run_campaign(
+    device_arg: DeviceArg,
+    workload_arg: WorkloadArg,
+    precision: Precision,
+    strikes: u64,
+    hours: f64,
+    seed: u64,
+) -> i32 {
+    let device = device_of(device_arg);
+    let (workload, profile) = workload_of(workload_arg, device_arg);
+    if !device.supports(precision) {
+        eprintln!("{} has no {precision}-precision hardware", device.name());
+        return 2;
+    }
+    if !workload.supports(precision) {
+        eprintln!(
+            "{} has no {precision}-precision implementation",
+            workload.name()
+        );
+        return 2;
+    }
+    let session = BeamSession {
+        hours,
+        target_candidates: strikes,
+        seed,
+        threads: 0,
+    };
+    let result = BeamCampaign::new(device.as_ref(), workload.as_ref(), &profile, precision)
+        .session(session)
+        .run();
+
+    let mut t = Table::new(vec!["quantity", "value"]).with_title(format!(
+        "{} / {} / {precision}",
+        result.device, result.workload
+    ));
+    t.row(vec!["exec time".into(), format!("{:.3} s", result.exec_time_s)]);
+    t.row(vec!["runs".into(), format!("{:.0}", result.runs)]);
+    t.row(vec!["compute strikes".into(), result.candidates.to_string()]);
+    t.row(vec!["SDC events".into(), result.sdc.events().to_string()]);
+    t.row(vec!["DUE events".into(), result.due.events().to_string()]);
+    t.row(vec!["SDC FIT".into(), format!("{:.3e} a.u.", result.fit_sdc().au())]);
+    t.row(vec!["DUE FIT".into(), format!("{:.3e} a.u.", result.fit_due().au())]);
+    t.row(vec!["MEBF".into(), format!("{:.3e} a.u.", result.mebf().executions())]);
+    let curve = result.tre_curve();
+    t.row(vec![
+        "tolerable @0.1%".into(),
+        format!("{:.1}%", curve.tolerable_fraction(1e-3) * 100.0),
+    ]);
+    t.row(vec![
+        "tolerable @1%".into(),
+        format!("{:.1}%", curve.tolerable_fraction(1e-2) * 100.0),
+    ]);
+    println!("{t}");
+    println!("SDC severity distribution (max relative error per event):");
+    println!("{}", SeverityHistogram::from_errors(&result.severities));
+    0
+}
+
+fn run_inject(
+    workload_arg: WorkloadArg,
+    precision: Precision,
+    injections: u64,
+    model: ModelArg,
+    seed: u64,
+) -> i32 {
+    let (workload, _) = workload_of(workload_arg, DeviceArg::Gpu);
+    if !workload.supports(precision) {
+        eprintln!(
+            "{} has no {precision}-precision implementation",
+            workload.name()
+        );
+        return 2;
+    }
+    let model = match model {
+        ModelArg::Single => FaultModel::SingleBit,
+        ModelArg::Double => FaultModel::DoubleBit,
+        ModelArg::Byte => FaultModel::RandomByte,
+    };
+    let report = InjectionCampaign::new(workload.as_ref(), precision)
+        .injections(injections)
+        .seed(seed)
+        .model(model)
+        .run();
+    let v = report.vulnerability();
+    let mut t = Table::new(vec!["quantity", "value"])
+        .with_title(format!("{} / {precision} / {model:?}", report.workload));
+    t.row(vec!["injections".into(), report.counts.total().to_string()]);
+    t.row(vec!["masked".into(), report.counts.masked.to_string()]);
+    t.row(vec!["SDC".into(), report.counts.sdc.to_string()]);
+    t.row(vec!["vulnerability".into(), v.to_string()]);
+    println!("{t}");
+    println!("SDC severity distribution:");
+    println!("{}", SeverityHistogram::from_errors(&report.severities));
+    0
+}

@@ -1,0 +1,17 @@
+//! `mpr` — the command-line front end of the mixed-precision reliability
+//! study. Run `mpr help` for usage.
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args::parse(&argv) {
+        Ok(command) => commands::run(command),
+        Err(e) => {
+            eprintln!("{e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}

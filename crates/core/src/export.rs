@@ -1,0 +1,80 @@
+//! CSV export of every experiment artifact.
+
+use crate::Study;
+use std::io;
+use std::path::{Path, PathBuf};
+
+impl Study {
+    /// Writes every table and figure as CSV into `dir` (created if
+    /// missing) and returns the paths written. The file set is stable:
+    /// `table1.csv` … `fig13.csv` plus the ablations.
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error encountered while creating the
+    /// directory or writing a file.
+    pub fn export_csv(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let artifacts: Vec<(&str, String)> = vec![
+            ("table1.csv", self.table1_fpga_times().to_csv()),
+            ("fig2.csv", self.fig2_fpga_resources().to_table().to_csv()),
+            ("fig3.csv", self.fig3_fpga_fit().to_table().to_csv()),
+            ("fig4.csv", self.fig4_fpga_tre().to_table().to_csv()),
+            ("fig5.csv", self.fig5_fpga_mebf().to_table().to_csv()),
+            ("table2.csv", self.table2_knc_times().to_csv()),
+            ("fig6.csv", self.fig6_knc_fit().to_table().to_csv()),
+            ("fig7.csv", self.fig7_knc_pvf().to_table().to_csv()),
+            ("fig8.csv", self.fig8_knc_tre().to_table().to_csv()),
+            ("fig9.csv", self.fig9_knc_mebf().to_table().to_csv()),
+            ("table3.csv", self.table3_gpu_times().to_csv()),
+            ("fig10.csv", self.fig10_gpu_fit().to_table().to_csv()),
+            ("fig11.csv", self.fig11_gpu_tre().to_table().to_csv()),
+            ("fig12.csv", self.fig12_gpu_avf().to_table().to_csv()),
+            ("fig13.csv", self.fig13_gpu_mebf().to_table().to_csv()),
+            ("ablation_ecc.csv", self.ablation_gpu_ecc().to_table().to_csv()),
+            (
+                "ablation_fault_models.csv",
+                self.ablation_fault_models().to_table().to_csv(),
+            ),
+            (
+                "ablation_accumulation.csv",
+                self.ablation_fault_accumulation().to_table().to_csv(),
+            ),
+        ];
+        let mut written = Vec::with_capacity(artifacts.len() + 1);
+        let mut manifest = String::from("file,rows\n");
+        for (name, csv) in artifacts {
+            let path = dir.join(name);
+            std::fs::write(&path, &csv)?;
+            manifest.push_str(&format!("{name},{}\n", csv.lines().count() - 1));
+            written.push(path);
+        }
+        let manifest_path = dir.join("manifest.csv");
+        std::fs::write(&manifest_path, manifest)?;
+        written.push(manifest_path);
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_writes_the_full_artifact_set() {
+        let dir = std::env::temp_dir().join(format!("mpr_export_{}", std::process::id()));
+        let study = Study::quick(50);
+        let written = study.export_csv(&dir).expect("export succeeds");
+        assert_eq!(written.len(), 19, "18 artifacts + manifest");
+        for path in &written {
+            let content = std::fs::read_to_string(path).expect("readable");
+            assert!(content.lines().count() >= 2, "{path:?} has header + data");
+            assert!(content.contains(','), "{path:?} is CSV");
+        }
+        // The manifest indexes every artifact.
+        let manifest = std::fs::read_to_string(dir.join("manifest.csv")).unwrap();
+        assert!(manifest.contains("fig10.csv"));
+        assert!(manifest.contains("ablation_accumulation.csv"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,59 @@
+//! # mpr-core
+//!
+//! The experiment layer: a [`Study`] reproduces, one method per table
+//! and figure, the full evaluation of *"Reliability Evaluation of
+//! Mixed-Precision Architectures"* (HPCA 2019) on the simulated
+//! substrate:
+//!
+//! | Paper artifact | Runner |
+//! |---|---|
+//! | Table 1 (FPGA times) | [`Study::table1_fpga_times`] |
+//! | Figure 2 (FPGA resources) | [`Study::fig2_fpga_resources`] |
+//! | Figure 3 (FPGA FIT, critical/tolerable) | [`Study::fig3_fpga_fit`] |
+//! | Figure 4 (FPGA TRE) | [`Study::fig4_fpga_tre`] |
+//! | Figure 5 (FPGA MEBF) | [`Study::fig5_fpga_mebf`] |
+//! | Table 2 (KNC times) | [`Study::table2_knc_times`] |
+//! | Figure 6 (KNC SDC/DUE FIT) | [`Study::fig6_knc_fit`] |
+//! | Figure 7 (KNC PVF) | [`Study::fig7_knc_pvf`] |
+//! | Figure 8 (KNC TRE) | [`Study::fig8_knc_tre`] |
+//! | Figure 9 (KNC MEBF) | [`Study::fig9_knc_mebf`] |
+//! | Table 3 (GPU times) | [`Study::table3_gpu_times`] |
+//! | Figure 10 (GPU FIT) | [`Study::fig10_gpu_fit`] |
+//! | Figure 11 (GPU TRE + YOLO criticality) | [`Study::fig11_gpu_tre`] |
+//! | Figure 12 (GPU AVF) | [`Study::fig12_gpu_avf`] |
+//! | Figure 13 (GPU MEBF) | [`Study::fig13_gpu_mebf`] |
+//!
+//! Every runner returns a typed result that renders as an aligned text
+//! table via `to_table()`, so examples and benches can regenerate the
+//! paper's artifacts verbatim.
+//!
+//! # Example
+//!
+//! ```rust
+//! use mpr_core::Study;
+//!
+//! let study = Study::quick(42);
+//! let fig5 = study.fig5_fpga_mebf();
+//! // Reducing precision increases MEBF on the FPGA (paper Section 4.2).
+//! assert!(fig5.mxm_mebf[2] > fig5.mxm_mebf[0]); // half beats double
+//! println!("{}", fig5.to_table());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod ablations;
+mod export;
+mod fpga_figures;
+mod gpu_figures;
+mod knc_figures;
+mod study;
+mod tables;
+mod validation;
+
+pub use ablations::{AccumulationAblation, EccAblation, FaultModelAblation};
+pub use fpga_figures::{Fig2, Fig3, Fig4, Fig5};
+pub use gpu_figures::{Fig10, Fig11, Fig12, Fig13};
+pub use knc_figures::{Fig6, Fig7, Fig8, Fig9};
+pub use study::{Study, StudyScale};
+pub use validation::{ShapeReport, ShapeResult};

@@ -1,0 +1,240 @@
+//! The study configuration and shared campaign plumbing.
+
+use mpr_arch::{Device, Fpga, VoltaGpu, WorkloadProfile, XeonPhiKnc};
+use mpr_beam::{BeamCampaign, BeamSession, CampaignResult};
+use mpr_fault::{FaultModel, InjectionCampaign, InjectionReport, Workload};
+use mpr_kernels::{profiles as kprofiles, Gemm, LavaMd, Lud, Micro, MicroKernelOp};
+use mpr_nn::{profiles as nprofiles, Mnist, TinyYolo};
+use mpr_softfloat::Precision;
+
+/// How much statistical weight to put behind each experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StudyScale {
+    /// Small proxies and short sessions: seconds per figure. Used by
+    /// tests and the quickstart example.
+    Quick,
+    /// Paper-scale statistics (thousands of strikes/injections per
+    /// configuration): tens of seconds per figure. Used by the benches
+    /// and EXPERIMENTS.md.
+    Paper,
+}
+
+/// One reproduction of the paper's evaluation.
+///
+/// Construct with [`Study::quick`] or [`Study::paper`], then call the
+/// per-table/figure runners. All campaigns are deterministic in the
+/// seed.
+#[derive(Debug, Clone)]
+pub struct Study {
+    seed: u64,
+    scale: StudyScale,
+}
+
+impl Study {
+    /// A fast study (small workload proxies, hundreds of strikes).
+    pub fn quick(seed: u64) -> Study {
+        Study {
+            seed,
+            scale: StudyScale::Quick,
+        }
+    }
+
+    /// A paper-scale study (larger proxies, thousands of strikes).
+    pub fn paper(seed: u64) -> Study {
+        Study {
+            seed,
+            scale: StudyScale::Paper,
+        }
+    }
+
+    /// The study's RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The study's scale.
+    pub fn scale(&self) -> StudyScale {
+        self.scale
+    }
+
+    pub(crate) fn session(&self, salt: u64) -> BeamSession {
+        match self.scale {
+            StudyScale::Quick => BeamSession::quick(self.seed ^ salt).with_target_candidates(400),
+            StudyScale::Paper => BeamSession::paper(self.seed ^ salt).with_target_candidates(4000),
+        }
+    }
+
+    pub(crate) fn injections(&self) -> u64 {
+        match self.scale {
+            StudyScale::Quick => 400,
+            // "more than 2,000 faults for each data type" (Section 3.3).
+            StudyScale::Paper => 2400,
+        }
+    }
+
+    // --- workload proxies -------------------------------------------------
+
+    pub(crate) fn gemm(&self) -> Gemm {
+        match self.scale {
+            StudyScale::Quick => Gemm::new(12),
+            StudyScale::Paper => Gemm::new(24),
+        }
+    }
+
+    pub(crate) fn lavamd(&self) -> LavaMd {
+        match self.scale {
+            StudyScale::Quick => LavaMd::new(2, 3),
+            StudyScale::Paper => LavaMd::new(2, 5),
+        }
+    }
+
+    /// LavaMD with the KNC's dedicated-transcendental-unit exp model.
+    pub(crate) fn lavamd_knc_kernel(&self) -> LavaMd {
+        self.lavamd().for_knc()
+    }
+
+    pub(crate) fn lud(&self) -> Lud {
+        match self.scale {
+            StudyScale::Quick => Lud::new(16),
+            StudyScale::Paper => Lud::new(28),
+        }
+    }
+
+    pub(crate) fn micro(&self, op: MicroKernelOp) -> Micro {
+        match self.scale {
+            StudyScale::Quick => Micro::new(op, 16, 128),
+            StudyScale::Paper => Micro::new(op, 48, 512),
+        }
+    }
+
+    pub(crate) fn mnist(&self) -> Mnist {
+        Mnist::new().with_seed(0x313 ^ self.seed.rotate_left(8))
+    }
+
+    pub(crate) fn yolo(&self) -> TinyYolo {
+        TinyYolo::new()
+    }
+
+    // --- devices ----------------------------------------------------------
+
+    pub(crate) fn fpga(&self) -> Fpga {
+        Fpga::zynq7000()
+    }
+
+    pub(crate) fn knc(&self) -> XeonPhiKnc {
+        XeonPhiKnc::coprocessor_3120a()
+    }
+
+    pub(crate) fn gpu(&self) -> VoltaGpu {
+        VoltaGpu::titan_v()
+    }
+
+    // --- shared campaign runners -------------------------------------------
+
+    /// Runs one beam campaign.
+    pub(crate) fn beam(
+        &self,
+        device: &dyn Device,
+        workload: &dyn Workload,
+        profile: &WorkloadProfile,
+        precision: Precision,
+        salt: u64,
+    ) -> CampaignResult {
+        BeamCampaign::new(device, workload, profile, precision)
+            .session(self.session(salt ^ precision.total_bits() as u64))
+            .run()
+    }
+
+    /// Runs one injection campaign with the given fault model and live
+    /// fraction (blind injections land in dead state the rest of the
+    /// time — see `InjectionCampaign::live_fraction`).
+    pub(crate) fn inject(
+        &self,
+        workload: &dyn Workload,
+        precision: Precision,
+        model: FaultModel,
+        live_fraction: f64,
+        salt: u64,
+    ) -> InjectionReport {
+        InjectionCampaign::new(workload, precision)
+            .injections(self.injections())
+            .seed(self.seed ^ salt ^ precision.total_bits() as u64)
+            .model(model)
+            .live_fraction(live_fraction)
+            .run()
+    }
+
+    /// GPU register-level injection (the paper's CAROL-FI SASS mode,
+    /// Section 6.2).
+    pub(crate) fn inject_gpu_registers(
+        &self,
+        workload: &dyn Workload,
+        precision: Precision,
+        model: FaultModel,
+        salt: u64,
+    ) -> InjectionReport {
+        self.inject(
+            workload,
+            precision,
+            model,
+            mpr_arch::calib::VOLTA_REG_LIVE_FRACTION,
+            salt,
+        )
+    }
+
+    // --- profile accessors (full-scale characterizations) ------------------
+
+    pub(crate) fn profile_mxm_gpu(&self) -> WorkloadProfile {
+        kprofiles::mxm_gpu()
+    }
+    pub(crate) fn profile_lavamd_gpu(&self) -> WorkloadProfile {
+        kprofiles::lavamd_gpu()
+    }
+    pub(crate) fn profile_mxm_knc(&self) -> WorkloadProfile {
+        kprofiles::mxm_knc()
+    }
+    pub(crate) fn profile_lavamd_knc(&self) -> WorkloadProfile {
+        kprofiles::lavamd_knc()
+    }
+    pub(crate) fn profile_lud_knc(&self) -> WorkloadProfile {
+        kprofiles::lud_knc()
+    }
+    pub(crate) fn profile_mxm_fpga(&self) -> WorkloadProfile {
+        kprofiles::mxm_fpga()
+    }
+    pub(crate) fn profile_micro(&self, op: MicroKernelOp) -> WorkloadProfile {
+        kprofiles::micro(op)
+    }
+    pub(crate) fn profile_mnist_fpga(&self) -> WorkloadProfile {
+        nprofiles::mnist_fpga()
+    }
+    pub(crate) fn profile_yolo_gpu(&self) -> WorkloadProfile {
+        nprofiles::yolo_gpu()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_differ_in_statistical_weight() {
+        let q = Study::quick(1);
+        let p = Study::paper(1);
+        assert!(p.injections() > q.injections());
+        assert!(p.session(0).target_candidates > q.session(0).target_candidates);
+        assert_eq!(q.scale(), StudyScale::Quick);
+        assert_eq!(p.scale(), StudyScale::Paper);
+    }
+
+    #[test]
+    fn proxies_grow_with_scale() {
+        assert!(Study::paper(0).gemm().dim() > Study::quick(0).gemm().dim());
+        assert!(Study::paper(0).lud().dim() > Study::quick(0).lud().dim());
+    }
+
+    #[test]
+    fn seed_is_plumbed() {
+        assert_eq!(Study::quick(9).seed(), 9);
+    }
+}

@@ -1,0 +1,329 @@
+//! Executable shape validation: every qualitative claim of the paper,
+//! checked against a live run of the corresponding experiment.
+//!
+//! EXPERIMENTS.md is the human-readable account; this module is the
+//! machine-checkable one — `mpr validate` runs it from the command line.
+
+use crate::Study;
+use mpr_metrics::Table;
+
+/// Outcome of one shape check.
+#[derive(Debug, Clone)]
+pub struct ShapeResult {
+    /// Paper artifact the check belongs to ("fig3", "fig9", ...).
+    pub artifact: &'static str,
+    /// The claim, in the paper's terms.
+    pub claim: &'static str,
+    /// Whether the simulated substrate reproduces it.
+    pub passed: bool,
+    /// The measured quantities behind the verdict.
+    pub detail: String,
+}
+
+/// A full shape-validation run.
+#[derive(Debug, Clone)]
+pub struct ShapeReport {
+    /// Individual check results, in paper order.
+    pub results: Vec<ShapeResult>,
+}
+
+impl ShapeReport {
+    /// Number of passing checks.
+    pub fn passed(&self) -> usize {
+        self.results.iter().filter(|r| r.passed).count()
+    }
+
+    /// `true` when every check passed.
+    pub fn all_passed(&self) -> bool {
+        self.passed() == self.results.len()
+    }
+
+    /// Renders the verdict table.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(vec!["artifact", "verdict", "claim", "measured"]).with_title(
+            format!(
+                "Shape validation: {}/{} checks passed",
+                self.passed(),
+                self.results.len()
+            ),
+        );
+        for r in &self.results {
+            t.row(vec![
+                r.artifact.to_string(),
+                if r.passed { "pass" } else { "FAIL" }.to_string(),
+                r.claim.to_string(),
+                r.detail.clone(),
+            ]);
+        }
+        t
+    }
+}
+
+impl Study {
+    /// Runs every experiment and checks the paper's qualitative claims
+    /// against it. Deterministic in the study seed.
+    pub fn validate_shapes(&self) -> ShapeReport {
+        let mut results = Vec::new();
+        let mut check = |artifact, claim, passed, detail: String| {
+            results.push(ShapeResult {
+                artifact,
+                claim,
+                passed,
+                detail,
+            });
+        };
+
+        // --- FPGA -----------------------------------------------------
+        let fig3 = self.fig3_fpga_fit();
+        check(
+            "fig3",
+            "FPGA FIT decreases with precision (area effect)",
+            fig3.mxm_fit[0] > fig3.mxm_fit[1] && fig3.mxm_fit[1] > fig3.mxm_fit[2],
+            format!(
+                "MxM FIT d:s:h = {:.2}:{:.2}:{:.2}",
+                1.0,
+                fig3.mxm_fit[1] / fig3.mxm_fit[0],
+                fig3.mxm_fit[2] / fig3.mxm_fit[0]
+            ),
+        );
+        check(
+            "fig3",
+            "MNIST FIT below MxM despite bigger circuit (CNN masking)",
+            (0..3).all(|i| fig3.mnist_fit[i] < fig3.mxm_fit[i]),
+            format!(
+                "MNIST/MxM = {:.2}, {:.2}, {:.2}",
+                fig3.mnist_fit[0] / fig3.mxm_fit[0],
+                fig3.mnist_fit[1] / fig3.mxm_fit[1],
+                fig3.mnist_fit[2] / fig3.mxm_fit[2]
+            ),
+        );
+        check(
+            "fig3",
+            "MNIST critical share grows as precision shrinks (paper: 5% -> 20%)",
+            fig3.mnist_critical_fraction[2] > fig3.mnist_critical_fraction[0],
+            format!(
+                "critical% = {:.1}, {:.1}, {:.1}",
+                fig3.mnist_critical_fraction[0] * 100.0,
+                fig3.mnist_critical_fraction[1] * 100.0,
+                fig3.mnist_critical_fraction[2] * 100.0
+            ),
+        );
+        let fig4 = self.fig4_fpga_tre();
+        let s4 = fig4.surviving_at(1e-3);
+        check(
+            "fig4",
+            "at 0.1% TRE double sheds ~2/3 of its errors, half almost none",
+            s4[0] < 0.55 && s4[2] > 0.8 && s4[0] < s4[1] && s4[1] < s4[2],
+            format!("survival @1e-3 = {:.2}, {:.2}, {:.2}", s4[0], s4[1], s4[2]),
+        );
+        let fig5 = self.fig5_fpga_mebf();
+        check(
+            "fig5",
+            "FPGA MEBF rises monotonically as precision drops",
+            fig5.mxm_mebf[2] > fig5.mxm_mebf[1]
+                && fig5.mxm_mebf[1] > fig5.mxm_mebf[0]
+                && fig5.mnist_mebf[2] > fig5.mnist_mebf[0],
+            format!(
+                "MxM rel = 1.00, {:.2}, {:.2}",
+                fig5.mxm_mebf[1] / fig5.mxm_mebf[0],
+                fig5.mxm_mebf[2] / fig5.mxm_mebf[0]
+            ),
+        );
+
+        // --- Xeon Phi ---------------------------------------------------
+        let fig6 = self.fig6_knc_fit();
+        check(
+            "fig6",
+            "KNC SDC: single above double for LavaMD/MxM, equal for LUD",
+            fig6.sdc_fit[0][1] > fig6.sdc_fit[0][0]
+                && fig6.sdc_fit[1][1] > fig6.sdc_fit[1][0]
+                && (fig6.sdc_fit[2][1] / fig6.sdc_fit[2][0] - 1.0).abs() < 0.25,
+            format!(
+                "s/d = {:.2}, {:.2}, {:.2}",
+                fig6.sdc_fit[0][1] / fig6.sdc_fit[0][0],
+                fig6.sdc_fit[1][1] / fig6.sdc_fit[1][0],
+                fig6.sdc_fit[2][1] / fig6.sdc_fit[2][0]
+            ),
+        );
+        check(
+            "fig6",
+            "KNC DUE: single above double everywhere (16 vs 8 lanes)",
+            (0..3).all(|i| fig6.due_fit[i][1] > fig6.due_fit[i][0]),
+            format!(
+                "DUE s/d = {:.2}, {:.2}, {:.2}",
+                fig6.due_fit[0][1] / fig6.due_fit[0][0],
+                fig6.due_fit[1][1] / fig6.due_fit[1][0],
+                fig6.due_fit[2][1] / fig6.due_fit[2][0]
+            ),
+        );
+        let fig7 = self.fig7_knc_pvf();
+        check(
+            "fig7",
+            "PVF indistinguishable between precisions for every code",
+            (0..3).all(|i| fig7.indistinguishable(i)),
+            format!(
+                "d vs s = {:.2}/{:.2}, {:.2}/{:.2}, {:.2}/{:.2}",
+                fig7.pvf[0][0].factor(),
+                fig7.pvf[0][1].factor(),
+                fig7.pvf[1][0].factor(),
+                fig7.pvf[1][1].factor(),
+                fig7.pvf[2][0].factor(),
+                fig7.pvf[2][1].factor()
+            ),
+        );
+        let fig8 = self.fig8_knc_tre();
+        let lava = fig8.surviving_at(0, 1e-3);
+        let lud = fig8.surviving_at(2, 1e-3);
+        check(
+            "fig8",
+            "LavaMD inverts the TRE trend (transcendental unit)",
+            lava[1] <= lava[0] + 0.03 && (lava[1] - lava[0]) < 0.5 * (lud[1] - lud[0]),
+            format!(
+                "LavaMD survival d={:.2} s={:.2}; LUD d={:.2} s={:.2}",
+                lava[0], lava[1], lud[0], lud[1]
+            ),
+        );
+        let fig9 = self.fig9_knc_mebf();
+        check(
+            "fig9",
+            "KNC MEBF: single wins LavaMD/LUD, double wins MxM (prefetch)",
+            fig9.mebf[0][1] > fig9.mebf[0][0]
+                && fig9.mebf[2][1] > fig9.mebf[2][0]
+                && fig9.mebf[1][0] > fig9.mebf[1][1],
+            format!(
+                "s/d = {:.2}, {:.2}, {:.2}",
+                fig9.mebf[0][1] / fig9.mebf[0][0],
+                fig9.mebf[1][1] / fig9.mebf[1][0],
+                fig9.mebf[2][1] / fig9.mebf[2][0]
+            ),
+        );
+
+        // --- GPU ----------------------------------------------------------
+        let fig10 = self.fig10_gpu_fit();
+        let [add, mul, fma] = fig10.micro_sdc;
+        check(
+            "fig10a",
+            "MUL: d > s > h; ADD inverts; FMA: half lowest",
+            mul[0] > mul[1]
+                && mul[1] > mul[2]
+                && add[0] < add[1]
+                && fma[2] < fma[0]
+                && fma[2] < fma[1],
+            format!(
+                "MUL {:.2}:{:.2}:{:.2} ADD {:.2}:{:.2}:{:.2} FMA {:.2}:{:.2}:{:.2}",
+                1.0,
+                mul[1] / mul[0],
+                mul[2] / mul[0],
+                1.0,
+                add[1] / add[0],
+                add[2] / add[0],
+                1.0,
+                fma[1] / fma[0],
+                fma[2] / fma[0]
+            ),
+        );
+        check(
+            "fig10b",
+            "MxM well above LavaMD; LavaMD MUL-like; MxM FMA-like",
+            (0..3).all(|i| fig10.app_sdc[1][i] > 1.8 * fig10.app_sdc[0][i])
+                && fig10.app_sdc[0][0] > fig10.app_sdc[0][1]
+                && fig10.app_sdc[0][1] > fig10.app_sdc[0][2]
+                && fig10.app_sdc[1][2] < fig10.app_sdc[1][0],
+            format!(
+                "MxM/LavaMD @d = {:.1}",
+                fig10.app_sdc[1][0] / fig10.app_sdc[0][0]
+            ),
+        );
+        check(
+            "fig10c",
+            "YOLOv3: half significantly lowest FIT; detector DUE high",
+            fig10.yolo_sdc[2] < 0.85 * fig10.yolo_sdc[1]
+                && fig10.yolo_due[0] > fig10.app_due[0][0],
+            format!(
+                "YOLO d:s:h = 1.00:{:.2}:{:.2}",
+                fig10.yolo_sdc[1] / fig10.yolo_sdc[0],
+                fig10.yolo_sdc[2] / fig10.yolo_sdc[0]
+            ),
+        );
+        let fig11 = self.fig11_gpu_tre();
+        let survival_ordered = (0..3).all(|i| {
+            let d = fig11.micro_curves[i][0].surviving_fraction(1e-3);
+            let h = fig11.micro_curves[i][2].surviving_fraction(1e-3);
+            d < h
+        });
+        check(
+            "fig11",
+            "double benefits most from output tolerance on every series",
+            survival_ordered,
+            "micro survival d < h at 1e-3 for ADD/MUL/FMA".to_string(),
+        );
+        check(
+            "fig11c",
+            "YOLO non-tolerable SDC share grows as precision shrinks",
+            (1.0 - fig11.yolo_criticality[2][0]) > (1.0 - fig11.yolo_criticality[0][0]),
+            format!(
+                "critical% = {:.1}, {:.1}, {:.1}",
+                (1.0 - fig11.yolo_criticality[0][0]) * 100.0,
+                (1.0 - fig11.yolo_criticality[1][0]) * 100.0,
+                (1.0 - fig11.yolo_criticality[2][0]) * 100.0
+            ),
+        );
+        let fig12 = self.fig12_gpu_avf();
+        check(
+            "fig12",
+            "AVF: double above single ~= half (FP64 core complexity)",
+            (0..3).all(|i| {
+                let d = fig12.avf[i][0].factor();
+                let s = fig12.avf[i][1].factor();
+                let h = fig12.avf[i][2].factor();
+                d > s && d > h && (s - h).abs() < 0.1
+            }),
+            format!(
+                "FMA AVF = {:.2}, {:.2}, {:.2}",
+                fig12.avf[2][0].factor(),
+                fig12.avf[2][1].factor(),
+                fig12.avf[2][2].factor()
+            ),
+        );
+        let fig13 = self.fig13_gpu_mebf();
+        check(
+            "fig13",
+            "GPU MEBF rises with reduced precision (except the slow half YOLO)",
+            (0..5).all(|b| fig13.mebf[b][2] > fig13.mebf[b][0])
+                && fig13.mebf[5][1] > fig13.mebf[5][2],
+            format!(
+                "LavaMD rel = 1.00, {:.2}, {:.2}; YOLO h rel = {:.2}",
+                fig13.mebf[3][1] / fig13.mebf[3][0],
+                fig13.mebf[3][2] / fig13.mebf[3][0],
+                fig13.mebf[5][2] / fig13.mebf[5][0]
+            ),
+        );
+
+        ShapeReport { results }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_shape_passes_at_the_default_seed() {
+        let report = Study::quick(2019).validate_shapes();
+        let failures: Vec<_> = report.results.iter().filter(|r| !r.passed).collect();
+        assert!(
+            report.all_passed(),
+            "failed checks: {:#?}",
+            failures
+        );
+        assert!(report.results.len() >= 15, "comprehensive coverage");
+    }
+
+    #[test]
+    fn report_renders_with_verdicts() {
+        let report = Study::quick(2019).validate_shapes();
+        let text = report.to_table().to_string();
+        assert!(text.contains("fig10a"));
+        assert!(text.contains("pass"));
+    }
+}

@@ -1,0 +1,75 @@
+//! # mpr-fault
+//!
+//! The software fault-injection layer of the study, playing the role of
+//! CAROL-FI (Oliveira et al., CF'17) in the paper's methodology: it
+//! perturbs one value of a *live execution* of a benchmark and classifies
+//! the outcome against the fault-free golden run.
+//!
+//! The crate defines:
+//!
+//! * [`ValueFault`] — what happens to a struck value (single/double bit
+//!   flip, byte corruption, wide datapath corruption).
+//! * [`FaultModel`] — distribution over [`ValueFault`]s used by a campaign.
+//! * [`Workload`] — the contract a benchmark implements to be injectable:
+//!   enumerate dynamic fault sites, run golden, run with one fault applied
+//!   at a chosen site.
+//! * [`hook`] — the instrumentation used by kernels to expose every
+//!   intermediate value as a fault site with a single code path for
+//!   golden, counting, and injected runs.
+//! * [`InjectionCampaign`] — N seeded injections (parallelized with
+//!   crossbeam), producing outcome counts, AVF/PVF estimates, and the
+//!   per-SDC severity list that feeds the TRE analysis.
+//!
+//! # Example
+//!
+//! ```rust
+//! use mpr_fault::{FaultModel, InjectionCampaign, Workload};
+//! use mpr_fault::hook::FaultHook;
+//! use mpr_softfloat::{FloatExt, Precision};
+//!
+//! /// A toy workload: sum of 1..=8 computed in the requested precision.
+//! #[derive(Debug)]
+//! struct Sum8;
+//!
+//! impl Sum8 {
+//!     fn run<F: FloatExt>(&self, hook: &mut dyn FaultHook) -> Vec<f64> {
+//!         let mut acc = F::zero();
+//!         for i in 1..=8 {
+//!             acc = hook.touch(acc + F::from_f64(i as f64));
+//!         }
+//!         vec![acc.to_f64()]
+//!     }
+//! }
+//!
+//! impl Workload for Sum8 {
+//!     fn name(&self) -> &'static str { "sum8" }
+//!     fn dispatch(&self, p: Precision, hook: &mut dyn FaultHook) -> Vec<f64> {
+//!         match p {
+//!             Precision::Double => self.run::<f64>(hook),
+//!             Precision::Single => self.run::<f32>(hook),
+//!             Precision::Half => self.run::<mpr_softfloat::Half>(hook),
+//!         }
+//!     }
+//! }
+//!
+//! let report = InjectionCampaign::new(&Sum8, Precision::Single)
+//!     .injections(200)
+//!     .seed(7)
+//!     .model(FaultModel::single_bit())
+//!     .run();
+//! assert_eq!(report.counts.total(), 200);
+//! // Most single-bit flips in a live accumulator reach the output.
+//! assert!(report.vulnerability().factor() > 0.5);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod campaign;
+pub mod hook;
+mod model;
+mod workload;
+
+pub use campaign::{InjectionCampaign, InjectionReport};
+pub use model::{FaultModel, ValueFault};
+pub use workload::Workload;

@@ -1,0 +1,290 @@
+//! Fault models: what a particle strike does to a value.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A concrete corruption applied to one `width`-bit value.
+///
+/// Bit indices are taken modulo the value width, so a fault sampled for a
+/// wide register can be replayed on a narrower value without going out of
+/// range (mirroring how a strike in a 32-bit physical register lands in
+/// whatever value currently occupies it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValueFault {
+    /// Flip a single bit — the dominant terrestrial soft-error mode.
+    BitFlip(u32),
+    /// Flip two independent bits (multi-cell upset).
+    DoubleBitFlip(u32, u32),
+    /// XOR one byte of the representation with a nonzero pattern.
+    ByteCorrupt {
+        /// Which byte (0 = least significant), modulo the value width.
+        byte: u32,
+        /// Nonzero XOR pattern applied to that byte.
+        xor: u8,
+    },
+    /// XOR the whole representation with a mask — a wide datapath
+    /// corruption, e.g. a strike in a functional unit's internal pipeline
+    /// that mangles the in-flight result.
+    XorMask(u64),
+    /// Force one bit to 1 — a persistent stuck-at fault (FPGA
+    /// configuration upsets rewire logic into constant functions). A
+    /// value whose bit already matches is *not* corrupted: the fault is
+    /// present but not sensitized, the dominant masking mechanism of
+    /// configuration-memory upsets.
+    StuckHigh(u32),
+    /// Force one bit to 0 (see [`ValueFault::StuckHigh`]).
+    StuckLow(u32),
+}
+
+impl ValueFault {
+    /// Applies the corruption to `bits`, treating only the low `width`
+    /// bits as the value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn apply(&self, bits: u64, width: u32) -> u64 {
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let corrupted = match *self {
+            ValueFault::BitFlip(b) => bits ^ (1u64 << (b % width)),
+            ValueFault::DoubleBitFlip(a, b) => bits ^ (1u64 << (a % width)) ^ (1u64 << (b % width)),
+            ValueFault::ByteCorrupt { byte, xor } => {
+                let shift = (byte % width.div_ceil(8)) * 8;
+                bits ^ ((xor as u64) << shift)
+            }
+            ValueFault::XorMask(m) => bits ^ m,
+            ValueFault::StuckHigh(b) => bits | (1u64 << (b % width)),
+            ValueFault::StuckLow(b) => bits & !(1u64 << (b % width)),
+        };
+        corrupted & mask
+    }
+}
+
+/// A distribution over [`ValueFault`]s, sampled per injection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultModel {
+    /// Always a single uniformly placed bit flip — the model CAROL-FI uses
+    /// for the paper's PVF campaigns (Section 5.2).
+    SingleBit,
+    /// Two distinct uniformly placed bit flips.
+    DoubleBit,
+    /// One random byte XORed with a random nonzero pattern.
+    RandomByte,
+    /// A uniformly placed stuck-at-0/1 bit — the FPGA configuration-
+    /// upset model (paper Section 4: the corrupted circuit persists
+    /// until reprogramming; ~half the values already agree with the
+    /// stuck level and are untouched).
+    StuckBit,
+    /// A mixture: with probability `pipeline_fraction` the strike hits the
+    /// functional unit's internal pipeline and mangles the in-flight
+    /// result with a wide XOR; otherwise it is a register single-bit flip.
+    ///
+    /// This is the GPU AVF model (paper Section 6.2): double-precision
+    /// cores are more complex, so a larger fraction of their exposed area
+    /// is pipeline logic rather than architectural register bits —
+    /// `mpr-arch` supplies the per-core fraction.
+    Pipeline {
+        /// Probability that the fault is a wide pipeline corruption.
+        pipeline_fraction: f64,
+    },
+}
+
+impl FaultModel {
+    /// The single-bit-flip model.
+    pub fn single_bit() -> FaultModel {
+        FaultModel::SingleBit
+    }
+
+    /// The pipeline-mixture model with the given wide-corruption
+    /// probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pipeline_fraction` is outside `[0, 1]`.
+    pub fn pipeline(pipeline_fraction: f64) -> FaultModel {
+        assert!(
+            (0.0..=1.0).contains(&pipeline_fraction),
+            "pipeline fraction must be in [0,1], got {pipeline_fraction}"
+        );
+        FaultModel::Pipeline { pipeline_fraction }
+    }
+
+    /// Samples one concrete fault for a `width`-bit value.
+    pub fn sample<R: Rng + ?Sized>(&self, width: u32, rng: &mut R) -> ValueFault {
+        match *self {
+            FaultModel::SingleBit => ValueFault::BitFlip(rng.gen_range(0..width)),
+            FaultModel::DoubleBit => {
+                let a = rng.gen_range(0..width);
+                let mut b = rng.gen_range(0..width - 1);
+                if b >= a {
+                    b += 1;
+                }
+                ValueFault::DoubleBitFlip(a, b)
+            }
+            FaultModel::RandomByte => ValueFault::ByteCorrupt {
+                byte: rng.gen_range(0..width.div_ceil(8)),
+                xor: rng.gen_range(1..=u8::MAX),
+            },
+            FaultModel::StuckBit => {
+                let bit = rng.gen_range(0..width);
+                if rng.gen_bool(0.5) {
+                    ValueFault::StuckHigh(bit)
+                } else {
+                    ValueFault::StuckLow(bit)
+                }
+            }
+            FaultModel::Pipeline { pipeline_fraction } => {
+                if rng.gen_bool(pipeline_fraction) {
+                    // Wide corruption: at least one bit inside the width.
+                    let mask = loop {
+                        let m = rng.gen::<u64>() & (u64::MAX >> (64 - width));
+                        if m != 0 {
+                            break m;
+                        }
+                    };
+                    ValueFault::XorMask(mask)
+                } else {
+                    ValueFault::BitFlip(rng.gen_range(0..width))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bit_flip_is_involutive_and_single_bit() {
+        let f = ValueFault::BitFlip(5);
+        let v = 0xDEAD_BEEFu64;
+        let c = f.apply(v, 32);
+        assert_eq!((c ^ v).count_ones(), 1);
+        assert_eq!(f.apply(c, 32), v);
+    }
+
+    #[test]
+    fn bit_index_wraps_to_width() {
+        // Bit 20 on a 16-bit value lands on bit 4.
+        let f = ValueFault::BitFlip(20);
+        assert_eq!(f.apply(0, 16), 1 << 4);
+    }
+
+    #[test]
+    fn double_flip_changes_two_bits() {
+        let f = ValueFault::DoubleBitFlip(1, 9);
+        assert_eq!((f.apply(0, 16) as u64).count_ones(), 2);
+        // Colliding indices after wrapping still produce a valid value.
+        let g = ValueFault::DoubleBitFlip(1, 17);
+        assert_eq!(g.apply(0, 16), 0); // both land on bit 1 and cancel
+    }
+
+    #[test]
+    fn byte_corrupt_stays_in_range() {
+        let f = ValueFault::ByteCorrupt { byte: 1, xor: 0xFF };
+        let c = f.apply(0, 16);
+        assert_eq!(c, 0xFF00);
+        // Byte index wraps for narrow values.
+        let g = ValueFault::ByteCorrupt { byte: 2, xor: 0x0F };
+        assert_eq!(g.apply(0, 16), 0x000F);
+    }
+
+    #[test]
+    fn xor_mask_is_truncated_to_width() {
+        let f = ValueFault::XorMask(u64::MAX);
+        assert_eq!(f.apply(0, 16), 0xFFFF);
+        assert_eq!(f.apply(0, 64), u64::MAX);
+    }
+
+    #[test]
+    fn result_never_exceeds_width() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for model in [
+            FaultModel::SingleBit,
+            FaultModel::DoubleBit,
+            FaultModel::RandomByte,
+            FaultModel::pipeline(0.5),
+        ] {
+            for width in [16u32, 32, 64] {
+                for _ in 0..200 {
+                    let fault = model.sample(width, &mut rng);
+                    let out = fault.apply(u64::MAX >> (64 - width), width);
+                    if width < 64 {
+                        assert!(out < (1u64 << width), "{model:?} width={width}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_faults_always_corrupt_something() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for model in [
+            FaultModel::SingleBit,
+            FaultModel::RandomByte,
+            FaultModel::pipeline(1.0),
+        ] {
+            for _ in 0..200 {
+                let fault = model.sample(32, &mut rng);
+                assert_ne!(fault.apply(0x1234, 32), 0x1234, "{fault:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_bits_sensitize_only_on_mismatch() {
+        let hi = ValueFault::StuckHigh(3);
+        assert_eq!(hi.apply(0b0000, 16), 0b1000);
+        assert_eq!(hi.apply(0b1000, 16), 0b1000, "already high: masked");
+        let lo = ValueFault::StuckLow(3);
+        assert_eq!(lo.apply(0b1000, 16), 0b0000);
+        assert_eq!(lo.apply(0b0000, 16), 0b0000, "already low: masked");
+    }
+
+    #[test]
+    fn stuck_bit_model_samples_both_levels() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut highs = 0;
+        let mut lows = 0;
+        for _ in 0..200 {
+            match FaultModel::StuckBit.sample(16, &mut rng) {
+                ValueFault::StuckHigh(b) => {
+                    assert!(b < 16);
+                    highs += 1;
+                }
+                ValueFault::StuckLow(b) => {
+                    assert!(b < 16);
+                    lows += 1;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(highs > 50 && lows > 50);
+    }
+
+    #[test]
+    fn pipeline_fraction_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            match FaultModel::pipeline(0.0).sample(32, &mut rng) {
+                ValueFault::BitFlip(_) => {}
+                other => panic!("expected BitFlip, got {other:?}"),
+            }
+            match FaultModel::pipeline(1.0).sample(32, &mut rng) {
+                ValueFault::XorMask(_) => {}
+                other => panic!("expected XorMask, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pipeline fraction")]
+    fn pipeline_fraction_validated() {
+        let _ = FaultModel::pipeline(1.5);
+    }
+}

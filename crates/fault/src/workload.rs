@@ -1,0 +1,139 @@
+//! The contract between benchmarks and the fault-injection machinery.
+
+use crate::hook::{FaultHook, GoldenHook, InjectHook};
+use crate::ValueFault;
+use mpr_softfloat::Precision;
+
+/// An injectable benchmark: one algorithm, runnable at any supported
+/// precision, with every intermediate value exposed as a fault site.
+///
+/// Implementors write [`Workload::dispatch`] to route the requested
+/// precision to a generic kernel that threads a [`FaultHook`] through its
+/// computation; the provided methods derive everything the campaigns
+/// need from that single entry point.
+pub trait Workload: Sync {
+    /// Benchmark name as used in the paper's tables ("MxM", "LavaMD", ...).
+    fn name(&self) -> &str;
+
+    /// Runs the algorithm at `precision`, passing every intermediate
+    /// value through `hook`, and returns the output vector widened to
+    /// `f64` (exact for all studied formats).
+    fn dispatch(&self, precision: Precision, hook: &mut dyn FaultHook) -> Vec<f64>;
+
+    /// Whether this workload can execute at `precision` (the Xeon Phi
+    /// kernels, for example, have no half-precision variant).
+    fn supports(&self, _precision: Precision) -> bool {
+        true
+    }
+
+    /// Number of dynamic fault sites in one execution.
+    fn site_count(&self, precision: Precision) -> u64 {
+        let mut hook = GoldenHook::new();
+        let _ = self.dispatch(precision, &mut hook);
+        hook.sites()
+    }
+
+    /// The fault-free output.
+    fn run_golden(&self, precision: Precision) -> Vec<f64> {
+        let mut hook = GoldenHook::new();
+        self.dispatch(precision, &mut hook)
+    }
+
+    /// Runs with `fault` applied to dynamic site `site`.
+    fn run_with_fault(&self, precision: Precision, site: u64, fault: ValueFault) -> Vec<f64> {
+        let mut hook = InjectHook::new(site, fault);
+        self.dispatch(precision, &mut hook)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use mpr_softfloat::FloatExt;
+
+    /// A small deterministic workload used by the unit tests: a dot
+    /// product of fixed vectors.
+    #[derive(Debug)]
+    pub struct Dot(pub usize);
+
+    impl Dot {
+        fn run<F: FloatExt>(&self, hook: &mut dyn FaultHook) -> Vec<f64> {
+            let mut acc = F::zero();
+            for i in 0..self.0 {
+                let a = F::from_f64(0.25 + i as f64 * 0.5);
+                let b = F::from_f64(1.5 - i as f64 * 0.25);
+                let prod = hook.touch(a * b);
+                acc = hook.touch(acc + prod);
+            }
+            vec![acc.to_f64()]
+        }
+    }
+
+    impl Workload for Dot {
+        fn name(&self) -> &str {
+            "dot"
+        }
+
+        fn dispatch(&self, precision: Precision, hook: &mut dyn FaultHook) -> Vec<f64> {
+            match precision {
+                Precision::Double => self.run::<f64>(hook),
+                Precision::Single => self.run::<f32>(hook),
+                Precision::Half => self.run::<mpr_softfloat::Half>(hook),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::Dot;
+    use super::*;
+
+    #[test]
+    fn site_count_is_deterministic_and_positive() {
+        let w = Dot(8);
+        let n = w.site_count(Precision::Single);
+        assert_eq!(n, 16); // two touches per iteration
+        assert_eq!(n, w.site_count(Precision::Single));
+        // Same algorithm, same site count across precisions.
+        assert_eq!(n, w.site_count(Precision::Double));
+        assert_eq!(n, w.site_count(Precision::Half));
+    }
+
+    #[test]
+    fn golden_runs_are_reproducible() {
+        let w = Dot(8);
+        for p in Precision::ALL {
+            assert_eq!(w.run_golden(p), w.run_golden(p));
+        }
+    }
+
+    #[test]
+    fn lower_precision_golden_approximates_double() {
+        let w = Dot(8);
+        let d = w.run_golden(Precision::Double)[0];
+        let s = w.run_golden(Precision::Single)[0];
+        let h = w.run_golden(Precision::Half)[0];
+        assert!((s - d).abs() / d.abs() < 1e-6);
+        assert!((h - d).abs() / d.abs() < 1e-2);
+        // And the representational error grows as precision shrinks.
+        assert!((h - d).abs() >= (s - d).abs());
+    }
+
+    #[test]
+    fn sign_flip_at_final_site_negates_contribution() {
+        let w = Dot(4);
+        let golden = w.run_golden(Precision::Double)[0];
+        let last_site = w.site_count(Precision::Double) - 1;
+        let faulty = w.run_with_fault(Precision::Double, last_site, ValueFault::BitFlip(63))[0];
+        assert_eq!(faulty, -golden);
+    }
+
+    #[test]
+    fn fault_past_the_end_is_masked() {
+        let w = Dot(4);
+        let golden = w.run_golden(Precision::Half);
+        let faulty = w.run_with_fault(Precision::Half, 10_000, ValueFault::BitFlip(0));
+        assert_eq!(golden, faulty);
+    }
+}

@@ -1,0 +1,177 @@
+//! The MxM / GEMM kernel.
+
+use crate::dispatch_precision;
+use crate::util::gen_value;
+use mpr_fault::hook::FaultHook;
+use mpr_fault::Workload;
+use mpr_softfloat::{FloatExt, Precision};
+
+/// Square matrix multiplication `C = A x B`, the paper's MxM benchmark —
+/// a chain of fused multiply-adds per output element.
+///
+/// Fault sites: every input element (a strike while the value sits in
+/// memory) and every FMA result (a strike in the datapath or the
+/// accumulator register): `2 n^2 + n^3` sites per run.
+///
+/// # Example
+///
+/// ```rust
+/// use mpr_fault::Workload;
+/// use mpr_kernels::Gemm;
+/// use mpr_softfloat::Precision;
+///
+/// let gemm = Gemm::new(4);
+/// let c = gemm.run_golden(Precision::Double);
+/// // All entries are sums of 4 products of values in [0.25, 1.75).
+/// assert!(c.iter().all(|&v| v > 4.0 * 0.0625 && v < 4.0 * 3.0625));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gemm {
+    n: usize,
+    seed: u64,
+}
+
+impl Gemm {
+    /// Creates an `n x n` multiplication with the default input seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Gemm {
+        assert!(n > 0, "matrix dimension must be positive");
+        Gemm { n, seed: 0xA0 }
+    }
+
+    /// Overrides the deterministic input seed.
+    pub fn with_seed(mut self, seed: u64) -> Gemm {
+        self.seed = seed;
+        self
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn run<F: FloatExt>(&self, hook: &mut dyn FaultHook) -> Vec<f64> {
+        let n = self.n;
+        // Inputs in [0.25, 1.75): dot products stay well inside the
+        // binary16 range for the proxy sizes used here.
+        let mut a = Vec::with_capacity(n * n);
+        let mut b = Vec::with_capacity(n * n);
+        for i in 0..(n * n) as u64 {
+            a.push(hook.touch(F::from_f64(gen_value(self.seed, i, 0.25, 1.75))));
+        }
+        for i in 0..(n * n) as u64 {
+            b.push(hook.touch(F::from_f64(gen_value(self.seed ^ 0xB, i, 0.25, 1.75))));
+        }
+
+        let mut c = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = F::zero();
+                for k in 0..n {
+                    acc = hook.touch(a[i * n + k].mul_add(b[k * n + j], acc));
+                }
+                c[i * n + j] = acc.to_f64();
+            }
+        }
+        c
+    }
+}
+
+impl Workload for Gemm {
+    fn name(&self) -> &str {
+        "MxM"
+    }
+
+    fn dispatch(&self, precision: Precision, hook: &mut dyn FaultHook) -> Vec<f64> {
+        dispatch_precision!(self, precision, hook)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpr_fault::ValueFault;
+
+    #[test]
+    fn site_count_is_inputs_plus_fmas() {
+        let g = Gemm::new(6);
+        for p in Precision::ALL {
+            assert_eq!(g.site_count(p), 2 * 36 + 216, "{p}");
+        }
+    }
+
+    #[test]
+    fn golden_matches_reference_double() {
+        let g = Gemm::new(5);
+        let n = 5;
+        // Independent reference computation without hooks or FMA.
+        let a: Vec<f64> = (0..25).map(|i| gen_value(0xA0, i, 0.25, 1.75)).collect();
+        let b: Vec<f64> = (0..25)
+            .map(|i| gen_value(0xA0 ^ 0xB, i, 0.25, 1.75))
+            .collect();
+        let c = g.run_golden(Precision::Double);
+        for i in 0..n {
+            for j in 0..n {
+                let want: f64 = (0..n).map(|k| a[i * n + k] * b[k * n + j]).sum();
+                let got = c[i * n + j];
+                assert!((got - want).abs() < 1e-12, "c[{i}][{j}] {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn precision_ladder_of_accuracy() {
+        let g = Gemm::new(12);
+        let d = g.run_golden(Precision::Double);
+        let s = g.run_golden(Precision::Single);
+        let h = g.run_golden(Precision::Half);
+        let err = |xs: &[f64]| -> f64 {
+            xs.iter()
+                .zip(&d)
+                .map(|(x, y)| ((x - y) / y).abs())
+                .fold(0.0, f64::max)
+        };
+        assert!(err(&s) < 1e-5);
+        assert!(err(&h) < 2e-2, "half error {}", err(&h));
+        assert!(err(&h) > err(&s));
+    }
+
+    #[test]
+    fn input_fault_corrupts_a_row_or_column_stripe() {
+        let g = Gemm::new(6);
+        let golden = g.run_golden(Precision::Single);
+        // Site 0 is a[0][0]: a large flip corrupts row 0 of C only.
+        let faulty = g.run_with_fault(Precision::Single, 0, ValueFault::BitFlip(30));
+        let changed: Vec<usize> = (0..36).filter(|&i| faulty[i] != golden[i]).collect();
+        assert!(!changed.is_empty());
+        assert!(changed.iter().all(|&i| i < 6), "only row 0 affected: {changed:?}");
+        assert_eq!(changed.len(), 6, "a[0][0] feeds all 6 row-0 outputs");
+    }
+
+    #[test]
+    fn accumulator_fault_corrupts_one_element() {
+        let g = Gemm::new(6);
+        let golden = g.run_golden(Precision::Double);
+        // The last FMA site belongs to c[5][5] only.
+        let last = g.site_count(Precision::Double) - 1;
+        let faulty = g.run_with_fault(Precision::Double, last, ValueFault::BitFlip(62));
+        let changed: Vec<usize> = (0..36).filter(|&i| faulty[i] != golden[i]).collect();
+        assert_eq!(changed, vec![35]);
+    }
+
+    #[test]
+    fn different_seeds_give_different_outputs() {
+        let a = Gemm::new(4).run_golden(Precision::Double);
+        let b = Gemm::new(4).with_seed(99).run_golden(Precision::Double);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dimension_rejected() {
+        let _ = Gemm::new(0);
+    }
+}

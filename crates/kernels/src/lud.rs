@@ -1,0 +1,187 @@
+//! The LUD (LU decomposition) kernel.
+
+use crate::dispatch_precision;
+use crate::util::gen_value;
+use mpr_fault::hook::FaultHook;
+use mpr_fault::Workload;
+use mpr_softfloat::{FloatExt, Precision};
+
+/// LU decomposition of a diagonally dominant matrix (Doolittle, no
+/// pivoting) — the paper's "highly CPU-bound" Rodinia code, tested on
+/// the Xeon Phi only (Section 3.1).
+///
+/// The matrix is generated diagonally dominant so the factorization is
+/// numerically stable at every precision; the output is the packed `L\U`
+/// matrix. Fault sites: each input element, each elimination factor
+/// (a division), and each Schur-complement update (an FMA).
+///
+/// # Example
+///
+/// ```rust
+/// use mpr_fault::Workload;
+/// use mpr_kernels::Lud;
+/// use mpr_softfloat::Precision;
+///
+/// let lud = Lud::new(8);
+/// assert_eq!(lud.run_golden(Precision::Double).len(), 64);
+/// // The KNC kernels have no half-precision variant (paper Section 3.1).
+/// assert!(!lud.supports(Precision::Half));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lud {
+    n: usize,
+    seed: u64,
+}
+
+impl Lud {
+    /// Creates an `n x n` decomposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Lud {
+        assert!(n >= 2, "decomposition needs at least a 2x2 matrix");
+        Lud { n, seed: 0x10D }
+    }
+
+    /// Overrides the deterministic input seed.
+    pub fn with_seed(mut self, seed: u64) -> Lud {
+        self.seed = seed;
+        self
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn run<F: FloatExt>(&self, hook: &mut dyn FaultHook) -> Vec<f64> {
+        let n = self.n;
+        let mut a = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                let idx = (i * n + j) as u64;
+                let mut v = gen_value(self.seed, idx, 0.0, 1.0);
+                if i == j {
+                    v += n as f64; // diagonal dominance
+                }
+                a.push(hook.touch(F::from_f64(v)));
+            }
+        }
+
+        for k in 0..n - 1 {
+            let pivot = a[k * n + k];
+            for i in k + 1..n {
+                let factor = hook.touch(a[i * n + k] / pivot);
+                a[i * n + k] = factor;
+                for j in k + 1..n {
+                    let upd = (-factor).mul_add(a[k * n + j], a[i * n + j]);
+                    a[i * n + j] = hook.touch(upd);
+                }
+            }
+        }
+        a.iter().map(|v| v.to_f64()).collect()
+    }
+}
+
+impl Workload for Lud {
+    fn name(&self) -> &str {
+        "LUD"
+    }
+
+    fn dispatch(&self, precision: Precision, hook: &mut dyn FaultHook) -> Vec<f64> {
+        dispatch_precision!(self, precision, hook)
+    }
+
+    /// The paper implements LUD "using single and double precision" on
+    /// the KNC only.
+    fn supports(&self, precision: Precision) -> bool {
+        precision != Precision::Half
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpr_fault::ValueFault;
+
+    /// Multiplies the packed LU back together.
+    fn reconstruct(lu: &[f64], n: usize) -> Vec<f64> {
+        let l = |i: usize, j: usize| -> f64 {
+            use std::cmp::Ordering;
+            match i.cmp(&j) {
+                Ordering::Greater => lu[i * n + j],
+                Ordering::Equal => 1.0,
+                Ordering::Less => 0.0,
+            }
+        };
+        let u = |i: usize, j: usize| -> f64 { if i <= j { lu[i * n + j] } else { 0.0 } };
+        let mut out = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                out[i * n + j] = (0..n).map(|k| l(i, k) * u(k, j)).sum();
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn lu_reconstructs_the_input() {
+        let n = 8;
+        let lud = Lud::new(n);
+        let lu = lud.run_golden(Precision::Double);
+        let prod = reconstruct(&lu, n);
+        for i in 0..n {
+            for j in 0..n {
+                let idx = (i * n + j) as u64;
+                let mut want = gen_value(0x10D, idx, 0.0, 1.0);
+                if i == j {
+                    want += n as f64;
+                }
+                assert!(
+                    (prod[i * n + j] - want).abs() < 1e-10,
+                    "A[{i}][{j}]: {} vs {want}",
+                    prod[i * n + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn site_counts_match_doolittle_arithmetic() {
+        let n = 7u64;
+        let lud = Lud::new(n as usize);
+        // n^2 inputs + sum_k (n-k-1) factors + (n-k-1)^2 updates.
+        let elim: u64 = (0..n - 1).map(|k| (n - 1 - k) + (n - 1 - k).pow(2)).sum();
+        assert_eq!(lud.site_count(Precision::Double), n * n + elim);
+    }
+
+    #[test]
+    fn single_close_to_double() {
+        let lud = Lud::new(10);
+        let d = lud.run_golden(Precision::Double);
+        let s = lud.run_golden(Precision::Single);
+        for (a, b) in d.iter().zip(&s) {
+            assert!((a - b).abs() < 1e-4 * a.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn pivot_fault_spreads_downstream() {
+        let n = 8;
+        let lud = Lud::new(n);
+        let golden = lud.run_golden(Precision::Double);
+        // Corrupt the very first input element (the first pivot).
+        let faulty = lud.run_with_fault(Precision::Double, 0, ValueFault::BitFlip(61));
+        let changed = (0..n * n).filter(|&i| faulty[i] != golden[i]).count();
+        // The first pivot feeds every elimination step: most of the
+        // matrix is corrupted.
+        assert!(changed > n * n / 2, "only {changed} entries changed");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a 2x2")]
+    fn tiny_matrix_rejected() {
+        let _ = Lud::new(1);
+    }
+}

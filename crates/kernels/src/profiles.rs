@@ -1,0 +1,207 @@
+//! Full-scale workload profiles for each (benchmark, device) pairing.
+//!
+//! The kernels in this crate execute scaled-down proxies for fault
+//! propagation; these profiles carry the full-scale characterization the
+//! device models consume for timing and exposure. Profile names must
+//! match the paper's benchmark names — the architecture models key their
+//! measured-time and compiler-report calibration off them.
+
+use crate::MicroKernelOp;
+use mpr_arch::{OpMix, WorkloadKind, WorkloadProfile};
+
+/// LavaMD instruction mix: "More than 50% of LavaMD code is composed of
+/// MUL instructions" (paper Section 6.1), plus the per-interaction
+/// exponential.
+pub fn lavamd_mix() -> OpMix {
+    OpMix::new(0.17, 0.55, 0.25, 0.0, 0.03)
+}
+
+/// The microbenchmark profile for `op` (paper-scale: one billion
+/// operations per thread, 256 threads per SM).
+pub fn micro(op: MicroKernelOp) -> WorkloadProfile {
+    match op {
+        MicroKernelOp::Add => WorkloadProfile::micro_add(),
+        MicroKernelOp::Mul => WorkloadProfile::micro_mul(),
+        MicroKernelOp::Fma => WorkloadProfile::micro_fma(),
+    }
+}
+
+/// MxM at GPU scale (a 2048-class GEMM without shared-memory blocking:
+/// strongly memory bound, FMA dominated).
+pub fn mxm_gpu() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "MxM".to_string(),
+        flops: 1.7e10,
+        mix: OpMix::pure_fma(),
+        value_traffic: 1.7e10, // non-coalesced: one memory read per FMA
+        threads: 2.0e5,
+        regs_per_thread: 64.0,
+        ilp: 4.0,
+        // Resident tile of the 3 x 2048^2 working set: at double and
+        // single it overflows the on-chip caches (the exposure clamps at
+        // capacity), at half it fits — giving the half version its
+        // visibly lower FIT in Figure 10b.
+        working_set_values: 2.2e6,
+        memory_boundedness: 0.7,
+        control_density: 1.0,
+        kind: WorkloadKind::Numeric,
+    }
+}
+
+/// LavaMD at GPU scale (compute bound, register resident).
+pub fn lavamd_gpu() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "LavaMD".to_string(),
+        flops: 3.9e12,
+        mix: lavamd_mix(),
+        value_traffic: 4.0e6,
+        threads: 2.0e5,
+        regs_per_thread: 64.0,
+        ilp: 6.0,
+        working_set_values: 7.0e5,
+        memory_boundedness: 0.05,
+        control_density: 1.0,
+        kind: WorkloadKind::Numeric,
+    }
+}
+
+/// MxM at Xeon Phi scale (the 10.6 s configuration of Table 2).
+pub fn mxm_knc() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "MxM".to_string(),
+        flops: 5.0e12,
+        mix: OpMix::pure_fma(),
+        value_traffic: 5.0e12,
+        threads: 228.0, // 57 cores x 4 hardware threads
+        regs_per_thread: 32.0,
+        ilp: 4.0,
+        working_set_values: 4.0e7,
+        memory_boundedness: 0.85,
+        control_density: 1.0,
+        kind: WorkloadKind::Numeric,
+    }
+}
+
+/// LavaMD at Xeon Phi scale.
+pub fn lavamd_knc() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "LavaMD".to_string(),
+        flops: 5.1e11,
+        mix: lavamd_mix(),
+        value_traffic: 2.0e8,
+        threads: 228.0,
+        regs_per_thread: 32.0,
+        ilp: 4.0,
+        working_set_values: 2.0e6,
+        memory_boundedness: 0.1,
+        control_density: 1.0,
+        kind: WorkloadKind::Numeric,
+    }
+}
+
+/// LUD at Xeon Phi scale (CPU bound, branchy elimination loops).
+pub fn lud_knc() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "LUD".to_string(),
+        flops: 4.5e11,
+        mix: OpMix::new(0.05, 0.15, 0.75, 0.05, 0.0),
+        value_traffic: 4.0e8,
+        threads: 228.0,
+        regs_per_thread: 32.0,
+        ilp: 3.0,
+        working_set_values: 4.0e6,
+        memory_boundedness: 0.2,
+        control_density: 1.4,
+        kind: WorkloadKind::Numeric,
+    }
+}
+
+/// The 128x128 MxM synthesized on the FPGA (paper Section 4).
+pub fn mxm_fpga() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "MxM".to_string(),
+        flops: 2.0 * 128f64.powi(3),
+        mix: OpMix::pure_fma(),
+        value_traffic: 3.0 * 128f64 * 128.0,
+        threads: 1.0,
+        regs_per_thread: 16.0,
+        ilp: 12.0,
+        working_set_values: 3.0 * 128f64 * 128.0,
+        memory_boundedness: 0.3,
+        control_density: 0.2, // bare-metal circuit, no scheduler
+        kind: WorkloadKind::Numeric,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpr_arch::{Device, Fpga, VoltaGpu, XeonPhiKnc};
+    use mpr_softfloat::Precision;
+
+    #[test]
+    fn profile_names_bind_to_device_calibration() {
+        // The KNC timing calibration must recognize the profile names.
+        let knc = XeonPhiKnc::coprocessor_3120a();
+        assert!((knc.exec_time(&mxm_knc(), Precision::Double) - 10.612).abs() < 0.02);
+        assert!((knc.exec_time(&lavamd_knc(), Precision::Single) - 0.801).abs() < 0.02);
+        assert!((knc.exec_time(&lud_knc(), Precision::Double) - 1.264).abs() < 0.02);
+
+        let fpga = Fpga::zynq7000();
+        assert_eq!(fpga.exec_time(&mxm_fpga(), Precision::Double), 2.730);
+
+        let gpu = VoltaGpu::titan_v();
+        assert_eq!(gpu.exec_time(&mxm_gpu(), Precision::Half), 1.180);
+        assert_eq!(gpu.exec_time(&lavamd_gpu(), Precision::Single), 0.554);
+    }
+
+    #[test]
+    fn gpu_mxm_dwarfs_lavamd_in_exposure() {
+        let gpu = VoltaGpu::titan_v();
+        for p in Precision::ALL {
+            let mxm = gpu.exposure(&mxm_gpu(), p).compute;
+            let lava = gpu.exposure(&lavamd_gpu(), p).compute;
+            assert!(mxm > 2.0 * lava, "{p}: MxM {mxm:.3e} vs LavaMD {lava:.3e}");
+        }
+    }
+
+    #[test]
+    fn gpu_lavamd_follows_the_mul_trend() {
+        // Figure 10b: LavaMD FIT trend mirrors Micro-MUL (d > s > h).
+        let gpu = VoltaGpu::titan_v();
+        let d = gpu.exposure(&lavamd_gpu(), Precision::Double).compute;
+        let s = gpu.exposure(&lavamd_gpu(), Precision::Single).compute;
+        let h = gpu.exposure(&lavamd_gpu(), Precision::Half).compute;
+        assert!(d > s && s > h, "d={d:.3e} s={s:.3e} h={h:.3e}");
+    }
+
+    #[test]
+    fn gpu_mxm_follows_the_fma_trend() {
+        // Figure 10b: MxM mirrors Micro-FMA — single at least on par with
+        // double, half clearly lowest.
+        let gpu = VoltaGpu::titan_v();
+        let d = gpu.exposure(&mxm_gpu(), Precision::Double).compute;
+        let s = gpu.exposure(&mxm_gpu(), Precision::Single).compute;
+        let h = gpu.exposure(&mxm_gpu(), Precision::Half).compute;
+        assert!(s >= 0.99 * d, "d={d:.3e} s={s:.3e}");
+        assert!(h < d && h < s, "half lowest: d={d:.3e} s={s:.3e} h={h:.3e}");
+    }
+
+    #[test]
+    fn lavamd_mix_is_mul_dominated() {
+        let m = lavamd_mix();
+        assert!(m.mul > 0.5, "paper: >50% MUL instructions");
+        assert!(m.transcendental > 0.0, "the exp cutoff is present");
+    }
+
+    #[test]
+    fn knc_due_exposure_orderings() {
+        // Figure 6: DUE FIT increases with single precision for all codes.
+        let knc = XeonPhiKnc::coprocessor_3120a();
+        for prof in [lavamd_knc(), mxm_knc(), lud_knc()] {
+            let d = knc.exposure(&prof, Precision::Double).due;
+            let s = knc.exposure(&prof, Precision::Single).due;
+            assert!(s > d, "{}", prof.name);
+        }
+    }
+}

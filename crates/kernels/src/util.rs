@@ -1,0 +1,48 @@
+//! Deterministic input generation shared by the kernels.
+
+/// SplitMix64: a tiny, high-quality deterministic generator used to
+/// synthesize benchmark inputs reproducibly without a `rand` dependency.
+#[inline]
+pub(crate) fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic value in `[lo, hi)` derived from `(seed, index)`.
+/// All outputs land on a 2^-20 grid, so they are exactly representable in
+/// single and double precision and round once into half.
+pub(crate) fn gen_value(seed: u64, index: u64, lo: f64, hi: f64) -> f64 {
+    let bits = splitmix64(seed.wrapping_mul(0x5851_F42D_4C95_7F2D) ^ index);
+    let unit = (bits >> 44) as f64 / (1u64 << 20) as f64; // [0,1) on 2^-20 grid
+    lo + unit * (hi - lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        assert_eq!(splitmix64(42), splitmix64(42));
+        assert_eq!(gen_value(1, 2, 0.0, 1.0), gen_value(1, 2, 0.0, 1.0));
+        assert_ne!(gen_value(1, 2, 0.0, 1.0), gen_value(1, 3, 0.0, 1.0));
+        assert_ne!(gen_value(1, 2, 0.0, 1.0), gen_value(2, 2, 0.0, 1.0));
+    }
+
+    #[test]
+    fn values_stay_in_range() {
+        for i in 0..1000 {
+            let v = gen_value(7, i, 0.25, 1.75);
+            assert!((0.25..1.75).contains(&v), "i={i} v={v}");
+        }
+    }
+
+    #[test]
+    fn values_spread_over_the_range() {
+        let n = 1000;
+        let mean: f64 = (0..n).map(|i| gen_value(3, i, 0.0, 1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean={mean}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests over the benchmark kernels.
+
+use mpr_fault::{ValueFault, Workload};
+use mpr_kernels::{Gemm, LavaMd, Lud, Micro, MicroKernelOp};
+use mpr_softfloat::Precision;
+use proptest::prelude::*;
+
+fn precision() -> impl Strategy<Value = Precision> {
+    prop_oneof![
+        Just(Precision::Double),
+        Just(Precision::Single),
+        Just(Precision::Half),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gemm_golden_is_seed_deterministic(n in 2usize..10, seed in any::<u64>(), p in precision()) {
+        let a = Gemm::new(n).with_seed(seed);
+        let b = Gemm::new(n).with_seed(seed);
+        prop_assert_eq!(a.run_golden(p), b.run_golden(p));
+        prop_assert_eq!(a.site_count(p), 2 * (n * n) as u64 + (n * n * n) as u64);
+    }
+
+    #[test]
+    fn gemm_outputs_bounded_by_inputs(n in 2usize..12, seed in any::<u64>()) {
+        // Inputs in [0.25, 1.75): every dot product lies in (n/16, 4n).
+        let g = Gemm::new(n).with_seed(seed);
+        for v in g.run_golden(Precision::Double) {
+            prop_assert!(v > n as f64 * 0.0625 && v < n as f64 * 3.0625);
+        }
+    }
+
+    #[test]
+    fn any_single_fault_changes_at_most_everything_and_is_reproducible(
+        n in 2usize..8,
+        site_frac in 0.0f64..1.0,
+        bit in 0u32..16,
+        p in precision(),
+    ) {
+        let g = Gemm::new(n);
+        let sites = g.site_count(p);
+        let site = ((sites as f64 - 1.0) * site_frac) as u64;
+        let fault = ValueFault::BitFlip(bit);
+        let a: Vec<u64> = g
+            .run_with_fault(p, site, fault)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let b: Vec<u64> = g
+            .run_with_fault(p, site, fault)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        // Bit-level comparison: corrupted runs may legitimately hold NaN.
+        prop_assert_eq!(a, b, "fault runs replay exactly");
+    }
+
+    #[test]
+    fn lud_supports_only_knc_precisions(n in 2usize..12) {
+        let l = Lud::new(n);
+        prop_assert!(l.supports(Precision::Double));
+        prop_assert!(l.supports(Precision::Single));
+        prop_assert!(!l.supports(Precision::Half));
+    }
+
+    #[test]
+    fn lud_diagonal_dominance_keeps_factors_finite(n in 2usize..16, seed in any::<u64>()) {
+        let l = Lud::new(n).with_seed(seed);
+        for p in [Precision::Double, Precision::Single] {
+            let lu = l.run_golden(p);
+            prop_assert!(lu.iter().all(|v| v.is_finite()), "{p}");
+            // L factors below the diagonal are bounded by 1 for a
+            // diagonally dominant matrix.
+            for i in 0..n {
+                for j in 0..i {
+                    prop_assert!(lu[i * n + j].abs() < 1.0, "L[{i}][{j}]={}", lu[i * n + j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lavamd_potentials_scale_with_particle_count(par in 1usize..5, p in precision()) {
+        let lava = LavaMd::new(2, par);
+        let out = lava.run_golden(p);
+        prop_assert_eq!(out.len(), 8 * par);
+        // Each interaction contributes at most q*exp(0) = 1.
+        let partners = (8 * par - 1) as f64;
+        prop_assert!(out.iter().all(|&v| v >= 0.0 && v <= partners));
+    }
+
+    #[test]
+    fn lavamd_knc_variant_sites_exceed_gpu_variant_for_double(par in 1usize..4) {
+        // The transcendental unit occupies 24 cycles per exp at double
+        // vs 15 hooked polynomial steps.
+        let gpu = LavaMd::new(2, par);
+        let knc = LavaMd::new(2, par).for_knc();
+        prop_assert!(knc.site_count(Precision::Double) > gpu.site_count(Precision::Double));
+    }
+
+    #[test]
+    fn micro_chains_never_explode(
+        threads in 1usize..8,
+        iters in 1usize..512,
+        p in precision(),
+    ) {
+        for op in MicroKernelOp::ALL {
+            let m = Micro::new(op, threads, iters);
+            let out = m.run_golden(p);
+            prop_assert_eq!(out.len(), threads);
+            prop_assert!(out.iter().all(|v| v.is_finite() && v.abs() < 1e3), "{op:?} {p}");
+        }
+    }
+
+    #[test]
+    fn faults_beyond_site_space_are_identity(n in 2usize..6, p in precision()) {
+        let g = Gemm::new(n);
+        let golden = g.run_golden(p);
+        let past_end = g.site_count(p) + 17;
+        let out = g.run_with_fault(p, past_end, ValueFault::BitFlip(3));
+        prop_assert_eq!(out, golden);
+    }
+}

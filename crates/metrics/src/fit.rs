@@ -1,0 +1,194 @@
+//! Cross sections and Failures-In-Time rates.
+
+use crate::stats::poisson_ci95;
+use crate::TERRESTRIAL_FLUX_N_CM2_H;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An observed event count over an accumulated particle fluence — the raw
+/// result of a beam campaign for one (device, benchmark, precision)
+/// configuration.
+///
+/// The quotient `events / fluence` is the device cross section for that
+/// event class; multiplying by the terrestrial flux gives the FIT rate.
+/// Like the paper, the crate only ever *reports* FIT in arbitrary units
+/// ([`CrossSection::fit_au`]), so the absolute calibration never appears
+/// in any output.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrossSection {
+    events: u64,
+    fluence: f64,
+}
+
+impl CrossSection {
+    /// Creates a cross-section observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fluence` is not strictly positive and finite.
+    pub fn new(events: u64, fluence: f64) -> CrossSection {
+        assert!(
+            fluence.is_finite() && fluence > 0.0,
+            "fluence must be positive, got {fluence}"
+        );
+        CrossSection { events, fluence }
+    }
+
+    /// Number of observed events.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Accumulated fluence (particles per cm^2, simulation units).
+    pub fn fluence(&self) -> f64 {
+        self.fluence
+    }
+
+    /// Point estimate of the cross section (events per unit fluence).
+    pub fn rate(&self) -> f64 {
+        self.events as f64 / self.fluence
+    }
+
+    /// FIT rate in arbitrary units: cross section scaled by the JEDEC
+    /// terrestrial flux and the FIT definition (failures per 1e9 hours).
+    /// Only ratios of these values are meaningful, exactly as in the paper.
+    pub fn fit_au(&self) -> FitRate {
+        FitRate::from_au(self.rate() * TERRESTRIAL_FLUX_N_CM2_H * 1e9)
+    }
+
+    /// 95% confidence interval on the FIT estimate (Poisson counting
+    /// statistics), in the same arbitrary units.
+    pub fn fit_ci95(&self) -> (FitRate, FitRate) {
+        let (lo, hi) = poisson_ci95(self.events);
+        let point = self.fit_au().au();
+        (FitRate::from_au(point * lo), FitRate::from_au(point * hi))
+    }
+
+    /// Pools two campaigns over the same configuration.
+    pub fn merge(&self, other: &CrossSection) -> CrossSection {
+        CrossSection::new(self.events + other.events, self.fluence + other.fluence)
+    }
+}
+
+/// A Failures-In-Time rate in arbitrary units.
+///
+/// Arbitrary units mean: values from the same study can be compared and
+/// divided, but carry no absolute physical meaning — mirroring the paper's
+/// normalization "to prevent the leakage of business-sensitive data".
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct FitRate(f64);
+
+impl FitRate {
+    /// Wraps a raw arbitrary-unit value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is negative or not finite.
+    pub fn from_au(au: f64) -> FitRate {
+        assert!(au.is_finite() && au >= 0.0, "FIT must be >= 0, got {au}");
+        FitRate(au)
+    }
+
+    /// The raw arbitrary-unit value.
+    pub fn au(&self) -> f64 {
+        self.0
+    }
+
+    /// Ratio of this rate to a baseline (e.g. half vs double precision).
+    /// Returns infinity for a zero baseline with a nonzero numerator.
+    pub fn ratio_to(&self, baseline: FitRate) -> f64 {
+        if baseline.0 == 0.0 {
+            if self.0 == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.0 / baseline.0
+        }
+    }
+
+    /// Scales the rate by a survival fraction (used by TRE analysis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn scaled(&self, fraction: f64) -> FitRate {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0,1], got {fraction}"
+        );
+        FitRate(self.0 * fraction)
+    }
+}
+
+impl fmt::Display for FitRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} a.u.", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_section_rate_and_fit() {
+        let xs = CrossSection::new(100, 1e10);
+        assert_eq!(xs.rate(), 1e-8);
+        let fit = xs.fit_au();
+        assert!((fit.au() - 1e-8 * 13.0 * 1e9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci_brackets_point_estimate() {
+        let xs = CrossSection::new(47, 5e9);
+        let (lo, hi) = xs.fit_ci95();
+        let point = xs.fit_au();
+        assert!(lo.au() < point.au() && point.au() < hi.au());
+    }
+
+    #[test]
+    fn merge_pools_events_and_fluence() {
+        let a = CrossSection::new(10, 1e9);
+        let b = CrossSection::new(30, 3e9);
+        let m = a.merge(&b);
+        assert_eq!(m.events(), 40);
+        assert_eq!(m.fluence(), 4e9);
+        assert_eq!(m.rate(), 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "fluence must be positive")]
+    fn zero_fluence_rejected() {
+        let _ = CrossSection::new(1, 0.0);
+    }
+
+    #[test]
+    fn fit_ratio_semantics() {
+        let a = FitRate::from_au(4.0);
+        let b = FitRate::from_au(2.0);
+        assert_eq!(a.ratio_to(b), 2.0);
+        assert_eq!(b.ratio_to(a), 0.5);
+        assert_eq!(FitRate::from_au(0.0).ratio_to(FitRate::from_au(0.0)), 1.0);
+        assert_eq!(a.ratio_to(FitRate::from_au(0.0)), f64::INFINITY);
+    }
+
+    #[test]
+    fn fit_scaling_for_tre() {
+        let fit = FitRate::from_au(10.0);
+        assert_eq!(fit.scaled(0.37).au(), 3.7);
+        assert_eq!(fit.scaled(0.0).au(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in [0,1]")]
+    fn fit_scaling_rejects_out_of_range() {
+        let _ = FitRate::from_au(1.0).scaled(1.5);
+    }
+
+    #[test]
+    fn display_formats_units() {
+        assert_eq!(FitRate::from_au(1.5).to_string(), "1.500 a.u.");
+    }
+}

@@ -1,0 +1,137 @@
+//! Log-binned severity histograms with text rendering.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A logarithmically binned histogram of SDC severities (relative
+/// errors), rendered as text bars — the at-a-glance companion to a
+/// [`crate::TreCurve`].
+///
+/// # Example
+///
+/// ```rust
+/// use mpr_metrics::SeverityHistogram;
+///
+/// let h = SeverityHistogram::from_errors(&[1e-6, 1e-6, 2e-3, 0.5, f64::INFINITY]);
+/// assert_eq!(h.total(), 5);
+/// let text = h.to_string();
+/// assert!(text.contains("1e-6"));
+/// assert!(text.contains("inf"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeverityHistogram {
+    /// Count per decade bin; bin `i` covers `[10^(i+MIN_EXP), 10^(i+1+MIN_EXP))`.
+    bins: Vec<u64>,
+    /// Errors below the first bin (including exact zero).
+    underflow: u64,
+    /// Non-finite severities (NaN/infinity — unconditionally critical).
+    infinite: u64,
+}
+
+/// Exponent of the first bin's lower edge.
+const MIN_EXP: i32 = -9;
+/// Exponent one past the last bin's upper edge.
+const MAX_EXP: i32 = 1;
+
+impl SeverityHistogram {
+    /// Bins the given relative errors by decade from `1e-9` to `1e1`.
+    pub fn from_errors(errors: &[f64]) -> SeverityHistogram {
+        let nbins = (MAX_EXP - MIN_EXP) as usize;
+        let mut h = SeverityHistogram {
+            bins: vec![0; nbins],
+            underflow: 0,
+            infinite: 0,
+        };
+        for &e in errors {
+            if !e.is_finite() {
+                h.infinite += 1;
+            } else if e < 10f64.powi(MIN_EXP) {
+                h.underflow += 1;
+            } else {
+                let idx = (e.log10().floor() as i32 - MIN_EXP)
+                    .clamp(0, nbins as i32 - 1) as usize;
+                h.bins[idx] += 1;
+            }
+        }
+        h
+    }
+
+    /// Total severities binned.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.infinite
+    }
+
+    /// Count of non-finite severities.
+    pub fn infinite(&self) -> u64 {
+        self.infinite
+    }
+
+    /// The decade bin edges and counts, low to high.
+    pub fn decades(&self) -> Vec<(f64, u64)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (10f64.powi(MIN_EXP + i as i32), c))
+            .collect()
+    }
+}
+
+impl fmt::Display for SeverityHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self
+            .bins
+            .iter()
+            .chain([&self.underflow, &self.infinite])
+            .cloned()
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let bar = |count: u64| "#".repeat(((count * 40) / max) as usize);
+        writeln!(f, "{:>8}  {:>7}  distribution", "severity", "count")?;
+        writeln!(f, "{:>8}  {:>7}  {}", "<1e-9", self.underflow, bar(self.underflow))?;
+        for (edge, count) in self.decades() {
+            writeln!(f, "{:>8}  {:>7}  {}", format!("{edge:.0e}"), count, bar(count))?;
+        }
+        writeln!(f, "{:>8}  {:>7}  {}", "inf", self.infinite, bar(self.infinite))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_land_in_the_right_decade() {
+        let h = SeverityHistogram::from_errors(&[1.5e-6, 9.9e-6, 1e-5, 0.5]);
+        let decades = h.decades();
+        let find = |edge: f64| decades.iter().find(|(e, _)| (*e - edge).abs() < edge * 0.01).unwrap().1;
+        assert_eq!(find(1e-6), 2);
+        assert_eq!(find(1e-5), 1);
+        assert_eq!(find(1e-1), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn extremes_are_captured() {
+        let h = SeverityHistogram::from_errors(&[0.0, 1e-30, f64::INFINITY, f64::NAN, 100.0]);
+        assert_eq!(h.infinite(), 2);
+        assert_eq!(h.total(), 5);
+        // 100.0 clamps into the top decade.
+        assert_eq!(h.decades().last().unwrap().1, 1);
+    }
+
+    #[test]
+    fn empty_histogram_renders() {
+        let h = SeverityHistogram::from_errors(&[]);
+        assert_eq!(h.total(), 0);
+        assert!(h.to_string().contains("distribution"));
+    }
+
+    #[test]
+    fn display_scales_bars_to_the_mode() {
+        let errors: Vec<f64> = std::iter::repeat(1e-3).take(40).chain([0.5]).collect();
+        let text = SeverityHistogram::from_errors(&errors).to_string();
+        let modal_line = text.lines().find(|l| l.contains("1e-3")).unwrap();
+        assert!(modal_line.matches('#').count() == 40);
+    }
+}

@@ -1,0 +1,57 @@
+//! # mpr-metrics
+//!
+//! The reliability arithmetic of the study: every quantity the paper
+//! reports is computed here from raw event counts.
+//!
+//! * [`Outcome`] / [`OutcomeCounts`] — the three fates of a transient
+//!   fault (masked, Silent Data Corruption, Detected Unrecoverable Error)
+//!   and their tallies.
+//! * [`CrossSection`] and [`FitRate`] — events per unit fluence from a
+//!   beam campaign, scaled to Failures-In-Time at the JEDEC terrestrial
+//!   reference flux. Reported in arbitrary units, like the paper.
+//! * [`Mebf`] — Mean Executions Between Failures, the paper's
+//!   performance-reliability trade-off metric (Section 3.2).
+//! * [`TreCurve`] — FIT-rate reduction as a function of the Tolerated
+//!   Relative Error.
+//! * [`Vulnerability`] — AVF/PVF estimates from injection campaigns with
+//!   Wilson confidence intervals.
+//! * [`Table`] — fixed-width text tables used by every experiment report.
+//!
+//! # Example
+//!
+//! ```rust
+//! use mpr_metrics::{CrossSection, Mebf, TreCurve};
+//!
+//! let xs = CrossSection::new(120, 4.0e10); // 120 SDCs over 4e10 n/cm^2
+//! let fit = xs.fit_au();
+//! let mebf = Mebf::from_fit(fit, 2.1); // 2.1 s per execution
+//! assert!(mebf.executions() > 0.0);
+//!
+//! let curve = TreCurve::from_errors(vec![1e-6, 1e-4, 0.02, 0.5]);
+//! assert_eq!(curve.surviving_fraction(1e-3), 0.5); // two of four exceed 0.1%
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod fit;
+mod histogram;
+mod mebf;
+mod outcome;
+mod report;
+pub mod stats;
+mod tre;
+mod vulnerability;
+
+pub use fit::{CrossSection, FitRate};
+pub use histogram::SeverityHistogram;
+pub use mebf::Mebf;
+pub use outcome::{Outcome, OutcomeCounts};
+pub use report::Table;
+pub use tre::TreCurve;
+pub use vulnerability::Vulnerability;
+
+/// JEDEC JESD89A reference flux for high-energy terrestrial neutrons at
+/// sea level (New York City), in n/(cm^2 * h). Quoted in the paper as
+/// `13 n/(cm^2 x h)`.
+pub const TERRESTRIAL_FLUX_N_CM2_H: f64 = 13.0;

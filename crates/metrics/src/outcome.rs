@@ -1,0 +1,167 @@
+//! Fault outcome classification.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three fates of a transient fault (paper, Section 2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The fault had no effect on the program output.
+    Masked,
+    /// Silent Data Corruption: the program completed with a wrong output.
+    Sdc,
+    /// Detected Unrecoverable Error: crash, hang, or uncorrectable memory
+    /// event caught by the watchdog or machine-check hardware.
+    Due,
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Outcome::Masked => "masked",
+            Outcome::Sdc => "SDC",
+            Outcome::Due => "DUE",
+        })
+    }
+}
+
+/// Tallies of fault outcomes from an injection or beam campaign.
+///
+/// # Example
+///
+/// ```rust
+/// use mpr_metrics::{Outcome, OutcomeCounts};
+///
+/// let mut counts = OutcomeCounts::default();
+/// counts.record(Outcome::Masked);
+/// counts.record(Outcome::Sdc);
+/// counts.record(Outcome::Sdc);
+/// counts.record(Outcome::Due);
+/// assert_eq!(counts.total(), 4);
+/// assert_eq!(counts.sdc_fraction(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeCounts {
+    /// Faults with no observable effect.
+    pub masked: u64,
+    /// Silent data corruptions.
+    pub sdc: u64,
+    /// Detected unrecoverable errors.
+    pub due: u64,
+}
+
+impl OutcomeCounts {
+    /// Creates counts directly from the three tallies.
+    pub fn new(masked: u64, sdc: u64, due: u64) -> OutcomeCounts {
+        OutcomeCounts { masked, sdc, due }
+    }
+
+    /// Records one outcome.
+    pub fn record(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Masked => self.masked += 1,
+            Outcome::Sdc => self.sdc += 1,
+            Outcome::Due => self.due += 1,
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.masked + self.sdc + self.due
+    }
+
+    /// Fraction of faults that became SDCs (the AVF/PVF point estimate).
+    /// Zero observations yield 0.
+    pub fn sdc_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.sdc as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of faults that became DUEs.
+    pub fn due_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.due as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction with no observable effect.
+    pub fn masked_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.masked as f64 / self.total() as f64
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: OutcomeCounts) {
+        self.masked += other.masked;
+        self.sdc += other.sdc;
+        self.due += other.due;
+    }
+}
+
+impl std::iter::FromIterator<Outcome> for OutcomeCounts {
+    fn from_iter<I: IntoIterator<Item = Outcome>>(iter: I) -> OutcomeCounts {
+        let mut counts = OutcomeCounts::default();
+        for o in iter {
+            counts.record(o);
+        }
+        counts
+    }
+}
+
+impl std::iter::Sum for OutcomeCounts {
+    fn sum<I: Iterator<Item = OutcomeCounts>>(iter: I) -> OutcomeCounts {
+        let mut acc = OutcomeCounts::default();
+        for c in iter {
+            acc.merge(c);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_partition_unity() {
+        let c = OutcomeCounts::new(70, 20, 10);
+        let sum = c.masked_fraction() + c.sdc_fraction() + c.due_fraction();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(c.total(), 100);
+    }
+
+    #[test]
+    fn empty_counts_are_safe() {
+        let c = OutcomeCounts::default();
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.sdc_fraction(), 0.0);
+        assert_eq!(c.due_fraction(), 0.0);
+        assert_eq!(c.masked_fraction(), 0.0);
+    }
+
+    #[test]
+    fn from_iterator_and_merge() {
+        let counts: OutcomeCounts = [Outcome::Sdc, Outcome::Masked, Outcome::Sdc]
+            .into_iter()
+            .collect();
+        assert_eq!(counts, OutcomeCounts::new(1, 2, 0));
+
+        let total: OutcomeCounts = vec![counts, OutcomeCounts::new(0, 0, 3)].into_iter().sum();
+        assert_eq!(total, OutcomeCounts::new(1, 2, 3));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Outcome::Masked.to_string(), "masked");
+        assert_eq!(Outcome::Sdc.to_string(), "SDC");
+        assert_eq!(Outcome::Due.to_string(), "DUE");
+    }
+}

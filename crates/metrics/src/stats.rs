@@ -1,0 +1,129 @@
+//! Small statistics toolbox: confidence intervals for counting
+//! experiments and basic descriptive statistics.
+
+/// Wilson score interval for a binomial proportion at ~95% confidence.
+///
+/// Used for AVF/PVF estimates: `successes` SDCs out of `trials`
+/// injections. Returns `(low, high)`; degenerate inputs (zero trials)
+/// yield `(0.0, 1.0)`.
+///
+/// ```rust
+/// use mpr_metrics::stats::wilson_ci95;
+/// let (lo, hi) = wilson_ci95(50, 100);
+/// assert!(lo < 0.5 && 0.5 < hi);
+/// assert!(hi - lo < 0.25);
+/// ```
+pub fn wilson_ci95(successes: u64, trials: u64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.959964; // 97.5th percentile of the standard normal
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let margin = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+    ((center - margin).max(0.0), (center + margin).min(1.0))
+}
+
+/// Approximate 95% confidence interval for a Poisson rate with `events`
+/// observations, expressed as multipliers on the point estimate.
+///
+/// Uses the normal approximation on the square-root scale, which is
+/// accurate for the tens-to-thousands of events the campaigns produce.
+/// Zero events yield `(0.0, 3.7)` (the exact upper bound for zero counts).
+pub fn poisson_ci95(events: u64) -> (f64, f64) {
+    if events == 0 {
+        return (0.0, 3.7);
+    }
+    let k = events as f64;
+    let z = 1.959964;
+    // Square-root (variance-stabilizing) transform: sqrt(k) +- z/2.
+    let lo = (k.sqrt() - z / 2.0).max(0.0).powi(2) / k;
+    let hi = (k.sqrt() + z / 2.0).powi(2) / k;
+    (lo, hi)
+}
+
+/// Arithmetic mean. Empty input yields NaN.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n-1 denominator). Inputs with fewer than two
+/// elements yield 0.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Geometric mean of strictly positive values. Empty input yields NaN.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_interval_contains_point_estimate() {
+        for (s, n) in [(0u64, 10u64), (1, 10), (5, 10), (10, 10), (500, 2000)] {
+            let p = s as f64 / n as f64;
+            let (lo, hi) = wilson_ci95(s, n);
+            assert!(lo <= p + 1e-12 && p <= hi + 1e-12, "s={s} n={n}");
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        }
+    }
+
+    #[test]
+    fn wilson_interval_narrows_with_more_trials() {
+        let (lo1, hi1) = wilson_ci95(10, 100);
+        let (lo2, hi2) = wilson_ci95(100, 1000);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn wilson_zero_trials() {
+        assert_eq!(wilson_ci95(0, 0), (0.0, 1.0));
+    }
+
+    #[test]
+    fn poisson_interval_brackets_unity() {
+        for k in [1u64, 10, 100, 1000] {
+            let (lo, hi) = poisson_ci95(k);
+            assert!(lo < 1.0 && 1.0 < hi, "k={k}");
+        }
+        // More events -> tighter multiplier interval.
+        let (lo_small, hi_small) = poisson_ci95(10);
+        let (lo_big, hi_big) = poisson_ci95(1000);
+        assert!(hi_big - lo_big < hi_small - lo_small);
+    }
+
+    #[test]
+    fn poisson_zero_events() {
+        let (lo, hi) = poisson_ci95(0);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 3.0);
+    }
+
+    #[test]
+    fn descriptive_statistics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((stddev(&xs) - 1.2909944487358056).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!(mean(&[]).is_nan());
+        assert_eq!(stddev(&[1.0]), 0.0);
+    }
+}

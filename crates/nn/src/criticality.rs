@@ -1,0 +1,230 @@
+//! SDC criticality classification for classifiers and detectors.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a classifier SDC (paper Section 4.1, MNIST on the FPGA):
+/// a corrupted output is *tolerable* when the predicted class survives
+/// and *critical* when the classification changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClassificationImpact {
+    /// Output corrupted, classification unchanged.
+    Tolerable,
+    /// The predicted class changed.
+    Critical,
+}
+
+/// Compares golden and corrupted logit vectors by arg-max.
+///
+/// # Panics
+///
+/// Panics if the vectors are empty or differ in length.
+///
+/// ```rust
+/// use mpr_nn::{classify_logits, ClassificationImpact};
+/// let golden = [0.1, 0.8, 0.2];
+/// assert_eq!(
+///     classify_logits(&golden, &[0.15, 0.7, 0.2]),
+///     ClassificationImpact::Tolerable
+/// );
+/// assert_eq!(
+///     classify_logits(&golden, &[0.9, 0.8, 0.2]),
+///     ClassificationImpact::Critical
+/// );
+/// ```
+pub fn classify_logits(golden: &[f64], observed: &[f64]) -> ClassificationImpact {
+    assert!(!golden.is_empty(), "empty logit vector");
+    assert_eq!(golden.len(), observed.len(), "logit vectors must match");
+    if argmax(golden) == argmax(observed) {
+        ClassificationImpact::Tolerable
+    } else {
+        ClassificationImpact::Critical
+    }
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        // NaN never wins, matching a hardware argmax over comparisons.
+        if v > xs[best] || xs[best].is_nan() {
+            best = i;
+        }
+    }
+    best
+}
+
+/// One decoded object detection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Predicted class index.
+    pub class: usize,
+    /// Objectness/confidence score in `[0, 1]`.
+    pub score: f64,
+    /// Box as `[center_x, center_y, width, height]` in image units.
+    pub bbox: [f64; 4],
+}
+
+impl Detection {
+    /// Intersection-over-union with another box.
+    pub fn iou(&self, other: &Detection) -> f64 {
+        let half = |b: &[f64; 4]| (b[0] - b[2] / 2.0, b[1] - b[3] / 2.0, b[0] + b[2] / 2.0, b[1] + b[3] / 2.0);
+        let (ax0, ay0, ax1, ay1) = half(&self.bbox);
+        let (bx0, by0, bx1, by1) = half(&other.bbox);
+        let iw = (ax1.min(bx1) - ax0.max(bx0)).max(0.0);
+        let ih = (ay1.min(by1) - ay0.max(by0)).max(0.0);
+        let inter = iw * ih;
+        let union = (ax1 - ax0) * (ay1 - ay0) + (bx1 - bx0) * (by1 - by0) - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+}
+
+/// Outcome of a detector SDC (paper Figure 11c, YOLOv3): scores may move
+/// (*tolerable*), boxes may appear/vanish/move (*detection changed*), or
+/// a matched object may change class (*classification changed* — the
+/// critical case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DetectionImpact {
+    /// Same objects, same classes, boxes within tolerance.
+    Tolerable,
+    /// Detections appeared, disappeared, or moved beyond tolerance.
+    DetectionChanged,
+    /// A matched detection changed class.
+    ClassificationChanged,
+}
+
+/// Compares golden and corrupted detection sets.
+///
+/// Matching is greedy by IoU. A golden object whose best-overlapping
+/// observation (IoU >= 0.3, i.e. clearly "the same object") carries a
+/// different class is a **classification change** — the critical outcome,
+/// taking precedence over everything else, whether or not the box also
+/// moved ("the class of detected object is wrong", paper Section 6.3).
+/// Same-class matches need IoU >= 0.6 to count as position-tolerable;
+/// anything else (lost, spurious, or displaced boxes) is a detection
+/// change.
+pub fn classify_detections(golden: &[Detection], observed: &[Detection]) -> DetectionImpact {
+    const IOU_SAME_OBJECT: f64 = 0.3;
+    const IOU_TOLERABLE: f64 = 0.6;
+    let mut used = vec![false; observed.len()];
+    let mut detection_changed = golden.len() != observed.len();
+    for g in golden {
+        // Best unused observed box by IoU.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, o) in observed.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let iou = g.iou(o);
+            if best.map_or(true, |(_, b)| iou > b) {
+                best = Some((i, iou));
+            }
+        }
+        match best {
+            Some((i, iou)) if iou >= IOU_SAME_OBJECT => {
+                used[i] = true;
+                if observed[i].class != g.class {
+                    return DetectionImpact::ClassificationChanged;
+                }
+                if iou < IOU_TOLERABLE {
+                    detection_changed = true; // same object, moved box
+                }
+            }
+            _ => detection_changed = true,
+        }
+    }
+    if detection_changed || used.iter().any(|u| !u) {
+        DetectionImpact::DetectionChanged
+    } else {
+        DetectionImpact::Tolerable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(class: usize, score: f64, cx: f64, cy: f64, w: f64, h: f64) -> Detection {
+        Detection {
+            class,
+            score,
+            bbox: [cx, cy, w, h],
+        }
+    }
+
+    #[test]
+    fn identical_sets_are_tolerable() {
+        let g = vec![det(1, 0.9, 5.0, 5.0, 2.0, 2.0)];
+        assert_eq!(classify_detections(&g, &g), DetectionImpact::Tolerable);
+    }
+
+    #[test]
+    fn score_drift_is_tolerable() {
+        let g = vec![det(1, 0.9, 5.0, 5.0, 2.0, 2.0)];
+        let o = vec![det(1, 0.7, 5.1, 5.0, 2.0, 2.0)];
+        assert_eq!(classify_detections(&g, &o), DetectionImpact::Tolerable);
+    }
+
+    #[test]
+    fn moved_box_changes_detection() {
+        let g = vec![det(1, 0.9, 5.0, 5.0, 2.0, 2.0)];
+        let o = vec![det(1, 0.9, 9.0, 9.0, 2.0, 2.0)];
+        assert_eq!(classify_detections(&g, &o), DetectionImpact::DetectionChanged);
+    }
+
+    #[test]
+    fn lost_and_spurious_detections() {
+        let g = vec![det(0, 0.9, 5.0, 5.0, 2.0, 2.0)];
+        assert_eq!(classify_detections(&g, &[]), DetectionImpact::DetectionChanged);
+        assert_eq!(
+            classify_detections(&[], &g),
+            DetectionImpact::DetectionChanged
+        );
+        assert_eq!(classify_detections(&[], &[]), DetectionImpact::Tolerable);
+    }
+
+    #[test]
+    fn class_flip_is_critical() {
+        let g = vec![det(0, 0.9, 5.0, 5.0, 2.0, 2.0)];
+        let o = vec![det(2, 0.9, 5.0, 5.0, 2.0, 2.0)];
+        assert_eq!(
+            classify_detections(&g, &o),
+            DetectionImpact::ClassificationChanged
+        );
+    }
+
+    #[test]
+    fn classification_takes_precedence_over_extra_boxes() {
+        let g = vec![det(0, 0.9, 5.0, 5.0, 2.0, 2.0)];
+        let o = vec![
+            det(1, 0.9, 5.0, 5.0, 2.0, 2.0),
+            det(0, 0.5, 10.0, 10.0, 2.0, 2.0),
+        ];
+        assert_eq!(
+            classify_detections(&g, &o),
+            DetectionImpact::ClassificationChanged
+        );
+    }
+
+    #[test]
+    fn iou_geometry() {
+        let a = det(0, 1.0, 5.0, 5.0, 4.0, 4.0);
+        assert!((a.iou(&a) - 1.0).abs() < 1e-12);
+        let shifted = det(0, 1.0, 7.0, 5.0, 4.0, 4.0); // half overlap in x
+        assert!((shifted.iou(&a) - 8.0 / 24.0).abs() < 1e-12);
+        let disjoint = det(0, 1.0, 20.0, 20.0, 2.0, 2.0);
+        assert_eq!(a.iou(&disjoint), 0.0);
+    }
+
+    #[test]
+    fn logits_with_nan_are_critical() {
+        let golden = [0.1, 0.8, 0.2];
+        let corrupted = [f64::NAN, f64::NAN, 0.2];
+        assert_eq!(
+            classify_logits(&golden, &corrupted),
+            ClassificationImpact::Critical
+        );
+    }
+}

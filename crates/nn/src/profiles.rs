@@ -1,0 +1,89 @@
+//! Full-scale profiles for the neural-network workloads.
+
+use mpr_arch::{OpMix, WorkloadKind, WorkloadProfile};
+
+/// MNIST on the FPGA (paper Section 4): a small LeNet-class network
+/// synthesized as a circuit; bigger than the MxM array (Figure 2) but
+/// naturally fault masking.
+pub fn mnist_fpga() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "MNIST".to_string(),
+        flops: 8.0e5,
+        mix: OpMix::new(0.08, 0.10, 0.80, 0.0, 0.02),
+        value_traffic: 2.0e4,
+        threads: 1.0,
+        regs_per_thread: 32.0,
+        ilp: 24.0,
+        working_set_values: 6.0e4,
+        memory_boundedness: 0.2,
+        control_density: 0.2, // bare-metal pipeline
+        kind: WorkloadKind::Classifier,
+    }
+}
+
+/// YOLOv3 at GPU scale (paper Section 6): convolution/FMA dominated,
+/// large activation working set, heavy framework control flow — "object
+/// detection CNNs have a much higher probability to experience DUEs".
+pub fn yolo_gpu() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "YOLOv3".to_string(),
+        flops: 3.3e10, // ~33 GFLOP per 416x416 YOLOv3 frame
+        mix: OpMix::new(0.05, 0.15, 0.80, 0.0, 0.0),
+        value_traffic: 2.5e8,
+        threads: 2.0e5,
+        regs_per_thread: 64.0,
+        ilp: 6.0,
+        working_set_values: 1.0e6, // in-flight activations per layer pair
+        memory_boundedness: 0.4,
+        control_density: 2.5, // layer dispatch, NMS, framework glue
+        kind: WorkloadKind::Detector,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpr_arch::{Device, Fpga, VoltaGpu};
+    use mpr_softfloat::Precision;
+
+    #[test]
+    fn mnist_binds_to_fpga_calibration() {
+        let fpga = Fpga::zynq7000();
+        assert_eq!(fpga.exec_time(&mnist_fpga(), Precision::Double), 0.011);
+        // MNIST occupies more area than MxM at every precision.
+        let e = fpga.exposure(&mnist_fpga(), Precision::Half).compute;
+        assert!(e > 0.0);
+    }
+
+    #[test]
+    fn yolo_half_is_slower_on_the_gpu() {
+        // Table 3's inversion: the half-precision YOLOv3 framework path
+        // is slower than single.
+        let gpu = VoltaGpu::titan_v();
+        let s = gpu.exec_time(&yolo_gpu(), Precision::Single);
+        let h = gpu.exec_time(&yolo_gpu(), Precision::Half);
+        assert!(h > s, "half {h} must exceed single {s}");
+        assert_eq!(h, 0.283);
+    }
+
+    #[test]
+    fn yolo_half_fit_exposure_is_significantly_lowest() {
+        // Figure 10c: half YOLOv3 has a significantly lower FIT.
+        let gpu = VoltaGpu::titan_v();
+        let d = gpu.exposure(&yolo_gpu(), Precision::Double).compute;
+        let s = gpu.exposure(&yolo_gpu(), Precision::Single).compute;
+        let h = gpu.exposure(&yolo_gpu(), Precision::Half).compute;
+        assert!(h < 0.85 * s, "h={h:.3e} s={s:.3e}");
+        assert!(h < 0.75 * d, "h={h:.3e} d={d:.3e}");
+    }
+
+    #[test]
+    fn yolo_due_exposure_dwarfs_numeric_codes() {
+        let gpu = VoltaGpu::titan_v();
+        let yolo = gpu.exposure(&yolo_gpu(), Precision::Single).due;
+        let micro = gpu
+            .exposure(&mpr_arch::WorkloadProfile::micro_fma(), Precision::Single)
+            .due;
+        assert!(yolo > 10.0 * micro);
+    }
+}

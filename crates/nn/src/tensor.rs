@@ -1,0 +1,145 @@
+//! A minimal CHW tensor.
+
+use mpr_softfloat::FloatExt;
+
+/// A dense 3-D tensor in channel-height-width layout, generic over the
+/// arithmetic precision.
+///
+/// # Example
+///
+/// ```rust
+/// use mpr_nn::Tensor;
+///
+/// let mut t: Tensor<f32> = Tensor::zeros(2, 3, 3);
+/// t.set(1, 2, 2, 5.0);
+/// assert_eq!(t.get(1, 2, 2), 5.0);
+/// assert_eq!(t.shape(), (2, 3, 3));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor<F> {
+    channels: usize,
+    height: usize,
+    width: usize,
+    data: Vec<F>,
+}
+
+impl<F: FloatExt> Tensor<F> {
+    /// A zero-filled tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Tensor<F> {
+        assert!(
+            channels > 0 && height > 0 && width > 0,
+            "tensor dimensions must be positive"
+        );
+        Tensor {
+            channels,
+            height,
+            width,
+            data: vec![F::zero(); channels * height * width],
+        }
+    }
+
+    /// Builds a tensor element-wise from `(c, y, x)`.
+    pub fn from_fn(
+        channels: usize,
+        height: usize,
+        width: usize,
+        mut f: impl FnMut(usize, usize, usize) -> F,
+    ) -> Tensor<F> {
+        let mut t = Tensor::zeros(channels, height, width);
+        for c in 0..channels {
+            for y in 0..height {
+                for x in 0..width {
+                    t.set(c, y, x, f(c, y, x));
+                }
+            }
+        }
+        t
+    }
+
+    /// `(channels, height, width)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.channels, self.height, self.width)
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the tensor holds no elements (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn index(&self, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(c < self.channels && y < self.height && x < self.width);
+        (c * self.height + y) * self.width + x
+    }
+
+    /// Reads one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on out-of-range indices.
+    #[inline]
+    pub fn get(&self, c: usize, y: usize, x: usize) -> F {
+        self.data[self.index(c, y, x)]
+    }
+
+    /// Writes one element.
+    #[inline]
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: F) {
+        let i = self.index(c, y, x);
+        self.data[i] = v;
+    }
+
+    /// Flat view of the data (CHW order).
+    pub fn as_slice(&self) -> &[F] {
+        &self.data
+    }
+
+    /// The contents widened to `f64` (exact), CHW order.
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        self.data.iter().map(|v| v.to_f64()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpr_softfloat::Half;
+
+    #[test]
+    fn from_fn_and_indexing() {
+        let t: Tensor<f64> =
+            Tensor::from_fn(2, 3, 4, |c, y, x| (c * 100 + y * 10 + x) as f64);
+        assert_eq!(t.get(0, 0, 0), 0.0);
+        assert_eq!(t.get(1, 2, 3), 123.0);
+        assert_eq!(t.len(), 24);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn layout_is_chw() {
+        let t: Tensor<f32> = Tensor::from_fn(2, 2, 2, |c, y, x| (c * 4 + y * 2 + x) as f32);
+        let flat: Vec<f32> = t.as_slice().to_vec();
+        assert_eq!(flat, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn works_with_half() {
+        let t: Tensor<Half> = Tensor::from_fn(1, 2, 2, |_, y, x| Half::from_f64((y + x) as f64));
+        assert_eq!(t.to_f64_vec(), vec![0.0, 1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dimension_rejected() {
+        let _: Tensor<f64> = Tensor::zeros(0, 1, 1);
+    }
+}

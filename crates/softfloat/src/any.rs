@@ -1,0 +1,170 @@
+//! Dynamically typed float values for the fault injector.
+
+use crate::{FloatExt, Half, Precision};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A float value whose precision is chosen at runtime.
+///
+/// The beam simulator and the fault injector handle values of all three
+/// precisions uniformly: a strike resolves to "flip bit *k* of this value",
+/// whatever its format. `AnyFloat` carries the value together with its
+/// format so the flip lands in the correct bit layout.
+///
+/// # Example
+///
+/// ```rust
+/// use mpr_softfloat::{AnyFloat, Precision};
+///
+/// let v = AnyFloat::encode(Precision::Half, 1.0);
+/// // Flipping the top mantissa bit of binary16 1.0 yields 1.5.
+/// assert_eq!(v.flip_bit(9).to_f64(), 1.5);
+/// // The same flip on binary64 barely moves the value.
+/// let d = AnyFloat::encode(Precision::Double, 1.0);
+/// assert_eq!(d.flip_bit(9).to_f64(), 1.0 + 2f64.powi(-43));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AnyFloat {
+    /// A binary16 value.
+    F16(Half),
+    /// A binary32 value.
+    F32(f32),
+    /// A binary64 value.
+    F64(f64),
+}
+
+impl AnyFloat {
+    /// Rounds `v` once into the requested precision.
+    pub fn encode(precision: Precision, v: f64) -> AnyFloat {
+        match precision {
+            Precision::Half => AnyFloat::F16(Half::from_f64(v)),
+            Precision::Single => AnyFloat::F32(v as f32),
+            Precision::Double => AnyFloat::F64(v),
+        }
+    }
+
+    /// Builds a value from raw representation bits.
+    pub fn from_bits(precision: Precision, bits: u64) -> AnyFloat {
+        match precision {
+            Precision::Half => AnyFloat::F16(Half::from_bits(bits as u16)),
+            Precision::Single => AnyFloat::F32(f32::from_bits(bits as u32)),
+            Precision::Double => AnyFloat::F64(f64::from_bits(bits)),
+        }
+    }
+
+    /// The format of this value.
+    pub fn precision(self) -> Precision {
+        match self {
+            AnyFloat::F16(_) => Precision::Half,
+            AnyFloat::F32(_) => Precision::Single,
+            AnyFloat::F64(_) => Precision::Double,
+        }
+    }
+
+    /// Exact widening read-out.
+    pub fn to_f64(self) -> f64 {
+        match self {
+            AnyFloat::F16(h) => h.to_f64(),
+            AnyFloat::F32(s) => s as f64,
+            AnyFloat::F64(d) => d,
+        }
+    }
+
+    /// Raw representation bits, zero-extended.
+    pub fn to_bits(self) -> u64 {
+        match self {
+            AnyFloat::F16(h) => h.to_bits() as u64,
+            AnyFloat::F32(s) => s.to_bits() as u64,
+            AnyFloat::F64(d) => d.to_bits(),
+        }
+    }
+
+    /// Flips representation bit `bit` — the elementary fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is outside the format width.
+    pub fn flip_bit(self, bit: u32) -> AnyFloat {
+        match self {
+            AnyFloat::F16(h) => AnyFloat::F16(h.flip_bit(bit)),
+            AnyFloat::F32(s) => AnyFloat::F32(FloatExt::flip_bit(s, bit)),
+            AnyFloat::F64(d) => AnyFloat::F64(FloatExt::flip_bit(d, bit)),
+        }
+    }
+
+    /// `true` if the value is NaN.
+    pub fn is_nan(self) -> bool {
+        match self {
+            AnyFloat::F16(h) => h.is_nan(),
+            AnyFloat::F32(s) => s.is_nan(),
+            AnyFloat::F64(d) => d.is_nan(),
+        }
+    }
+}
+
+impl fmt::Display for AnyFloat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnyFloat::F16(h) => write!(f, "{h}"),
+            AnyFloat::F32(s) => write!(f, "{s}"),
+            AnyFloat::F64(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_rounds_once_per_format() {
+        let v = 1.0 + 2f64.powi(-11); // binary16 tie
+        assert_eq!(AnyFloat::encode(Precision::Half, v).to_f64(), 1.0);
+        assert_eq!(AnyFloat::encode(Precision::Single, v).to_f64(), v);
+        assert_eq!(AnyFloat::encode(Precision::Double, v).to_f64(), v);
+    }
+
+    #[test]
+    fn precision_round_trip() {
+        for p in Precision::ALL {
+            let v = AnyFloat::encode(p, -2.5);
+            assert_eq!(v.precision(), p);
+            assert_eq!(v.to_f64(), -2.5);
+            assert_eq!(AnyFloat::from_bits(p, v.to_bits()), v);
+        }
+    }
+
+    #[test]
+    fn flip_bit_magnitude_depends_on_format() {
+        // A flip in the lowest mantissa bit is tiny in double, large in half.
+        let d = AnyFloat::encode(Precision::Double, 1.0).flip_bit(0).to_f64();
+        let h = AnyFloat::encode(Precision::Half, 1.0).flip_bit(0).to_f64();
+        assert!((d - 1.0).abs() < 1e-15);
+        assert!((h - 1.0).abs() > 9e-4);
+    }
+
+    #[test]
+    fn sign_bit_positions() {
+        assert_eq!(
+            AnyFloat::encode(Precision::Half, 3.0).flip_bit(15).to_f64(),
+            -3.0
+        );
+        assert_eq!(
+            AnyFloat::encode(Precision::Single, 3.0).flip_bit(31).to_f64(),
+            -3.0
+        );
+        assert_eq!(
+            AnyFloat::encode(Precision::Double, 3.0).flip_bit(63).to_f64(),
+            -3.0
+        );
+    }
+
+    #[test]
+    fn exponent_flip_can_create_nan_or_inf() {
+        // Flipping the top exponent bit of 1.0 in binary16: e=15 -> e=31,
+        // frac=0 -> infinity.
+        let v = AnyFloat::encode(Precision::Half, 1.0).flip_bit(14);
+        assert!(v.to_f64().is_infinite());
+        assert!(!v.is_nan());
+    }
+}

@@ -1,0 +1,286 @@
+//! Conversions between binary16 and the native formats.
+//!
+//! Widening conversions (`to_f32`, `to_f64`) are exact. Narrowing
+//! conversions round to nearest-even in a single rounding: `from_f64` does
+//! **not** go through `f32` because `f64 -> f32 -> f16` can double-round
+//! (e.g. a value just above a binary16 tie that rounds *onto* the tie in
+//! binary32 and then rounds the wrong way). Instead both narrowing paths
+//! decompose the source into an exact integer magnitude and round once with
+//! [`round_pack_f16`].
+
+use super::Half;
+
+/// Right-shifts `mag` by `shift`, rounding to nearest-even with a sticky
+/// bit (all shifted-out information participates in the rounding decision).
+#[inline]
+pub(crate) fn rshift_rne(mag: u128, shift: u32) -> u128 {
+    if shift == 0 {
+        return mag;
+    }
+    if shift >= 128 {
+        // The value is strictly below half an ULP of the target position
+        // (magnitudes are < 2^127 in practice), so it rounds to zero.
+        return 0;
+    }
+    let half = 1u128 << (shift - 1);
+    let rem = mag & ((1u128 << shift) - 1);
+    let q = mag >> shift;
+    if rem > half || (rem == half && (q & 1) == 1) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Rounds the positive magnitude `mag * 2^lsb_exp` to binary16 (RNE) and
+/// returns the bit pattern without a sign. Returns `0x7C00` (infinity) on
+/// overflow; underflow goes gradually through subnormals to zero.
+pub(crate) fn round_pack_f16(mag: u128, lsb_exp: i32) -> u16 {
+    if mag == 0 {
+        return 0;
+    }
+    let top = 127 - mag.leading_zeros() as i32; // position of the leading 1
+    let e = lsb_exp + top; // unbiased exponent of the value
+
+    if e >= -14 {
+        // Normal candidate: produce an 11-bit significand (implicit bit kept).
+        let sig = if top >= 10 {
+            rshift_rne(mag, (top - 10) as u32)
+        } else {
+            mag << (10 - top)
+        };
+        // Rounding may carry the significand from 0x7FF to 0x800; the
+        // combined encode below absorbs the carry into the exponent field.
+        let mut e = e;
+        let mut sig = sig;
+        if sig == 0x800 {
+            sig = 0x400;
+            e += 1;
+        }
+        if e > 15 {
+            return 0x7C00;
+        }
+        debug_assert!((0x400..0x800).contains(&sig));
+        (((e + 14) as u16) << 10) + sig as u16
+    } else {
+        // Subnormal candidate: the target LSB sits at 2^-24 regardless of
+        // the value's own exponent.
+        let shift = -24 - lsb_exp;
+        let sig = if shift >= 0 {
+            rshift_rne(mag, shift as u32)
+        } else {
+            mag << (-shift)
+        };
+        // `sig == 0x400` after rounding means the value rounded up to the
+        // smallest normal; the plain encode is already correct for that.
+        debug_assert!(sig <= 0x400);
+        sig as u16
+    }
+}
+
+/// Decomposes a finite nonzero `f64` into `(negative, magnitude, lsb_exp)`
+/// such that the value equals `±magnitude * 2^lsb_exp` exactly.
+#[inline]
+fn decompose_f64(v: f64) -> (bool, u128, i32) {
+    let bits = v.to_bits();
+    let neg = bits >> 63 != 0;
+    let e = ((bits >> 52) & 0x7FF) as i32;
+    let frac = bits & ((1u64 << 52) - 1);
+    if e == 0 {
+        (neg, frac as u128, -1074)
+    } else {
+        (neg, (frac | (1 << 52)) as u128, e - 1075)
+    }
+}
+
+/// Same decomposition for `f32`.
+#[inline]
+fn decompose_f32(v: f32) -> (bool, u128, i32) {
+    let bits = v.to_bits();
+    let neg = bits >> 31 != 0;
+    let e = ((bits >> 23) & 0xFF) as i32;
+    let frac = bits & ((1u32 << 23) - 1);
+    if e == 0 {
+        (neg, frac as u128, -149)
+    } else {
+        (neg, (frac | (1 << 23)) as u128, e - 150)
+    }
+}
+
+impl Half {
+    /// Converts an `f64` to binary16 with a single round-to-nearest-even.
+    ///
+    /// ```rust
+    /// use mpr_softfloat::Half;
+    /// assert_eq!(Half::from_f64(1.0), Half::ONE);
+    /// assert!(Half::from_f64(1e9).is_infinite());
+    /// assert_eq!(Half::from_f64(-0.0).to_bits(), 0x8000);
+    /// ```
+    pub fn from_f64(v: f64) -> Half {
+        if v.is_nan() {
+            let sign = if v.is_sign_negative() { 0x8000 } else { 0 };
+            return Half(sign | Half::NAN.0);
+        }
+        if v.is_infinite() {
+            return if v > 0.0 {
+                Half::INFINITY
+            } else {
+                Half::NEG_INFINITY
+            };
+        }
+        let (neg, mag, lsb_exp) = decompose_f64(v);
+        let bits = round_pack_f16(mag, lsb_exp);
+        Half(if neg { bits | 0x8000 } else { bits })
+    }
+
+    /// Converts an `f32` to binary16 with a single round-to-nearest-even.
+    pub fn from_f32(v: f32) -> Half {
+        if v.is_nan() {
+            let sign = if v.is_sign_negative() { 0x8000 } else { 0 };
+            return Half(sign | Half::NAN.0);
+        }
+        if v.is_infinite() {
+            return if v > 0.0 {
+                Half::INFINITY
+            } else {
+                Half::NEG_INFINITY
+            };
+        }
+        let (neg, mag, lsb_exp) = decompose_f32(v);
+        let bits = round_pack_f16(mag, lsb_exp);
+        Half(if neg { bits | 0x8000 } else { bits })
+    }
+
+    /// Exact widening conversion to `f32`.
+    pub fn to_f32(self) -> f32 {
+        let sign = if self.is_sign_negative() { -1.0f32 } else { 1.0 };
+        match (self.exp_field(), self.frac_field()) {
+            (0, 0) => sign * 0.0,
+            // Subnormal: frac * 2^-24, exact in f32.
+            (0, f) => sign * f as f32 * f32::from_bits(0x3380_0000), // 2^-24
+            (0x1F, 0) => sign * f32::INFINITY,
+            (0x1F, _) => f32::NAN,
+            (e, f) => {
+                // (1024 + f) * 2^(e - 25); both factors exact in f32.
+                let sig = (1024 + f) as f32;
+                sign * sig * exp2_f32(e as i32 - 25)
+            }
+        }
+    }
+
+    /// Exact widening conversion to `f64`.
+    pub fn to_f64(self) -> f64 {
+        let sign = if self.is_sign_negative() { -1.0f64 } else { 1.0 };
+        match (self.exp_field(), self.frac_field()) {
+            (0, 0) => sign * 0.0,
+            (0, f) => sign * f as f64 * 2f64.powi(-24),
+            (0x1F, 0) => sign * f64::INFINITY,
+            (0x1F, _) => f64::NAN,
+            (e, f) => sign * (1024 + f) as f64 * 2f64.powi(e as i32 - 25),
+        }
+    }
+}
+
+/// Exact `2^n` as `f32` for the exponent range reachable from binary16.
+#[inline]
+fn exp2_f32(n: i32) -> f32 {
+    debug_assert!((-126..=127).contains(&n));
+    f32::from_bits(((n + 127) as u32) << 23)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widening_is_exact_for_all_bit_patterns() {
+        for bits in 0u16..=u16::MAX {
+            let h = Half::from_bits(bits);
+            if h.is_nan() {
+                assert!(h.to_f32().is_nan());
+                assert!(h.to_f64().is_nan());
+                continue;
+            }
+            let f32v = h.to_f32();
+            let f64v = h.to_f64();
+            assert_eq!(f32v as f64, f64v, "bits {bits:#06x}");
+            // Round-tripping a widened value must be the identity.
+            assert_eq!(Half::from_f32(f32v).to_bits(), bits, "f32 trip {bits:#06x}");
+            assert_eq!(Half::from_f64(f64v).to_bits(), bits, "f64 trip {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn known_constants() {
+        assert_eq!(Half::from_f64(1.0).to_bits(), 0x3C00);
+        assert_eq!(Half::from_f64(-2.0).to_bits(), 0xC000);
+        assert_eq!(Half::from_f64(65504.0).to_bits(), 0x7BFF);
+        assert_eq!(Half::from_f64(2f64.powi(-14)).to_bits(), 0x0400);
+        assert_eq!(Half::from_f64(2f64.powi(-24)).to_bits(), 0x0001);
+        assert_eq!(Half::from_f64(0.5).to_bits(), 0x3800);
+        assert_eq!(Half::from_f64(0.333251953125).to_bits(), 0x3555);
+    }
+
+    #[test]
+    fn rounding_to_nearest_even() {
+        // 2049 is exactly between 2048 and 2050 (ULP = 2 at this scale);
+        // RNE picks the even significand 2048.
+        assert_eq!(Half::from_f64(2049.0).to_f64(), 2048.0);
+        // 2051 is between 2050 and 2052; picks 2052 (even).
+        assert_eq!(Half::from_f64(2051.0).to_f64(), 2052.0);
+        // Just above the tie must round up.
+        assert_eq!(Half::from_f64(2049.0001).to_f64(), 2050.0);
+    }
+
+    #[test]
+    fn overflow_and_underflow() {
+        // Largest value that still rounds to MAX: halfway to 65536 is 65520.
+        assert_eq!(Half::from_f64(65519.999).to_bits(), 0x7BFF);
+        assert!(Half::from_f64(65520.0).is_infinite()); // tie rounds to even=Inf
+        assert!(Half::from_f64(1e30).is_infinite());
+        // Half the smallest subnormal is a tie with zero: rounds to 0 (even).
+        assert_eq!(Half::from_f64(2f64.powi(-25)).to_bits(), 0x0000);
+        assert_eq!(Half::from_f64(2f64.powi(-25) * 1.0001).to_bits(), 0x0001);
+        assert_eq!(Half::from_f64(-2f64.powi(-26)).to_bits(), 0x8000);
+    }
+
+    #[test]
+    fn double_rounding_trap_is_avoided() {
+        // This value rounds to a binary16 tie when first rounded to f32,
+        // which would then round-to-even the wrong way. 1 + 2^-11 + 2^-26
+        // must round UP to 1 + 2^-10 in one step.
+        let v = 1.0 + 2f64.powi(-11) + 2f64.powi(-26);
+        assert_eq!(Half::from_f64(v).to_bits(), 0x3C01);
+        // Whereas the exact tie rounds down to even.
+        assert_eq!(Half::from_f64(1.0 + 2f64.powi(-11)).to_bits(), 0x3C00);
+    }
+
+    #[test]
+    fn nan_and_inf_conversions() {
+        assert!(Half::from_f64(f64::NAN).is_nan());
+        assert_eq!(Half::from_f64(f64::INFINITY), Half::INFINITY);
+        assert_eq!(Half::from_f64(f64::NEG_INFINITY), Half::NEG_INFINITY);
+        assert!(Half::from_f32(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn signed_zero_is_preserved() {
+        assert_eq!(Half::from_f64(0.0).to_bits(), 0x0000);
+        assert_eq!(Half::from_f64(-0.0).to_bits(), 0x8000);
+        assert_eq!(Half::from_bits(0x8000).to_f64().to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn from_f32_matches_from_f64_for_f32_inputs() {
+        // f32 -> f16 and (f32 as f64) -> f16 must agree everywhere.
+        let mut x = 1.0f32;
+        for i in 0..20_000u32 {
+            x = x * 1.001 + i as f32 * 1e-6;
+            if !x.is_finite() {
+                break;
+            }
+            assert_eq!(Half::from_f32(x), Half::from_f64(x as f64), "x={x}");
+            assert_eq!(Half::from_f32(-x), Half::from_f64(-(x as f64)));
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Exact fused multiply-add for binary16.
+//!
+//! `a * b + c` is evaluated in integer arithmetic: the 11x11-bit product is
+//! exact in 22 bits, the addend is aligned into a shared fixed-point frame
+//! (the binary16 exponent range spans < 80 bits, so `i128` holds every
+//! intermediate exactly), and the sum is rounded **once** to binary16.
+//! This is the semantics of a hardware FMA unit and cannot be obtained by
+//! rounding through a wider float without a double-rounding hazard.
+
+use super::{round_pack_f16, Half};
+
+/// Decomposes a finite `Half` into `(negative, significand, lsb_exp)` with
+/// `value == ±significand * 2^lsb_exp` exactly. Zero yields `(sign, 0, _)`.
+#[inline]
+fn decompose(h: Half) -> (bool, u32, i32) {
+    let neg = h.is_sign_negative();
+    let e = h.exp_field() as i32;
+    let f = h.frac_field() as u32;
+    if e == 0 {
+        (neg, f, -24)
+    } else {
+        (neg, f | 0x400, e - 25)
+    }
+}
+
+impl Half {
+    /// Fused multiply-add: `self * a + b` with a single rounding.
+    ///
+    /// ```rust
+    /// use mpr_softfloat::Half;
+    /// // 255 * 257 = 65535 overflows the format before adding, but the
+    /// // fused form subtracts first conceptually: round(255*257 - 65504).
+    /// let x = Half::from_f32(255.0);
+    /// let y = Half::from_f32(257.0);
+    /// let fused = x.mul_add(y, -Half::MAX);
+    /// assert_eq!(fused.to_f32(), 31.0); // exact: 65535 - 65504
+    /// // whereas the unfused form overflows to +inf then NaNs:
+    /// assert!(((x * y) + -Half::MAX).is_nan() || ((x * y) + -Half::MAX).is_infinite());
+    /// ```
+    pub fn mul_add(self, a: Half, b: Half) -> Half {
+        // IEEE-754 special-case ladder.
+        if self.is_nan() || a.is_nan() || b.is_nan() {
+            return Half::NAN;
+        }
+        let prod_neg = self.is_sign_negative() ^ a.is_sign_negative();
+        if self.is_infinite() || a.is_infinite() {
+            if self.is_zero() || a.is_zero() {
+                return Half::NAN; // 0 * inf
+            }
+            if b.is_infinite() && (b.is_sign_negative() != prod_neg) {
+                return Half::NAN; // inf - inf
+            }
+            return if prod_neg {
+                Half::NEG_INFINITY
+            } else {
+                Half::INFINITY
+            };
+        }
+        if b.is_infinite() {
+            return b;
+        }
+
+        let (_, ms, es) = decompose(self);
+        let (_, ma, ea) = decompose(a);
+        let (cn, mc, ec) = decompose(b);
+
+        // Exact product: <= 22 bits of significand.
+        let mp = (ms as i128) * (ma as i128);
+        let ep = es + ea;
+
+        if mp == 0 && mc == 0 {
+            // Zero result from zero inputs: IEEE sign rules. (-0)+(+0)=+0
+            // under RNE unless both terms are negative.
+            return if prod_neg && cn {
+                Half::NEG_ZERO
+            } else {
+                Half::ZERO
+            };
+        }
+
+        // Align both terms to the smaller LSB exponent. Exponent span:
+        // ep in [-48, 10], ec in [-24, 5] -> shift <= 58; operands <= 22
+        // bits, so everything fits comfortably in i128.
+        let e0 = ep.min(ec);
+        let tp = (if prod_neg { -mp } else { mp }) << (ep - e0) as u32;
+        let tc = (if cn { -(mc as i128) } else { mc as i128 }) << (ec - e0) as u32;
+        let sum = tp + tc;
+
+        if sum == 0 {
+            // Exact cancellation of nonzero terms: RNE gives +0.
+            return Half::ZERO;
+        }
+        let neg = sum < 0;
+        let bits = round_pack_f16(sum.unsigned_abs(), e0);
+        Half::from_bits(if neg { bits | 0x8000 } else { bits })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference FMA through f64: the product of two binary16 values is
+    /// exact in f64 (22 <= 53 bits) and the f64 sum is correctly rounded
+    /// to 53 bits, which is wide enough (53 >= 2*11 + 2) for the second
+    /// rounding to binary16 to be innocuous. So f64 fma == exact fma for
+    /// binary16 operands.
+    fn reference(a: Half, b: Half, c: Half) -> Half {
+        Half::from_f64(a.to_f64().mul_add(b.to_f64(), c.to_f64()))
+    }
+
+    #[test]
+    fn fma_matches_f64_reference_on_grid() {
+        let vals: Vec<Half> = (0..=u16::MAX)
+            .step_by(419)
+            .map(Half::from_bits)
+            .filter(|h| h.is_finite())
+            .collect();
+        for &a in &vals {
+            for &b in &vals {
+                for &c in &vals {
+                    let got = a.mul_add(b, c);
+                    let want = reference(a, b, c);
+                    if got.is_zero() && want.is_zero() {
+                        continue; // sign-of-zero differences checked separately
+                    }
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "a={a:?} b={b:?} c={c:?} got={got:?} want={want:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_recovers_the_exact_rounding_residual() {
+        // The canonical FMA idiom: r = fma(x, x, -round(x*x)) is the exact
+        // rounding error of the product. Unfused arithmetic always yields
+        // zero; the fused form recovers the lost 2^-20 term.
+        let x = Half::from_bits(0x3C01); // 1 + 2^-10
+        let rounded = x * x; // 1 + 2^-9 (the 2^-20 term is rounded away)
+        let residual = x.mul_add(x, -rounded);
+        assert_eq!(residual.to_f64(), 2f64.powi(-20), "exact residual");
+        let unfused = x * x - rounded;
+        assert!(unfused.is_zero(), "mul+add cannot see the residual");
+    }
+
+    #[test]
+    fn special_cases() {
+        let inf = Half::INFINITY;
+        assert!(Half::ZERO.mul_add(inf, Half::ONE).is_nan());
+        assert!(inf.mul_add(Half::ONE, Half::NEG_INFINITY).is_nan());
+        assert_eq!(inf.mul_add(Half::ONE, Half::ONE), inf);
+        assert_eq!(Half::ONE.mul_add(Half::ONE, inf), inf);
+        assert!(Half::NAN.mul_add(Half::ONE, Half::ONE).is_nan());
+        assert_eq!(Half::TWO.mul_add(Half::TWO, Half::NEG_ONE).to_f32(), 3.0);
+    }
+
+    #[test]
+    fn zero_sign_rules() {
+        // (+0 * +1) + +0 = +0 ; (-0 * +1) + +0 = +0 ; (-0 * +1) + -0 = -0
+        assert_eq!(Half::ZERO.mul_add(Half::ONE, Half::ZERO).to_bits(), 0x0000);
+        assert_eq!(
+            Half::NEG_ZERO.mul_add(Half::ONE, Half::ZERO).to_bits(),
+            0x0000
+        );
+        assert_eq!(
+            Half::NEG_ZERO.mul_add(Half::ONE, Half::NEG_ZERO).to_bits(),
+            0x8000
+        );
+        // Exact cancellation gives +0 under round-to-nearest.
+        assert_eq!(Half::ONE.mul_add(Half::ONE, Half::NEG_ONE).to_bits(), 0x0000);
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert_eq!(Half::MAX.mul_add(Half::TWO, Half::ZERO), Half::INFINITY);
+        assert_eq!(
+            Half::MIN.mul_add(Half::TWO, Half::ZERO),
+            Half::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn subnormal_products_survive() {
+        // min_subnormal * 0.5 underflows to a tie with zero -> rounds to 0,
+        // but adding min_subnormal first keeps the information: the fused
+        // result of tiny*0.5 + tiny is 1.5*tiny, rounding to 2*tiny (even).
+        let tiny = Half::MIN_POSITIVE_SUBNORMAL;
+        let half = Half::from_f32(0.5);
+        let fused = tiny.mul_add(half, tiny);
+        assert_eq!(fused.to_bits(), 0x0002);
+        let unfused = tiny * half + tiny;
+        assert_eq!(unfused.to_bits(), 0x0001, "unfused loses the product");
+    }
+}

@@ -1,0 +1,311 @@
+//! Operator, formatting, parsing, and serde implementations for [`Half`].
+
+use super::Half;
+use core::fmt;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Rem, RemAssign, Sub, SubAssign};
+use core::str::FromStr;
+
+impl Add for Half {
+    type Output = Half;
+    #[inline]
+    fn add(self, rhs: Half) -> Half {
+        self.add_impl(rhs)
+    }
+}
+
+impl Sub for Half {
+    type Output = Half;
+    #[inline]
+    fn sub(self, rhs: Half) -> Half {
+        self.sub_impl(rhs)
+    }
+}
+
+impl Mul for Half {
+    type Output = Half;
+    #[inline]
+    fn mul(self, rhs: Half) -> Half {
+        self.mul_impl(rhs)
+    }
+}
+
+impl Div for Half {
+    type Output = Half;
+    #[inline]
+    fn div(self, rhs: Half) -> Half {
+        self.div_impl(rhs)
+    }
+}
+
+impl Rem for Half {
+    type Output = Half;
+    #[inline]
+    fn rem(self, rhs: Half) -> Half {
+        self.rem_impl(rhs)
+    }
+}
+
+impl Neg for Half {
+    type Output = Half;
+    #[inline]
+    fn neg(self) -> Half {
+        Half::from_bits(self.to_bits() ^ 0x8000)
+    }
+}
+
+impl AddAssign for Half {
+    #[inline]
+    fn add_assign(&mut self, rhs: Half) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Half {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Half) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Half {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Half) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Half {
+    #[inline]
+    fn div_assign(&mut self, rhs: Half) {
+        *self = *self / rhs;
+    }
+}
+
+impl RemAssign for Half {
+    #[inline]
+    fn rem_assign(&mut self, rhs: Half) {
+        *self = *self % rhs;
+    }
+}
+
+impl Sum for Half {
+    fn sum<I: Iterator<Item = Half>>(iter: I) -> Half {
+        iter.fold(Half::ZERO, Add::add)
+    }
+}
+
+impl<'a> Sum<&'a Half> for Half {
+    fn sum<I: Iterator<Item = &'a Half>>(iter: I) -> Half {
+        iter.copied().sum()
+    }
+}
+
+impl Product for Half {
+    fn product<I: Iterator<Item = Half>>(iter: I) -> Half {
+        iter.fold(Half::ONE, Mul::mul)
+    }
+}
+
+impl fmt::Display for Half {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+impl fmt::Debug for Half {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}f16", self.to_f32())
+    }
+}
+
+impl fmt::LowerHex for Half {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.to_bits(), f)
+    }
+}
+
+impl fmt::UpperHex for Half {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.to_bits(), f)
+    }
+}
+
+impl fmt::Binary for Half {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.to_bits(), f)
+    }
+}
+
+impl From<Half> for f32 {
+    fn from(h: Half) -> f32 {
+        h.to_f32()
+    }
+}
+
+impl From<Half> for f64 {
+    fn from(h: Half) -> f64 {
+        h.to_f64()
+    }
+}
+
+impl From<f32> for Half {
+    fn from(v: f32) -> Half {
+        Half::from_f32(v)
+    }
+}
+
+impl From<f64> for Half {
+    fn from(v: f64) -> Half {
+        Half::from_f64(v)
+    }
+}
+
+impl From<i8> for Half {
+    fn from(v: i8) -> Half {
+        Half::from_f32(v as f32)
+    }
+}
+
+impl From<u8> for Half {
+    fn from(v: u8) -> Half {
+        Half::from_f32(v as f32)
+    }
+}
+
+/// Error returned when parsing a [`Half`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseHalfError(());
+
+impl fmt::Display for ParseHalfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid binary16 literal")
+    }
+}
+
+impl std::error::Error for ParseHalfError {}
+
+impl FromStr for Half {
+    type Err = ParseHalfError;
+
+    /// Parses through `f64` then narrows. The parse itself is correctly
+    /// rounded to 53 bits; the subsequent narrowing is a second rounding,
+    /// which is innocuous here because 53 >= 2*11 + 2.
+    fn from_str(s: &str) -> Result<Half, ParseHalfError> {
+        s.parse::<f64>()
+            .map(Half::from_f64)
+            .map_err(|_| ParseHalfError(()))
+    }
+}
+
+impl serde::Serialize for Half {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f32(self.to_f32())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Half {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Half, D::Error> {
+        f32::deserialize(deserializer).map(Half::from_f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_smoke() {
+        let a = Half::from_f32(5.0);
+        let b = Half::from_f32(2.0);
+        assert_eq!((a + b).to_f32(), 7.0);
+        assert_eq!((a - b).to_f32(), 3.0);
+        assert_eq!((a * b).to_f32(), 10.0);
+        assert_eq!((a / b).to_f32(), 2.5);
+        assert_eq!((a % b).to_f32(), 1.0);
+        assert_eq!((-a).to_f32(), -5.0);
+        let mut c = a;
+        c += b;
+        c -= Half::ONE;
+        c *= b;
+        c /= b;
+        assert_eq!(c.to_f32(), 6.0);
+    }
+
+    #[test]
+    fn neg_flips_only_the_sign_bit() {
+        assert_eq!((-Half::ZERO).to_bits(), 0x8000);
+        assert_eq!((-Half::NAN).to_bits(), Half::NAN.to_bits() | 0x8000);
+        assert_eq!(-(-Half::ONE), Half::ONE);
+    }
+
+    #[test]
+    fn sum_and_product() {
+        let xs = [1.0f32, 2.0, 3.0, 4.0].map(Half::from_f32);
+        assert_eq!(xs.iter().copied().sum::<Half>().to_f32(), 10.0);
+        assert_eq!(xs.iter().copied().product::<Half>().to_f32(), 24.0);
+        assert_eq!(xs.iter().sum::<Half>().to_f32(), 10.0);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(Half::from_f32(1.5).to_string(), "1.5");
+        assert_eq!(format!("{:?}", Half::from_f32(1.5)), "1.5f16");
+        assert_eq!(format!("{:x}", Half::ONE), "3c00");
+        assert_eq!(format!("{:b}", Half::ONE), "11110000000000");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!("1.5".parse::<Half>().unwrap(), Half::from_f32(1.5));
+        assert_eq!("-0.25".parse::<Half>().unwrap(), Half::from_f32(-0.25));
+        assert!("bogus".parse::<Half>().is_err());
+        assert!("inf".parse::<Half>().unwrap().is_infinite());
+    }
+
+    #[test]
+    fn conversion_traits() {
+        let h: Half = 0.75f32.into();
+        let back: f32 = h.into();
+        assert_eq!(back, 0.75);
+        let h64: Half = 0.75f64.into();
+        let back64: f64 = h64.into();
+        assert_eq!(back64, 0.75);
+        assert_eq!(Half::from(3u8).to_f32(), 3.0);
+        assert_eq!(Half::from(-3i8).to_f32(), -3.0);
+    }
+
+    #[test]
+    fn nan_comparison_semantics() {
+        assert!(Half::NAN != Half::NAN);
+        assert!(!(Half::NAN < Half::ONE));
+        assert!(!(Half::NAN > Half::ONE));
+        assert_eq!(Half::ZERO, Half::NEG_ZERO); // IEEE: +0 == -0
+    }
+
+    #[test]
+    fn total_cmp_orders_everything() {
+        use core::cmp::Ordering;
+        let mut v = vec![
+            Half::INFINITY,
+            Half::NEG_INFINITY,
+            Half::ONE,
+            Half::NEG_ONE,
+            Half::ZERO,
+            Half::NEG_ZERO,
+        ];
+        v.sort_by(Half::total_cmp);
+        let expect = [
+            Half::NEG_INFINITY,
+            Half::NEG_ONE,
+            Half::NEG_ZERO,
+            Half::ZERO,
+            Half::ONE,
+            Half::INFINITY,
+        ];
+        for (a, b) in v.iter().zip(expect.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(Half::ONE.total_cmp(&Half::ONE), Ordering::Equal);
+    }
+}

@@ -1,0 +1,320 @@
+//! In-precision transcendental functions.
+//!
+//! The paper attributes the inverted criticality of LavaMD on the Xeon Phi
+//! (single tolerates faults *better* than double, Section 5.3) to the
+//! transcendental exponential: the double-precision evaluation runs a
+//! deeper polynomial, so more in-flight intermediate values exist and a
+//! corrupted term is amplified through more multiply-accumulate steps. To
+//! reproduce that mechanism instead of hard-coding it, `exp` here is an
+//! argument-reduction + Horner evaluation whose every operation is rounded
+//! in the target precision and whose polynomial degree grows with the
+//! precision, like real libm kernels (cf. Harrison et al., "The
+//! computation of transcendental functions on the IA-64 architecture").
+
+use crate::{FloatExt, Precision};
+
+/// Number of polynomial terms the in-precision `exp` evaluates.
+///
+/// Chosen as the minimal Taylor depth whose truncation error on the
+/// reduced interval `|r| <= ln(2)/2` is below the format's epsilon.
+pub const fn exp_terms(precision: Precision) -> usize {
+    match precision {
+        Precision::Half => 5,     // error ~4e-5 < 2^-10
+        Precision::Single => 8,   // error ~5e-9 < 2^-23
+        Precision::Double => 14,  // error ~4e-18 < 2^-52
+    }
+}
+
+/// `exp(x)` by argument reduction and an in-precision Horner polynomial.
+///
+/// Accuracy: a few ULP of the target precision over the format's finite
+/// range (verified by the tests below); overflow saturates to `+inf`,
+/// deep underflow to `+0`.
+///
+/// # Example
+///
+/// ```rust
+/// use mpr_softfloat::{math::exp_poly, Half};
+/// let e = exp_poly(Half::from_f64(1.0)).to_f64();
+/// assert!((e - std::f64::consts::E).abs() < 3e-3);
+/// ```
+pub fn exp_poly<F: FloatExt>(x: F) -> F {
+    if x.is_nan() {
+        return x;
+    }
+    if x.is_infinite() {
+        return if x.to_f64() > 0.0 { x } else { F::zero() };
+    }
+
+    // Saturate outside the format's representable range *before* the
+    // reduction: for inputs like -f16::MAX the reduction itself would
+    // overflow in-precision and poison the polynomial.
+    let (ovf, udf) = match F::PRECISION {
+        Precision::Half => (12.0, -18.0),
+        Precision::Single => (90.0, -106.0),
+        Precision::Double => (710.0, -746.0),
+    };
+    let xf = x.to_f64();
+    if xf > ovf {
+        return F::from_f64(f64::INFINITY);
+    }
+    if xf < udf {
+        return F::zero();
+    }
+
+    // Reduction: x = n*ln2 + r, |r| <= ln2/2.
+    let log2e = F::from_f64(std::f64::consts::LOG2_E);
+    let n = (x * log2e).to_f64().round() as i32;
+
+    // Two-part ln2 keeps the reduction accurate in-precision: the hi part
+    // is exact in every format (top bits only), so x - n*hi is computed
+    // without cancellation noise, then the lo correction is applied.
+    let (ln2_hi, ln2_lo) = match F::PRECISION {
+        Precision::Half => (0.693359375, -2.1219444005469057e-4),
+        Precision::Single => (0.6931457519531250, 1.4286067653301193e-6),
+        Precision::Double => (0.6931471803691238, 1.9082149292705877e-10),
+    };
+    let nf = F::from_f64(n as f64);
+    let r = (x - nf * F::from_f64(ln2_hi)) - nf * F::from_f64(ln2_lo);
+
+    // Horner evaluation of the truncated Taylor series, entirely in F.
+    let terms = exp_terms(F::PRECISION);
+    let mut acc = F::zero();
+    for k in (1..=terms).rev() {
+        // 1/k! is rounded once into F, like a libm coefficient table.
+        let coeff = F::from_f64(1.0 / factorial(k as u32));
+        acc = acc.mul_add(r, coeff);
+    }
+    let p = acc.mul_add(r, F::one());
+
+    p.ldexp(n)
+}
+
+fn factorial(k: u32) -> f64 {
+    (1..=k).map(f64::from).product()
+}
+
+/// Number of atanh-series terms the in-precision `ln` evaluates.
+pub const fn ln_terms(precision: Precision) -> usize {
+    match precision {
+        Precision::Half => 3,    // |t| <= 0.172: t^7/7 ~ 2e-6 < 2^-10 comfortably
+        Precision::Single => 6,  // t^13/13 ~ 8e-12 < 2^-23
+        Precision::Double => 10, // t^21/21 ~ 4e-17 < 2^-52
+    }
+}
+
+/// `ln(x)` by exponent extraction and an in-precision atanh series.
+///
+/// Reduction: `x = m * 2^k` with `m` in `[sqrt(2)/2, sqrt(2))`, then
+/// `ln x = k*ln2 + 2*atanh((m-1)/(m+1))` with the series evaluated in
+/// `F`. Domain edges follow IEEE `log`: `ln(0) = -inf`, negative inputs
+/// are NaN.
+///
+/// # Example
+///
+/// ```rust
+/// use mpr_softfloat::{math::ln_poly, Half};
+/// let l = ln_poly(Half::from_f64(2.0)).to_f64();
+/// assert!((l - std::f64::consts::LN_2).abs() < 2e-3);
+/// assert!(ln_poly(0.0f64).is_infinite());
+/// assert!(ln_poly(-1.0f64).is_nan());
+/// ```
+pub fn ln_poly<F: FloatExt>(x: F) -> F {
+    let xf = x.to_f64();
+    if x.is_nan() || xf < 0.0 {
+        return F::from_f64(f64::NAN);
+    }
+    if xf == 0.0 {
+        return F::from_f64(f64::NEG_INFINITY);
+    }
+    if x.is_infinite() {
+        return x;
+    }
+    // Exponent extraction (exact: only powers of two move between m and k).
+    let mut k = xf.log2().floor() as i32;
+    let mut m = x.ldexp(-k);
+    if m.to_f64() >= std::f64::consts::SQRT_2 {
+        m = m.ldexp(-1);
+        k += 1;
+    }
+    // atanh series in precision.
+    let t = (m - F::one()) / (m + F::one());
+    let t2 = t * t;
+    let mut acc = F::zero();
+    for j in (0..ln_terms(F::PRECISION)).rev() {
+        let coeff = F::from_f64(1.0 / (2 * j + 3) as f64);
+        acc = acc.mul_add(t2, coeff);
+    }
+    let series = (acc * t2).mul_add(t, t); // t + t^3/3 + t^5/5 + ...
+    let two = F::from_f64(2.0);
+    let ln2 = F::from_f64(std::f64::consts::LN_2);
+    F::from_f64(k as f64).mul_add(ln2, two * series)
+}
+
+/// `tanh(x)` via the in-precision exponential:
+/// `(exp(2x) - 1) / (exp(2x) + 1)`, saturating to ±1.
+///
+/// ```rust
+/// use mpr_softfloat::math::tanh_poly;
+/// assert!((tanh_poly(1.0f64) - 1.0f64.tanh()).abs() < 1e-12);
+/// assert_eq!(tanh_poly(100.0f32), 1.0);
+/// ```
+pub fn tanh_poly<F: FloatExt>(x: F) -> F {
+    if x.is_nan() {
+        return x;
+    }
+    let xf = x.to_f64();
+    if xf > 20.0 {
+        return F::one();
+    }
+    if xf < -20.0 {
+        return -F::one();
+    }
+    let e2 = exp_poly(x + x);
+    (e2 - F::one()) / (e2 + F::one())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Half;
+
+    #[test]
+    fn exp_double_accuracy() {
+        for i in -600..=600 {
+            let x = i as f64 * 0.5;
+            let got = exp_poly(x);
+            let want = x.exp();
+            if want.is_infinite() || want == 0.0 {
+                assert_eq!(got, want, "x={x}");
+            } else {
+                let rel = ((got - want) / want).abs();
+                assert!(rel < 1e-14, "x={x} got={got} want={want} rel={rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn exp_single_accuracy() {
+        for i in -160..=160 {
+            let x = i as f32 * 0.5;
+            let got = exp_poly(x);
+            let want = (x as f64).exp() as f32;
+            if want.is_infinite() || want == 0.0 {
+                continue;
+            }
+            let rel = ((got - want) / want).abs();
+            assert!(rel < 1e-5, "x={x} got={got} want={want}");
+        }
+    }
+
+    #[test]
+    fn exp_half_accuracy() {
+        for i in -20..=20 {
+            let x = Half::from_f64(i as f64 * 0.5);
+            let got = exp_poly(x).to_f64();
+            let want = x.to_f64().exp();
+            if want > Half::MAX.to_f64() {
+                continue;
+            }
+            let rel = if want == 0.0 {
+                got.abs()
+            } else {
+                ((got - want) / want).abs()
+            };
+            assert!(rel < 6e-3, "x={x} got={got} want={want}");
+        }
+    }
+
+    #[test]
+    fn exp_specials() {
+        assert!(exp_poly(f64::NAN).is_nan());
+        assert_eq!(exp_poly(f64::INFINITY), f64::INFINITY);
+        assert_eq!(exp_poly(f64::NEG_INFINITY), 0.0);
+        assert_eq!(exp_poly(0.0f64), 1.0);
+        assert_eq!(exp_poly(Half::ZERO).to_f64(), 1.0);
+        // Overflow saturation.
+        assert!(exp_poly(Half::from_f64(50.0)).is_infinite());
+        assert!(exp_poly(800.0f64).is_infinite());
+        assert_eq!(exp_poly(-800.0f64), 0.0);
+        // f16::MAX as input must terminate promptly and saturate.
+        assert!(exp_poly(Half::MAX).is_infinite());
+        assert_eq!(exp_poly(-Half::MAX).to_f64(), 0.0);
+    }
+
+    #[test]
+    fn term_counts_grow_with_precision() {
+        assert!(exp_terms(Precision::Half) < exp_terms(Precision::Single));
+        assert!(exp_terms(Precision::Single) < exp_terms(Precision::Double));
+        assert!(ln_terms(Precision::Half) < ln_terms(Precision::Double));
+    }
+
+    #[test]
+    fn ln_double_accuracy() {
+        for i in 1..=400 {
+            let x = i as f64 * 0.11;
+            let got = ln_poly(x);
+            let want = x.ln();
+            assert!(
+                (got - want).abs() < 1e-14 * want.abs().max(1.0),
+                "x={x} got={got} want={want}"
+            );
+        }
+        // Wide dynamic range.
+        for e in [-300, -30, 30, 300] {
+            let x = 2f64.powi(e) * 1.37;
+            assert!((ln_poly(x) - x.ln()).abs() < 1e-12 * x.ln().abs());
+        }
+    }
+
+    #[test]
+    fn ln_half_accuracy() {
+        for i in 1..=40 {
+            let x = Half::from_f64(i as f64 * 0.4);
+            let got = ln_poly(x).to_f64();
+            let want = x.to_f64().ln();
+            assert!(
+                (got - want).abs() < 4e-3 * want.abs().max(1.0),
+                "x={x} got={got} want={want}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_edge_cases() {
+        assert!(ln_poly(f64::NAN).is_nan());
+        assert!(ln_poly(-2.0f64).is_nan());
+        assert_eq!(ln_poly(0.0f64), f64::NEG_INFINITY);
+        assert_eq!(ln_poly(f64::INFINITY), f64::INFINITY);
+        assert_eq!(ln_poly(1.0f64), 0.0);
+        assert!(ln_poly(Half::ZERO).is_infinite());
+    }
+
+    #[test]
+    fn tanh_accuracy_and_saturation() {
+        for i in -30..=30 {
+            let x = i as f64 * 0.2;
+            assert!((tanh_poly(x) - x.tanh()).abs() < 1e-12, "x={x}");
+        }
+        assert_eq!(tanh_poly(25.0f64), 1.0);
+        assert_eq!(tanh_poly(-25.0f64), -1.0);
+        assert!(tanh_poly(f32::NAN).is_nan());
+        let h = tanh_poly(Half::from_f64(0.5)).to_f64();
+        assert!((h - 0.5f64.tanh()).abs() < 2e-3);
+    }
+
+    #[test]
+    fn tanh_is_odd_to_within_rounding() {
+        // The exp-based formula is not bit-exactly odd (the two
+        // reductions round differently), but must agree to a few ULP.
+        for i in 1..=20 {
+            let x = i as f32 * 0.3;
+            let a = tanh_poly(x);
+            let b = -tanh_poly(-x);
+            assert!(
+                crate::ulp::ulp_distance(a, b) <= 8,
+                "x={x}: {a} vs {b}"
+            );
+        }
+    }
+}

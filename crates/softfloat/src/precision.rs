@@ -1,0 +1,174 @@
+//! Runtime precision selection and IEEE-754 format metadata.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three IEEE-754 binary formats studied by the paper.
+///
+/// Every experiment in the study is a sweep over these precisions (the
+/// Xeon Phi lacks half-precision hardware, which the architecture model
+/// enforces; see `mpr-arch`).
+///
+/// # Example
+///
+/// ```rust
+/// use mpr_softfloat::Precision;
+///
+/// assert_eq!(Precision::Half.mantissa_bits(), 10);
+/// assert_eq!(Precision::Double.total_bits(), 64);
+/// // Probability that a uniformly placed bit flip lands in the mantissa:
+/// assert!((Precision::Double.mantissa_fraction() - 52.0 / 64.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Precision {
+    /// IEEE-754 binary16: 1 + 5 + 10 bits.
+    Half,
+    /// IEEE-754 binary32: 1 + 8 + 23 bits.
+    Single,
+    /// IEEE-754 binary64: 1 + 11 + 52 bits.
+    Double,
+}
+
+impl Precision {
+    /// All precisions, widest first (the order used in the paper's plots).
+    pub const ALL: [Precision; 3] = [Precision::Double, Precision::Single, Precision::Half];
+
+    /// Total storage bits of the format.
+    pub const fn total_bits(self) -> u32 {
+        match self {
+            Precision::Half => 16,
+            Precision::Single => 32,
+            Precision::Double => 64,
+        }
+    }
+
+    /// Explicit mantissa (fraction) bits, excluding the implicit leading 1.
+    pub const fn mantissa_bits(self) -> u32 {
+        match self {
+            Precision::Half => 10,
+            Precision::Single => 23,
+            Precision::Double => 52,
+        }
+    }
+
+    /// Exponent field width in bits.
+    pub const fn exponent_bits(self) -> u32 {
+        match self {
+            Precision::Half => 5,
+            Precision::Single => 8,
+            Precision::Double => 11,
+        }
+    }
+
+    /// Exponent bias.
+    pub const fn exponent_bias(self) -> i32 {
+        match self {
+            Precision::Half => 15,
+            Precision::Single => 127,
+            Precision::Double => 1023,
+        }
+    }
+
+    /// Machine epsilon of the format (`2^-mantissa_bits`).
+    pub fn epsilon(self) -> f64 {
+        2f64.powi(-(self.mantissa_bits() as i32))
+    }
+
+    /// Fraction of the representation occupied by the mantissa — the
+    /// probability that a uniformly random single-bit flip perturbs only
+    /// the significand (the driver of the paper's criticality trends).
+    pub fn mantissa_fraction(self) -> f64 {
+        self.mantissa_bits() as f64 / self.total_bits() as f64
+    }
+
+    /// Short lowercase name used in reports: `"double"`, `"single"`, `"half"`.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Precision::Half => "half",
+            Precision::Single => "single",
+            Precision::Double => "double",
+        }
+    }
+
+    /// One-letter tag used in compact tables: `d`, `s`, `h`.
+    pub const fn tag(self) -> char {
+        match self {
+            Precision::Half => 'h',
+            Precision::Single => 's',
+            Precision::Double => 'd',
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Precision {
+    type Err = ParsePrecisionError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "half" | "h" | "fp16" | "16" => Ok(Precision::Half),
+            "single" | "s" | "float" | "fp32" | "32" => Ok(Precision::Single),
+            "double" | "d" | "fp64" | "64" => Ok(Precision::Double),
+            _ => Err(ParsePrecisionError(())),
+        }
+    }
+}
+
+/// Error returned when parsing a [`Precision`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePrecisionError(());
+
+impl fmt::Display for ParsePrecisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("expected one of: double, single, half")
+    }
+}
+
+impl std::error::Error for ParsePrecisionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_is_consistent() {
+        for p in Precision::ALL {
+            assert_eq!(
+                1 + p.exponent_bits() + p.mantissa_bits(),
+                p.total_bits(),
+                "{p}: sign + exp + mant must equal width"
+            );
+            assert_eq!(p.exponent_bias(), (1 << (p.exponent_bits() - 1)) - 1);
+            assert!(p.mantissa_fraction() > 0.5);
+        }
+    }
+
+    #[test]
+    fn ordering_is_by_width() {
+        assert!(Precision::Half < Precision::Single);
+        assert!(Precision::Single < Precision::Double);
+        assert_eq!(Precision::ALL[0], Precision::Double);
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!("double".parse::<Precision>().unwrap(), Precision::Double);
+        assert_eq!("FP16".parse::<Precision>().unwrap(), Precision::Half);
+        assert_eq!("32".parse::<Precision>().unwrap(), Precision::Single);
+        assert!("quad".parse::<Precision>().is_err());
+        assert_eq!(Precision::Single.to_string(), "single");
+        assert_eq!(Precision::Double.tag(), 'd');
+    }
+
+    #[test]
+    fn epsilon_matches_native_types() {
+        assert_eq!(Precision::Double.epsilon(), f64::EPSILON);
+        assert_eq!(Precision::Single.epsilon(), f32::EPSILON as f64);
+        assert_eq!(Precision::Half.epsilon(), 2f64.powi(-10));
+    }
+}

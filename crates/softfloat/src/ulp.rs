@@ -1,0 +1,146 @@
+//! ULP distances and the relative-error measure behind the TRE analysis.
+//!
+//! The paper scores every Silent Data Corruption by how far the corrupted
+//! output strays from the expected value, then asks which fraction of SDCs
+//! a user tolerating a given relative error would still accept (Tolerated
+//! Relative Error, Section 3.2). [`relative_error`] is that measure.
+
+use crate::FloatExt;
+
+/// Relative error `|observed - expected| / |expected|`.
+///
+/// Edge conventions chosen to make TRE classification conservative:
+/// a NaN or infinite observation is *infinitely* wrong; a corrupted value
+/// against an expected zero is infinitely wrong unless it is also zero.
+///
+/// ```rust
+/// use mpr_softfloat::ulp::relative_error;
+/// assert_eq!(relative_error(101.0, 100.0), 0.01);
+/// assert_eq!(relative_error(0.0, 0.0), 0.0);
+/// assert_eq!(relative_error(f64::NAN, 1.0), f64::INFINITY);
+/// assert_eq!(relative_error(1.0, 0.0), f64::INFINITY);
+/// ```
+pub fn relative_error(observed: f64, expected: f64) -> f64 {
+    if observed.to_bits() == expected.to_bits() {
+        return 0.0;
+    }
+    if !observed.is_finite() || !expected.is_finite() {
+        return f64::INFINITY;
+    }
+    if expected == 0.0 {
+        return if observed == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    ((observed - expected) / expected).abs()
+}
+
+/// Largest relative error across paired elements — the per-run severity of
+/// an SDC event. Lengths must match.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_relative_error(observed: &[f64], expected: &[f64]) -> f64 {
+    assert_eq!(
+        observed.len(),
+        expected.len(),
+        "output vectors must be the same length"
+    );
+    observed
+        .iter()
+        .zip(expected)
+        .map(|(&o, &e)| relative_error(o, e))
+        .fold(0.0, f64::max)
+}
+
+/// Number of representable values between `a` and `b` in the format of
+/// `F`, treating the pair symmetrically. NaN against anything is `u64::MAX`.
+///
+/// ```rust
+/// use mpr_softfloat::{ulp::ulp_distance, Half};
+/// assert_eq!(ulp_distance(1.0f64, 1.0f64), 0);
+/// assert_eq!(ulp_distance(1.0f32, f32::from_bits(1.0f32.to_bits() + 3)), 3);
+/// assert_eq!(ulp_distance(Half::ONE, -Half::ONE), 2 * 0x3C00);
+/// ```
+pub fn ulp_distance<F: FloatExt>(a: F, b: F) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    let width = F::PRECISION.total_bits();
+    let to_ordered = |v: F| -> i64 {
+        let bits = v.to_bits_u64() as i64;
+        let sign_bit = 1i64 << (width - 1);
+        if bits & sign_bit != 0 {
+            sign_bit - bits
+        } else {
+            bits
+        }
+    };
+    // The difference of two ordered keys can exceed i64 (e.g. +inf vs -inf
+    // in binary64), so widen before subtracting.
+    (to_ordered(a) as i128 - to_ordered(b) as i128).unsigned_abs() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Half;
+
+    #[test]
+    fn relative_error_basics() {
+        assert_eq!(relative_error(110.0, 100.0), 0.1);
+        assert_eq!(relative_error(90.0, 100.0), 0.1);
+        assert_eq!(relative_error(-90.0, -100.0), 0.1);
+        assert_eq!(relative_error(5.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn relative_error_edge_cases() {
+        assert_eq!(relative_error(f64::INFINITY, 1.0), f64::INFINITY);
+        assert_eq!(relative_error(1.0, f64::NAN), f64::INFINITY);
+        assert_eq!(relative_error(0.0, 1.0), 1.0);
+        assert_eq!(relative_error(-0.0, 0.0), 0.0); // same value, different bits
+        // Identical NaN bit patterns count as "no corruption": the output
+        // byte-compares equal to the golden output.
+        assert_eq!(relative_error(f64::NAN, f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn max_relative_error_picks_worst_element() {
+        let golden = [1.0, 2.0, 4.0];
+        let observed = [1.0, 2.2, 4.0];
+        assert!((max_relative_error(&observed, &golden) - 0.1).abs() < 1e-12);
+        assert_eq!(max_relative_error(&golden, &golden), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn max_relative_error_length_mismatch_panics() {
+        let _ = max_relative_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn ulp_distance_adjacent_values() {
+        let one = 1.0f64;
+        let next = f64::from_bits(one.to_bits() + 1);
+        assert_eq!(ulp_distance(one, next), 1);
+        assert_eq!(ulp_distance(next, one), 1);
+        let h1 = Half::ONE;
+        let h2 = Half::from_bits(h1.to_bits() + 1);
+        assert_eq!(ulp_distance(h1, h2), 1);
+    }
+
+    #[test]
+    fn ulp_distance_across_zero() {
+        // +0 and -0 are adjacent in the ordered mapping (distance 0 would
+        // also be defensible; we count the signed-zero gap as 0).
+        assert_eq!(ulp_distance(0.0f64, -0.0f64), 0);
+        let tiny = f64::from_bits(1);
+        assert_eq!(ulp_distance(tiny, -tiny), 2);
+    }
+
+    #[test]
+    fn ulp_distance_nan() {
+        assert_eq!(ulp_distance(f64::NAN, 1.0), u64::MAX);
+        assert_eq!(ulp_distance(Half::NAN, Half::ONE), u64::MAX);
+    }
+}

@@ -1,0 +1,73 @@
+//! What if the paper's GPU had ECC?
+//!
+//! The Titan V the paper irradiates ships without ECC; the same GV100
+//! silicon in the Tesla V100 protects its register file and caches with
+//! SECDED. The authors had to *triplicate their output data in HBM2* to
+//! work around it (Section 3.2). This example answers the question the
+//! fixed hardware could not: how much of each benchmark's FIT was
+//! protectable array state vs naked arithmetic logic?
+//!
+//! ```text
+//! cargo run --release --example ecc_what_if
+//! ```
+
+use mixed_precision_reliability::arch::VoltaGpu;
+use mixed_precision_reliability::beam::{BeamCampaign, BeamSession};
+use mixed_precision_reliability::fault::Workload;
+use mixed_precision_reliability::kernels::{profiles, Gemm, Micro, MicroKernelOp};
+use mixed_precision_reliability::metrics::Table;
+use mixed_precision_reliability::nn::{profiles as nn_profiles, TinyYolo};
+use mixed_precision_reliability::softfloat::Precision;
+
+fn main() {
+    let bare = VoltaGpu::titan_v();
+    let ecc = VoltaGpu::tesla_v100();
+
+    let micro = Micro::new(MicroKernelOp::Fma, 16, 128);
+    let gemm = Gemm::new(14);
+    let yolo = TinyYolo::new();
+
+    let mut table = Table::new(vec![
+        "benchmark",
+        "precision",
+        "SDC FIT no ECC",
+        "SDC FIT ECC",
+        "reduction",
+        "DUE change",
+    ])
+    .with_title("Titan V vs Tesla V100 (ECC) under the same beam");
+
+    let cases: [(&str, &dyn Workload, mixed_precision_reliability::arch::WorkloadProfile); 3] = [
+        ("Micro-FMA", &micro, profiles::micro(MicroKernelOp::Fma)),
+        ("MxM", &gemm, profiles::mxm_gpu()),
+        ("YOLOv3", &yolo, nn_profiles::yolo_gpu()),
+    ];
+
+    for (name, workload, profile) in &cases {
+        for precision in Precision::ALL {
+            let session = BeamSession::quick(99).with_target_candidates(900);
+            let b = BeamCampaign::new(&bare, *workload, profile, precision)
+                .session(session)
+                .run();
+            let e = BeamCampaign::new(&ecc, *workload, profile, precision)
+                .session(session)
+                .run();
+            table.row(vec![
+                name.to_string(),
+                precision.to_string(),
+                format!("{:.2e}", b.fit_sdc().au()),
+                format!("{:.2e}", e.fit_sdc().au()),
+                format!("{:.1}x", b.fit_sdc().au() / e.fit_sdc().au()),
+                format!("{:+.0}%", (e.fit_due().au() / b.fit_due().au() - 1.0) * 100.0),
+            ]);
+        }
+    }
+
+    println!("{table}");
+    println!(
+        "ECC pays off in proportion to how much of the exposure is array state:\n\
+         the memory-bound MxM collapses, the register-resident microbenchmark\n\
+         keeps most of its FIT (arithmetic logic has no parity), and some of\n\
+         what ECC removes comes back as detected-uncorrectable DUEs."
+    );
+}

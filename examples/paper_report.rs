@@ -1,0 +1,40 @@
+//! Regenerate every table and figure of the paper as text tables.
+//!
+//! ```text
+//! cargo run --release --example paper_report            # quick statistics
+//! cargo run --release --example paper_report -- --paper # paper-scale
+//! ```
+
+use mixed_precision_reliability::core::Study;
+
+fn main() {
+    let paper_scale = std::env::args().any(|a| a == "--paper");
+    let study = if paper_scale {
+        eprintln!("running at paper scale; this takes a few minutes...");
+        Study::paper(2019)
+    } else {
+        Study::quick(2019)
+    };
+
+    println!("{}", study.table1_fpga_times());
+    println!("{}", study.fig2_fpga_resources().to_table());
+    println!("{}", study.fig3_fpga_fit().to_table());
+    println!("{}", study.fig4_fpga_tre().to_table());
+    println!("{}", study.fig5_fpga_mebf().to_table());
+
+    println!("{}", study.table2_knc_times());
+    println!("{}", study.fig6_knc_fit().to_table());
+    println!("{}", study.fig7_knc_pvf().to_table());
+    println!("{}", study.fig8_knc_tre().to_table());
+    println!("{}", study.fig9_knc_mebf().to_table());
+
+    println!("{}", study.table3_gpu_times());
+    println!("{}", study.fig10_gpu_fit().to_table());
+    println!("{}", study.fig11_gpu_tre().to_table());
+    println!("{}", study.fig12_gpu_avf().to_table());
+    println!("{}", study.fig13_gpu_mebf().to_table());
+
+    // Beyond the paper: ablations only the simulator can run.
+    println!("{}", study.ablation_gpu_ecc().to_table());
+    println!("{}", study.ablation_fault_models().to_table());
+}

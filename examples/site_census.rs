@@ -1,0 +1,67 @@
+//! Where is a kernel vulnerable? A magnitude census of its fault sites.
+//!
+//! The KNC LavaMD criticality inversion (paper Section 5.3, Figure 8)
+//! hinges on *what kind of values* the transcendental evaluation keeps in
+//! flight: the double-precision polynomial carries far more tiny
+//! intermediates (high-order Taylor terms ~1e-11 and below), and a flip
+//! in a tiny value's exponent field inflates it catastrophically. The
+//! [`TracingHook`] makes that census directly observable.
+//!
+//! ```text
+//! cargo run --release --example site_census
+//! ```
+
+use mixed_precision_reliability::fault::hook::TracingHook;
+use mixed_precision_reliability::fault::Workload;
+use mixed_precision_reliability::kernels::{Gemm, LavaMd, Micro, MicroKernelOp};
+use mixed_precision_reliability::metrics::Table;
+use mixed_precision_reliability::softfloat::Precision;
+
+fn census(workload: &dyn Workload, precision: Precision) -> (u64, f64, f64) {
+    let mut hook = TracingHook::new();
+    let _ = workload.dispatch(precision, &mut hook);
+    (
+        hook.sites(),
+        hook.tiny_fraction(-20), // below ~1e-6
+        hook.tiny_fraction(-3),  // below 1/8
+    )
+}
+
+fn main() {
+    let gemm = Gemm::new(12);
+    let lavamd = LavaMd::new(2, 3);
+    let micro = Micro::new(MicroKernelOp::Fma, 8, 128);
+    let workloads: [(&str, &dyn Workload); 3] =
+        [("MxM", &gemm), ("LavaMD", &lavamd), ("Micro-FMA", &micro)];
+
+    let mut table = Table::new(vec![
+        "workload",
+        "precision",
+        "sites",
+        "below 1e-6",
+        "below 1/8",
+    ])
+    .with_title("Fault-site magnitude census (TracingHook)");
+
+    for (name, w) in workloads {
+        for precision in Precision::ALL {
+            let (sites, tiny, small) = census(w, precision);
+            table.row(vec![
+                name.to_string(),
+                precision.to_string(),
+                sites.to_string(),
+                format!("{:.1}%", tiny * 100.0),
+                format!("{:.1}%", small * 100.0),
+            ]);
+        }
+    }
+
+    println!("{table}");
+    println!(
+        "LavaMD's double-precision run keeps a visibly larger share of tiny\n\
+         values in flight than its half-precision run — the deeper Horner\n\
+         recurrence of the in-precision exponential. Those are the sites whose\n\
+         exponent-bit corruption is catastrophic, the root of the paper's\n\
+         transcendental criticality effect (Section 5.3)."
+    );
+}

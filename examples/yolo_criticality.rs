@@ -1,0 +1,77 @@
+//! Object-detection criticality study (the paper's Figure 11c): how
+//! often does a transient fault in the detector change *what is
+//! detected* rather than just perturbing scores — and how does the data
+//! precision change that?
+//!
+//! ```text
+//! cargo run --release --example yolo_criticality
+//! ```
+
+use mixed_precision_reliability::arch::VoltaGpu;
+use mixed_precision_reliability::beam::{BeamCampaign, BeamSession};
+use mixed_precision_reliability::fault::Workload;
+use mixed_precision_reliability::metrics::Table;
+use mixed_precision_reliability::nn::{classify_detections, profiles, DetectionImpact, TinyYolo};
+use mixed_precision_reliability::softfloat::Precision;
+
+fn main() {
+    let gpu = VoltaGpu::titan_v();
+    let yolo = TinyYolo::new();
+    let profile = profiles::yolo_gpu();
+
+    // Show what the fault-free detector sees.
+    let golden = TinyYolo::decode(&yolo.run_golden(Precision::Single));
+    println!("fault-free detections on the synthetic scene:");
+    for d in &golden {
+        println!(
+            "  class {} score {:.2} box center ({:.1}, {:.1}) size {:.1}x{:.1}",
+            d.class, d.score, d.bbox[0], d.bbox[1], d.bbox[2], d.bbox[3]
+        );
+    }
+    println!();
+
+    let classify = |golden: &[f64], out: &[f64]| -> &'static str {
+        match classify_detections(&TinyYolo::decode(golden), &TinyYolo::decode(out)) {
+            DetectionImpact::Tolerable => "tolerable",
+            DetectionImpact::DetectionChanged => "detection changed",
+            DetectionImpact::ClassificationChanged => "classification changed",
+        }
+    };
+
+    let mut table = Table::new(vec![
+        "precision",
+        "SDCs",
+        "tolerable",
+        "detection changed",
+        "classification changed",
+    ])
+    .with_title("YOLO-style detector under simulated beam (Titan V model)");
+
+    for precision in Precision::ALL {
+        let result = BeamCampaign::new(&gpu, &yolo, &profile, precision)
+            .session(BeamSession::quick(3).with_target_candidates(1200))
+            .classifier(&classify)
+            .run();
+        let fractions = result.label_fractions();
+        let get = |label: &str| {
+            fractions
+                .iter()
+                .find(|(l, _)| *l == label)
+                .map_or(0.0, |(_, f)| *f)
+        };
+        table.row(vec![
+            precision.to_string(),
+            result.sdc.events().to_string(),
+            format!("{:.1}%", get("tolerable") * 100.0),
+            format!("{:.1}%", get("detection changed") * 100.0),
+            format!("{:.1}%", get("classification changed") * 100.0),
+        ]);
+    }
+
+    println!("{table}");
+    println!(
+        "Most corruptions only nudge scores; the critical ones grow as precision\n\
+         shrinks because a flipped bit perturbs a larger share of a narrow value\n\
+         (paper Section 6.3, Figure 11c)."
+    );
+}

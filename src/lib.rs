@@ -1,0 +1,13 @@
+//! Facade crate for the mixed-precision reliability study.
+//!
+//! Re-exports every sub-crate under a stable path. See the README for the
+//! architecture overview and `mpr_core` for the experiment runners.
+
+pub use mpr_arch as arch;
+pub use mpr_beam as beam;
+pub use mpr_core as core;
+pub use mpr_fault as fault;
+pub use mpr_kernels as kernels;
+pub use mpr_metrics as metrics;
+pub use mpr_nn as nn;
+pub use mpr_softfloat as softfloat;
