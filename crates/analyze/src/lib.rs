@@ -1,0 +1,372 @@
+//! `mpr-analyze` — domain-specific static analysis for the
+//! mixed-precision reliability workspace.
+//!
+//! The simulator's correctness rests on conventions a compiler cannot
+//! check: kernel arithmetic must stay generic over [`FloatExt`] so one
+//! code path serves double/single/half, every intermediate value must
+//! pass through the fault hook so injection campaigns see it, campaigns
+//! must be bit-reproducible from their seed, and library crates must
+//! not panic on recoverable conditions. This crate enforces those
+//! conventions with a lightweight line/token-level scanner — no rustc
+//! plugin, no syntax tree — wired into the CLI as `mpr analyze`.
+//!
+//! | family           | ids        | scope                        |
+//! |------------------|------------|------------------------------|
+//! | `precision-leak` | PL001-PL004| `crates/kernels`, `crates/nn` (generic fn bodies) |
+//! | `fault-site`     | FS001      | `crates/kernels`, `crates/nn` (generic fn bodies) |
+//! | `determinism`    | DT001-DT003| `crates/beam`, `crates/fault`, `crates/core` |
+//! | `panic-hygiene`  | PH001-PH003| every library crate          |
+//! | `allow-hygiene`  | AH001-AH003| pragma bookkeeping           |
+//!
+//! Violations are suppressed line-by-line with a justified pragma:
+//!
+//! ```text
+//! // mpr-allow: panic-hygiene -- a poisoned lock is unrecoverable here
+//! ```
+//!
+//! or file-wide with `//! mpr-allow-file: <lint> -- <why>`. A pragma
+//! without a justification, naming an unknown lint, or suppressing
+//! nothing is itself reported, so the allowlist stays auditable.
+//!
+//! [`FloatExt`]: https://docs.rs/mpr-softfloat
+
+pub mod json;
+pub mod lints;
+pub mod source;
+
+use source::SourceFile;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// How severe a finding is; only errors fail the build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Gate-failing violation.
+    Error,
+    /// Reported, but does not fail the gate.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        })
+    }
+}
+
+/// One diagnostic produced by a lint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Stable id, e.g. `PL001`.
+    pub lint: String,
+    /// Lint family, e.g. `precision-leak` (the name pragmas use).
+    pub name: String,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} [{}] {}",
+            self.file, self.line, self.severity, self.lint, self.message
+        )
+    }
+}
+
+/// The result of analyzing a file set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All findings, sorted by (file, line, lint).
+    pub findings: Vec<Finding>,
+}
+
+impl Analysis {
+    /// True when no error-severity findings remain.
+    pub fn clean(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Renders the human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} file(s) scanned, {} error(s), {} warning(s)\n",
+            self.files_scanned,
+            self.errors(),
+            self.findings.len() - self.errors()
+        ));
+        out
+    }
+
+    /// Renders the report as a single JSON document.
+    pub fn to_json(&self) -> String {
+        let findings: Vec<json::Value> = self
+            .findings
+            .iter()
+            .map(|f| {
+                let mut m = BTreeMap::new();
+                m.insert("file".to_string(), json::Value::Str(f.file.clone()));
+                m.insert("line".to_string(), json::Value::Num(f.line as f64));
+                m.insert("lint".to_string(), json::Value::Str(f.lint.clone()));
+                m.insert("name".to_string(), json::Value::Str(f.name.clone()));
+                m.insert(
+                    "severity".to_string(),
+                    json::Value::Str(f.severity.to_string()),
+                );
+                m.insert("message".to_string(), json::Value::Str(f.message.clone()));
+                json::Value::Obj(m)
+            })
+            .collect();
+        let mut root = BTreeMap::new();
+        root.insert(
+            "files_scanned".to_string(),
+            json::Value::Num(self.files_scanned as f64),
+        );
+        root.insert("errors".to_string(), json::Value::Num(self.errors() as f64));
+        root.insert("findings".to_string(), json::Value::Arr(findings));
+        json::Value::Obj(root).to_string()
+    }
+
+    /// Parses a report previously rendered by [`Analysis::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the text is not valid JSON or lacks the
+    /// report fields.
+    pub fn from_json(text: &str) -> Result<Analysis, String> {
+        let v = json::parse(text)?;
+        let files_scanned = v
+            .get("files_scanned")
+            .and_then(json::Value::as_num)
+            .ok_or("missing files_scanned")? as usize;
+        let mut findings = Vec::new();
+        for f in v
+            .get("findings")
+            .and_then(json::Value::as_arr)
+            .ok_or("missing findings")?
+        {
+            let field = |k: &str| -> Result<String, String> {
+                f.get(k)
+                    .and_then(json::Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("finding missing `{k}`"))
+            };
+            findings.push(Finding {
+                file: field("file")?,
+                line: f
+                    .get("line")
+                    .and_then(json::Value::as_num)
+                    .ok_or("finding missing `line`")? as usize,
+                lint: field("lint")?,
+                name: field("name")?,
+                severity: match field("severity")?.as_str() {
+                    "error" => Severity::Error,
+                    "warning" => Severity::Warning,
+                    other => return Err(format!("unknown severity `{other}`")),
+                },
+                message: field("message")?,
+            });
+        }
+        Ok(Analysis {
+            files_scanned,
+            findings,
+        })
+    }
+}
+
+/// True when `lint` applies to the file at workspace-relative `rel_path`.
+pub fn lint_applies(lint: &str, rel_path: &str) -> bool {
+    let p = rel_path.replace('\\', "/");
+    match lint {
+        "precision-leak" | "fault-site" => {
+            p.starts_with("crates/kernels/src") || p.starts_with("crates/nn/src")
+        }
+        "determinism" => {
+            p.starts_with("crates/beam/src")
+                || p.starts_with("crates/fault/src")
+                || p.starts_with("crates/core/src")
+        }
+        "panic-hygiene" => true,
+        _ => false,
+    }
+}
+
+/// Analyzes one file's text as if it lived at `rel_path`, applying the
+/// path-scoped lints and the pragma suppressions. This is the unit the
+/// workspace walk and the fixture tests share.
+pub fn analyze_source(rel_path: &str, text: &str) -> Vec<Finding> {
+    let file = SourceFile::parse(rel_path, text);
+    let mut raw: Vec<Finding> = Vec::new();
+    if lint_applies("precision-leak", rel_path) {
+        raw.extend(lints::precision_leak(&file));
+    }
+    if lint_applies("fault-site", rel_path) {
+        raw.extend(lints::fault_site(&file));
+    }
+    if lint_applies("determinism", rel_path) {
+        raw.extend(lints::determinism(&file));
+    }
+    if lint_applies("panic-hygiene", rel_path) {
+        raw.extend(lints::panic_hygiene(&file));
+    }
+
+    // Apply suppressions, remembering which pragma lines earned their keep.
+    let mut used: Vec<usize> = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in raw {
+        let suppressed = file.pragmas.iter().find(|p| {
+            p.lint == f.name && (p.file_wide || p.line == f.line || p.line + 1 == f.line)
+        });
+        match suppressed {
+            Some(p) => used.push(p.line),
+            None => findings.push(f),
+        }
+    }
+    findings.extend(lints::allow_hygiene(&file, &used));
+    findings.sort_by(|a, b| (a.line, &a.lint).cmp(&(b.line, &b.lint)));
+    findings
+}
+
+/// Walks the workspace at `root` (the directory holding the top-level
+/// `Cargo.toml`) and analyzes `src/` plus every `crates/*/src` tree.
+/// Vendored dependency shims (`vendor/`) stand in for external crates
+/// and are not scanned.
+///
+/// # Errors
+///
+/// Returns the first I/O error hit while reading the tree.
+pub fn analyze_workspace(root: &Path) -> io::Result<Analysis> {
+    if !root.is_dir() {
+        // A misspelled root must not scan vacuously clean.
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("workspace root {} is not a directory", root.display()),
+        ));
+    }
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            collect_rs(&member.join("src"), &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    let files_scanned = files.len();
+    for path in files {
+        let text = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(analyze_source(&rel, &text));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
+    Ok(Analysis {
+        files_scanned,
+        findings,
+    })
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoping_routes_lints_to_crates() {
+        assert!(lint_applies("precision-leak", "crates/kernels/src/gemm.rs"));
+        assert!(lint_applies("precision-leak", "crates/nn/src/layers.rs"));
+        assert!(!lint_applies(
+            "precision-leak",
+            "crates/beam/src/campaign.rs"
+        ));
+        assert!(lint_applies("determinism", "crates/core/src/study.rs"));
+        assert!(!lint_applies("determinism", "crates/metrics/src/fit.rs"));
+        assert!(lint_applies("panic-hygiene", "crates/metrics/src/fit.rs"));
+    }
+
+    #[test]
+    fn findings_render_as_file_line_lint() {
+        let f = Finding {
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            lint: "PH001".to_string(),
+            name: "panic-hygiene".to_string(),
+            severity: Severity::Error,
+            message: "no".to_string(),
+        };
+        assert_eq!(f.to_string(), "crates/x/src/lib.rs:7: error [PH001] no");
+    }
+
+    #[test]
+    fn json_report_round_trips() {
+        let analysis = Analysis {
+            files_scanned: 3,
+            findings: vec![Finding {
+                file: "crates/x/src/a.rs".to_string(),
+                line: 12,
+                lint: "DT003".to_string(),
+                name: "determinism".to_string(),
+                severity: Severity::Warning,
+                message: "iteration \"order\"\nis unstable".to_string(),
+            }],
+        };
+        let text = analysis.to_json();
+        let back = Analysis::from_json(&text).expect("parse");
+        assert_eq!(back, analysis);
+    }
+}

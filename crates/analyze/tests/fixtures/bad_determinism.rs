@@ -1,0 +1,14 @@
+//! Fixture: every determinism hazard in simulation code.
+
+use std::collections::{HashMap, HashSet};
+use std::time::SystemTime;
+
+fn sample(&mut self) -> u64 {
+    let mut rng = rand::thread_rng();
+    let salt = SystemTime::now();
+    let started = std::time::Instant::now();
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    let backup = rand::rngs::StdRng::from_entropy();
+    rng.next()
+}

@@ -1,0 +1,15 @@
+//! Fixture: kernel-loop updates that bypass the fault hook.
+
+fn run<F: FloatExt>(&self, hook: &mut dyn FaultHook) -> Vec<f64> {
+    let mut acc = F::zero();
+    let mut out = Vec::new();
+    for i in 0..self.n {
+        acc = acc + self.a[i];
+        out.push(self.a[i].mul_add(acc, acc));
+    }
+    for i in 0..self.n {
+        let fused = self.a[i].mul_add(acc, acc);
+        acc += fused;
+    }
+    out.iter().map(|v| v.to_f64()).collect()
+}

@@ -1,0 +1,14 @@
+//! Fixture: undocumented panic paths in library code.
+
+fn lookup(&self, key: &str) -> f64 {
+    let row = self.table.get(key).unwrap();
+    let cell = row.first().expect("nonempty row");
+    match cell {
+        Some(v) => *v,
+        None => panic!("missing cell"),
+    }
+}
+
+fn dispatch(&self) -> f64 {
+    unreachable!("no supported precision")
+}

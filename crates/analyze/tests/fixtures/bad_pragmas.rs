@@ -1,0 +1,11 @@
+//! Fixture: allowlist-hygiene violations.
+
+fn configure(&self) -> u64 {
+    // mpr-allow: no-such-lint -- typo in the lint name
+    let a = 1;
+    // mpr-allow: determinism
+    let b = 2;
+    // mpr-allow: panic-hygiene -- suppresses nothing below
+    let c = 3;
+    a + b + c
+}

@@ -1,0 +1,10 @@
+//! Fixture: the sanctioned reproducibility idioms.
+
+use std::collections::BTreeMap;
+
+fn sample(&mut self, seed: u64) -> u64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+    counts.insert(rng.next(), 1);
+    rng.next()
+}

@@ -1,0 +1,14 @@
+//! Fixture: the sanctioned loop shapes — every update is touched; index
+//! math, constant construction, and plain pushes of touched values pass.
+
+fn run<F: FloatExt>(&self, hook: &mut dyn FaultHook) -> Vec<f64> {
+    let mut acc = F::zero();
+    let mut out = Vec::with_capacity(self.n * self.n);
+    for idx in 0..self.n * self.n {
+        let (i, j) = (idx / self.n, idx % self.n);
+        let coeff = F::from_f64(1.0 / factorial(idx as u32));
+        acc = hook.touch(self.a[i * self.n + j].mul_add(coeff, acc));
+        out.push(acc.to_f64());
+    }
+    out
+}

@@ -1,0 +1,26 @@
+//! Fixture: sanctioned panic placements — documented contracts, test
+//! code, and justified pragmas.
+
+/// Looks up a calibration row.
+///
+/// # Panics
+///
+/// Panics if `key` names an unknown benchmark.
+fn lookup(&self, key: &str) -> f64 {
+    self.table.get(key).unwrap()
+}
+
+fn fallible(&self) -> Option<f64> {
+    // mpr-allow: panic-hygiene -- the head always emits ten logits
+    let v = self.logits.first().expect("ten logits");
+    Some(*v)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_freely() {
+        let v: Option<u64> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: the sanctioned patterns — constants enter through
+//! `F::from_f64`, values exit through `to_f64` at the interface.
+
+fn run<F: FloatExt>(&self, hook: &mut dyn FaultHook) -> Vec<f64> {
+    let scale = F::from_f64(0.5);
+    let half_down = F::from_f32(0.25f32);
+    let nf = F::from_f64(self.n as f64);
+    let log2e = F::from_f64(std::f64::consts::LOG2_E);
+    let v = hook.touch(scale * nf + log2e * half_down);
+    vec![v.to_f64()]
+}

@@ -1,0 +1,166 @@
+//! Fixture-based lint tests: every known-bad snippet must be flagged
+//! with the expected lint ids, every clean snippet must pass, and the
+//! shipped workspace itself must scan clean.
+//!
+//! The fixture sources live in `tests/fixtures/` (a subdirectory, so
+//! Cargo never compiles them) and are analyzed under *claimed* paths to
+//! exercise the path-based lint scoping.
+
+use mpr_analyze::{analyze_source, analyze_workspace, Analysis, Severity};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name}: {e}"))
+}
+
+/// Analyzes one fixture under a claimed workspace path.
+fn scan(rel_path: &str, name: &str) -> Analysis {
+    Analysis {
+        files_scanned: 1,
+        findings: analyze_source(rel_path, &fixture(name)),
+    }
+}
+
+fn lint_ids(analysis: &Analysis) -> Vec<&str> {
+    analysis.findings.iter().map(|f| f.lint.as_str()).collect()
+}
+
+#[test]
+fn bad_precision_fixture_trips_every_pl_lint() {
+    let a = scan("crates/kernels/src/fixture.rs", "bad_precision.rs");
+    let ids = lint_ids(&a);
+    for expected in ["PL001", "PL002", "PL003", "PL004"] {
+        assert!(ids.contains(&expected), "{expected} missing from {ids:?}");
+    }
+    assert!(!a.clean());
+}
+
+#[test]
+fn clean_precision_fixture_passes() {
+    let a = scan("crates/kernels/src/fixture.rs", "clean_precision.rs");
+    assert!(a.clean(), "unexpected findings: {}", a.to_text());
+}
+
+#[test]
+fn precision_lints_do_not_apply_outside_kernel_crates() {
+    // The same leaky source is fine in, say, the metrics crate — the
+    // golden/dispatch interface legitimately works in f64.
+    let a = scan("crates/metrics/src/fixture.rs", "bad_precision.rs");
+    assert!(a.clean(), "unexpected findings: {}", a.to_text());
+}
+
+#[test]
+fn bad_fault_site_fixture_flags_each_untouched_update() {
+    let a = scan("crates/nn/src/fixture.rs", "bad_fault_site.rs");
+    let fs: Vec<_> = a.findings.iter().filter(|f| f.lint == "FS001").collect();
+    assert_eq!(
+        fs.len(),
+        4,
+        "one finding per untouched update: {}",
+        a.to_text()
+    );
+    assert!(!a.clean());
+}
+
+#[test]
+fn clean_fault_site_fixture_passes() {
+    let a = scan("crates/kernels/src/fixture.rs", "clean_fault_site.rs");
+    assert!(a.clean(), "unexpected findings: {}", a.to_text());
+}
+
+#[test]
+fn bad_determinism_fixture_trips_every_dt_lint() {
+    let a = scan("crates/beam/src/fixture.rs", "bad_determinism.rs");
+    let ids = lint_ids(&a);
+    for expected in ["DT001", "DT002", "DT003"] {
+        assert!(ids.contains(&expected), "{expected} missing from {ids:?}");
+    }
+}
+
+#[test]
+fn determinism_lints_scope_to_simulation_crates() {
+    let a = scan("crates/metrics/src/fixture.rs", "bad_determinism.rs");
+    assert!(a.clean(), "unexpected findings: {}", a.to_text());
+}
+
+#[test]
+fn clean_determinism_fixture_passes() {
+    let a = scan("crates/fault/src/fixture.rs", "clean_determinism.rs");
+    assert!(a.clean(), "unexpected findings: {}", a.to_text());
+}
+
+#[test]
+fn bad_panics_fixture_trips_every_ph_lint() {
+    // Panic hygiene applies to every library crate.
+    let a = scan("crates/metrics/src/fixture.rs", "bad_panics.rs");
+    let ids = lint_ids(&a);
+    for expected in ["PH001", "PH002", "PH003"] {
+        assert!(ids.contains(&expected), "{expected} missing from {ids:?}");
+    }
+}
+
+#[test]
+fn clean_panics_fixture_passes() {
+    // Documented `# Panics` contracts, test modules, and a justified
+    // pragma all exempt their panic sites.
+    let a = scan("crates/metrics/src/fixture.rs", "clean_panics.rs");
+    assert!(a.clean(), "unexpected findings: {}", a.to_text());
+}
+
+#[test]
+fn pragma_hygiene_fixture_reports_bad_allows() {
+    let a = scan("crates/metrics/src/fixture.rs", "bad_pragmas.rs");
+    let ids = lint_ids(&a);
+    for expected in ["AH001", "AH002", "AH003"] {
+        assert!(ids.contains(&expected), "{expected} missing from {ids:?}");
+    }
+    // Unknown lints and missing justifications are errors; a stale but
+    // well-formed allow is only a warning.
+    assert!(a.errors() > 0);
+    assert!(a
+        .findings
+        .iter()
+        .any(|f| f.lint == "AH003" && f.severity == Severity::Warning));
+}
+
+#[test]
+fn json_output_round_trips() {
+    let a = scan("crates/kernels/src/fixture.rs", "bad_precision.rs");
+    let parsed = Analysis::from_json(&a.to_json()).expect("valid JSON");
+    assert_eq!(parsed.files_scanned, a.files_scanned);
+    assert_eq!(parsed.findings, a.findings);
+}
+
+#[test]
+fn workspace_tree_with_a_bad_file_is_flagged() {
+    let dir = std::env::temp_dir().join(format!("mpr_analyze_bad_{}", std::process::id()));
+    let src = dir.join("crates/kernels/src");
+    std::fs::create_dir_all(&src).expect("temp tree");
+    std::fs::write(src.join("bad.rs"), fixture("bad_precision.rs")).expect("write fixture");
+    let a = analyze_workspace(&dir).expect("scan succeeds");
+    assert_eq!(a.files_scanned, 1);
+    assert!(!a.clean(), "bad tree must be flagged");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shipped_workspace_scans_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let a = analyze_workspace(&root).expect("scan succeeds");
+    assert!(
+        a.files_scanned > 50,
+        "scanned only {} files",
+        a.files_scanned
+    );
+    // No errors *and* no warnings: stale pragmas must not accumulate.
+    assert!(
+        a.findings.is_empty(),
+        "workspace findings:\n{}",
+        a.to_text()
+    );
+}

@@ -312,13 +312,12 @@ pub fn fpga_resources(design: &str, precision: Precision) -> Option<(f64, f64, f
         "MNIST" => (40800.0, 148.0, 92.0),
         _ => return None,
     };
-    let scale = match (design, precision) {
-        (_, Precision::Double) => 1.0,
-        ("MxM", Precision::Single) => 0.55,
-        ("MxM", Precision::Half) => 0.55 * 0.64,
-        ("MNIST", Precision::Single) => 0.47,
-        ("MNIST", Precision::Half) => 0.47 * 0.74,
-        _ => unreachable!(),
+    let single_scale = if design == "MxM" { 0.55 } else { 0.47 };
+    let half_extra = if design == "MxM" { 0.64 } else { 0.74 };
+    let scale = match precision {
+        Precision::Double => 1.0,
+        Precision::Single => single_scale,
+        Precision::Half => single_scale * half_extra,
     };
     Some((luts_d * scale, dsps_d * scale, brams_d * scale))
 }

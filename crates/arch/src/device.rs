@@ -2,13 +2,12 @@
 
 use crate::WorkloadProfile;
 use mpr_softfloat::Precision;
-use serde::{Deserialize, Serialize};
 
 /// What a device exposes to the beam while executing one workload, as
 /// *rate weights*: multiplied by flux and execution time they give the
 /// expected strike counts per run (arbitrary units; only ratios between
 /// configurations matter, as in the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Exposure {
     /// Weight for strikes in computation state (datapath, registers,
     /// resident data). Each such strike is resolved by injecting a fault
@@ -28,7 +27,7 @@ pub struct Exposure {
 }
 
 /// Persistence semantics of FPGA configuration-memory strikes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PersistentFaults {
     /// Number of physical processing elements the computation is folded
     /// onto; a config strike corrupts one PE, i.e. every `pe_count`-th

@@ -3,10 +3,9 @@
 use crate::calib::*;
 use crate::{Device, Exposure, PersistentFaults, WorkloadProfile};
 use mpr_softfloat::Precision;
-use serde::{Deserialize, Serialize};
 
 /// Synthesized resource utilization of one circuit (paper Figure 2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FpgaResources {
     /// Look-up tables.
     pub luts: f64,
@@ -78,10 +77,12 @@ impl Fpga {
     /// Area-normalized sensitivity (configuration bits per unit FIT) —
     /// the paper's per-gate sensitivity check (Section 4.1) divides
     /// resources by the error rate to show area explains the FIT trend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `design` is not one of the synthesized designs.
     pub fn per_gate_sensitivity(&self, design: &str, precision: Precision, fit_au: f64) -> f64 {
-        let r = self
-            .resources(design, precision)
-            .expect("unknown design");
+        let r = self.resources(design, precision).expect("unknown design");
         (r.luts + r.dsps + r.brams) / fit_au
     }
 }
@@ -99,10 +100,7 @@ impl Device for Fpga {
         fpga_time_s(&profile.name, precision).unwrap_or_else(|| {
             // Analytic fallback: ops spread over the PE array at a
             // conservative 150 MHz fabric clock.
-            let pes = self
-                .pe_count(&profile.name, precision)
-                .unwrap_or(8)
-                .max(1) as f64;
+            let pes = self.pe_count(&profile.name, precision).unwrap_or(8).max(1) as f64;
             profile.flops / (pes * 1.5e8)
         })
     }

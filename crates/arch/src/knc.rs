@@ -44,6 +44,7 @@ impl Device for XeonPhiKnc {
 
     fn exec_time(&self, profile: &WorkloadProfile, precision: Precision) -> f64 {
         let lanes = knc_lanes(precision)
+            // mpr-allow: panic-hygiene -- implements the Device trait's documented unsupported-precision panic
             .unwrap_or_else(|| panic!("KNC has no {precision}-precision hardware"));
         if let Some(c) = knc_time_components(&profile.name) {
             // Calibrated to the paper's Table 2: vector compute halves
@@ -61,13 +62,18 @@ impl Device for XeonPhiKnc {
         let throughput = KNC_CORES * lanes * KNC_FREQ_HZ;
         let compute = profile.flops / throughput;
         let bytes = profile.value_traffic * precision.total_bits() as f64 / 8.0;
-        let prefetch_eff = if precision == Precision::Single { 0.66 } else { 1.0 };
+        let prefetch_eff = if precision == Precision::Single {
+            0.66
+        } else {
+            1.0
+        };
         let mem = bytes / (8.0e10 * prefetch_eff);
         compute + mem
     }
 
     fn exposure(&self, profile: &WorkloadProfile, precision: Precision) -> Exposure {
         let lanes = knc_lanes(precision)
+            // mpr-allow: panic-hygiene -- implements the Device trait's documented unsupported-precision panic
             .unwrap_or_else(|| panic!("KNC has no {precision}-precision hardware"));
         // SDC-candidate exposure: functional units and internal queues,
         // proportional to the compiler's vector-register allocation (the
@@ -147,9 +153,7 @@ mod tests {
         // The paper's Table 2 inversion: prefetching favors double.
         let knc = XeonPhiKnc::coprocessor_3120a();
         let p = profile("MxM");
-        assert!(
-            knc.exec_time(&p, Precision::Single) > knc.exec_time(&p, Precision::Double)
-        );
+        assert!(knc.exec_time(&p, Precision::Single) > knc.exec_time(&p, Precision::Double));
     }
 
     #[test]

@@ -1,14 +1,12 @@
 //! Static workload characterizations consumed by the device models.
 
-use serde::{Deserialize, Serialize};
-
 /// Instruction-mix fractions of a workload's floating-point work.
 ///
 /// The fractions must sum to 1; they weight the per-operation core
 /// complexity in the exposure models (paper Section 6.1: LavaMD is >50%
 /// MUL, MxM is FMA-dominated, which is why their FIT trends track the
 /// corresponding microbenchmarks).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpMix {
     /// Fraction of additions/subtractions.
     pub add: f64,
@@ -66,7 +64,7 @@ impl OpMix {
 /// scored (numeric TRE vs classification vs detection criticality) and
 /// precision-specific framework overheads (the half-precision YOLO
 /// slowdown of Table 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadKind {
     /// Plain numeric output (MxM, LavaMD, LUD, microbenchmarks).
     Numeric,
@@ -84,7 +82,7 @@ pub enum WorkloadKind {
 /// invariant for these regular codes); this profile carries the full-scale
 /// operation and traffic counts that determine execution time and beam
 /// exposure on each device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadProfile {
     /// Benchmark name as it appears in the paper's tables.
     pub name: String,

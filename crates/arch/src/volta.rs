@@ -133,7 +133,8 @@ impl Device for VoltaGpu {
         // parallel work is throughput bound; memory adds a width-scaled
         // streaming term.
         let chain_ops = profile.flops / profile.threads;
-        let latency_bound = chain_ops * volta_latency_cycles(precision) / VOLTA_FREQ_HZ
+        let latency_bound = chain_ops * volta_latency_cycles(precision)
+            / VOLTA_FREQ_HZ
             / profile.ilp.max(1.0).min(volta_latency_cycles(precision));
         let throughput_bound =
             profile.flops / (volta_throughput_ops_per_cycle(precision) * VOLTA_FREQ_HZ);
@@ -151,10 +152,8 @@ impl Device for VoltaGpu {
         // occupancy-limited apps trade threads for registers, so their
         // exposed register bits are capacity, not demand. No ECC on the
         // Titan V register file.
-        let reg_demand = profile.threads
-            * profile.regs_per_thread
-            * volta_regs_per_value(precision)
-            * 32.0;
+        let reg_demand =
+            profile.threads * profile.regs_per_thread * volta_regs_per_value(precision) * 32.0;
         let regs = VOLTA_REG_WEIGHT * reg_demand.min(VOLTA_REGFILE_BITS);
 
         // Cached data waiting on the (slow, non-coalesced) memory
@@ -179,10 +178,7 @@ impl Device for VoltaGpu {
         // fraction surfaces as detected-uncorrectable events.
         let (regs, mem) = if self.ecc {
             due += (regs + mem) * VOLTA_ECC_DUE_FRACTION;
-            (
-                regs * VOLTA_ECC_RESIDUAL_SDC,
-                mem * VOLTA_ECC_RESIDUAL_SDC,
-            )
+            (regs * VOLTA_ECC_RESIDUAL_SDC, mem * VOLTA_ECC_RESIDUAL_SDC)
         } else {
             (regs, mem)
         };
@@ -243,7 +239,10 @@ mod tests {
             let add = VoltaGpu::logic_exposure(&OpMix::pure_add(), p);
             let mul = VoltaGpu::logic_exposure(&OpMix::pure_mul(), p);
             let fma = VoltaGpu::logic_exposure(&OpMix::pure_fma(), p);
-            assert!(fma > mul && mul > add, "{p}: fma={fma:.3e} mul={mul:.3e} add={add:.3e}");
+            assert!(
+                fma > mul && mul > add,
+                "{p}: fma={fma:.3e} mul={mul:.3e} add={add:.3e}"
+            );
         }
     }
 
@@ -299,7 +298,12 @@ mod tests {
         for p in Precision::ALL {
             let b = bare.exposure(&prof, p);
             let e = ecc.exposure(&prof, p);
-            assert!(e.compute < 0.6 * b.compute, "{p}: {} vs {}", e.compute, b.compute);
+            assert!(
+                e.compute < 0.6 * b.compute,
+                "{p}: {} vs {}",
+                e.compute,
+                b.compute
+            );
             assert!(e.due > b.due, "{p}: ECC adds detected-uncorrectable events");
         }
         // Register-resident micros keep their logic exposure: ECC helps

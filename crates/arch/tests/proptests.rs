@@ -6,15 +6,15 @@ use proptest::prelude::*;
 
 fn arbitrary_profile() -> impl Strategy<Value = WorkloadProfile> {
     (
-        1e6f64..1e13,           // flops
-        0.0f64..1.0,            // fma fraction (rest split add/mul)
-        1e3f64..1e10,           // value traffic
-        1.0f64..1e6,            // threads
-        1.0f64..256.0,          // regs per thread
-        1.0f64..32.0,           // ilp
-        1e3f64..1e8,            // working set
-        0.0f64..1.0,            // memory boundedness
-        0.0f64..4.0,            // control density
+        1e6f64..1e13,  // flops
+        0.0f64..1.0,   // fma fraction (rest split add/mul)
+        1e3f64..1e10,  // value traffic
+        1.0f64..1e6,   // threads
+        1.0f64..256.0, // regs per thread
+        1.0f64..32.0,  // ilp
+        1e3f64..1e8,   // working set
+        0.0f64..1.0,   // memory boundedness
+        0.0f64..4.0,   // control density
     )
         .prop_map(
             |(flops, fma, traffic, threads, regs, ilp, ws, bound, ctrl)| {

@@ -14,6 +14,9 @@ use rand::{Rng, SeedableRng};
 /// tolerable/detection/classification — paper Figures 3 and 11c).
 pub type SdcLabel = &'static str;
 
+/// A domain classifier: maps `(golden, faulty)` outputs to an [`SdcLabel`].
+pub type SdcClassifier = dyn Fn(&[f64], &[f64]) -> SdcLabel + Sync;
+
 /// One beam campaign: device x workload x precision x session.
 pub struct BeamCampaign<'a> {
     device: &'a dyn Device,
@@ -21,7 +24,7 @@ pub struct BeamCampaign<'a> {
     profile: &'a WorkloadProfile,
     precision: Precision,
     session: BeamSession,
-    classifier: Option<&'a (dyn Fn(&[f64], &[f64]) -> SdcLabel + Sync)>,
+    classifier: Option<&'a SdcClassifier>,
 }
 
 impl std::fmt::Debug for BeamCampaign<'_> {
@@ -76,10 +79,7 @@ impl<'a> BeamCampaign<'a> {
 
     /// Attaches a domain classifier labelling each SDC from
     /// `(golden, corrupted)` outputs.
-    pub fn classifier(
-        mut self,
-        classifier: &'a (dyn Fn(&[f64], &[f64]) -> SdcLabel + Sync),
-    ) -> Self {
+    pub fn classifier(mut self, classifier: &'a SdcClassifier) -> Self {
         self.classifier = Some(classifier);
         self
     }
@@ -112,13 +112,13 @@ impl<'a> BeamCampaign<'a> {
         }
         .min(candidates.max(1) as usize);
         let mut partials: Vec<(u64, Vec<f64>, Vec<SdcLabel>)> = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..nthreads {
                 let golden = &golden;
                 let golden_bits = &golden_bits;
                 let campaign = &*self;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut sdc = 0u64;
                     let mut severities = Vec::new();
                     let mut labels = Vec::new();
@@ -129,10 +129,7 @@ impl<'a> BeamCampaign<'a> {
                         );
                         let out = campaign.resolve_strike(sites, width, model, &mut rng);
                         let corrupted = out.len() != golden.len()
-                            || out
-                                .iter()
-                                .zip(golden_bits)
-                                .any(|(v, &g)| v.to_bits() != g);
+                            || out.iter().zip(golden_bits).any(|(v, &g)| v.to_bits() != g);
                         if corrupted {
                             sdc += 1;
                             severities.push(max_relative_error(&out, golden));
@@ -146,10 +143,10 @@ impl<'a> BeamCampaign<'a> {
                 }));
             }
             for h in handles {
+                // mpr-allow: panic-hygiene -- a panicking worker already aborted the campaign; propagating is the only sound option
                 partials.push(h.join().expect("beam worker panicked"));
             }
-        })
-        .expect("crossbeam scope failed");
+        });
 
         let mut sdc_events = 0;
         let mut severities = Vec::new();
@@ -323,9 +320,15 @@ mod tests {
     #[test]
     fn poisson_small_and_large_means() {
         let mut rng = StdRng::seed_from_u64(1);
-        let small: f64 = (0..2000).map(|_| poisson(3.0, &mut rng) as f64).sum::<f64>() / 2000.0;
+        let small: f64 = (0..2000)
+            .map(|_| poisson(3.0, &mut rng) as f64)
+            .sum::<f64>()
+            / 2000.0;
         assert!((small - 3.0).abs() < 0.2, "mean {small}");
-        let large: f64 = (0..500).map(|_| poisson(400.0, &mut rng) as f64).sum::<f64>() / 500.0;
+        let large: f64 = (0..500)
+            .map(|_| poisson(400.0, &mut rng) as f64)
+            .sum::<f64>()
+            / 500.0;
         assert!((large - 400.0).abs() < 5.0, "mean {large}");
         assert_eq!(poisson(0.0, &mut rng), 0);
     }

@@ -1,7 +1,5 @@
 //! Beam-time session parameters.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of one stint under the beam.
 ///
 /// The paper irradiated each of its 30 configurations for at least 100
@@ -10,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// chooses the flux so that an expected `target_candidates` compute
 /// strikes occur — the FIT estimate is flux independent, so the target
 /// only sets the statistical precision of the campaign.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BeamSession {
     /// Beam hours for this configuration.
     pub hours: f64,

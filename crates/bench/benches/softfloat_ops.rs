@@ -10,30 +10,20 @@ fn bench_softfloat(c: &mut Criterion) {
     let d = Half::from_f64(-0.5);
 
     let mut group = c.benchmark_group("softfloat_ops");
-    group.bench_function("half_add", |bch| {
-        bch.iter(|| black_box(a) + black_box(b))
-    });
-    group.bench_function("half_mul", |bch| {
-        bch.iter(|| black_box(a) * black_box(b))
-    });
-    group.bench_function("half_div", |bch| {
-        bch.iter(|| black_box(a) / black_box(b))
-    });
+    group.bench_function("half_add", |bch| bch.iter(|| black_box(a) + black_box(b)));
+    group.bench_function("half_mul", |bch| bch.iter(|| black_box(a) * black_box(b)));
+    group.bench_function("half_div", |bch| bch.iter(|| black_box(a) / black_box(b)));
     group.bench_function("half_fma_exact", |bch| {
         bch.iter(|| black_box(a).mul_add(black_box(b), black_box(d)))
     });
-    group.bench_function("half_sqrt", |bch| {
-        bch.iter(|| black_box(a).sqrt())
-    });
+    group.bench_function("half_sqrt", |bch| bch.iter(|| black_box(a).sqrt()));
     group.bench_function("half_exp_poly", |bch| {
         bch.iter(|| mpr_softfloat::math::exp_poly(black_box(d)))
     });
     group.bench_function("half_from_f64", |bch| {
         bch.iter(|| Half::from_f64(black_box(1.2345f64)))
     });
-    group.bench_function("half_to_f64", |bch| {
-        bch.iter(|| black_box(a).to_f64())
-    });
+    group.bench_function("half_to_f64", |bch| bch.iter(|| black_box(a).to_f64()));
     group.finish();
 }
 

@@ -34,6 +34,13 @@ pub enum Command {
         model: ModelArg,
         seed: u64,
     },
+    /// Run the workspace static-analysis lints.
+    Analyze {
+        /// Emit the report as JSON instead of plain text.
+        json: bool,
+        /// Workspace root to scan (defaults to the current directory).
+        root: String,
+    },
     /// Print usage.
     Help,
 }
@@ -121,6 +128,7 @@ USAGE:
                   [--strikes N] [--hours H] [--seed S]
     mpr inject    --workload <WORKLOAD> --precision <double|single|half>
                   [--n N] [--model single|double|byte] [--seed S]
+    mpr analyze   [--json] [--root <PATH>]
     mpr help
 
 WORKLOAD: mxm | lavamd | lavamd-knc | lud | micro-add | micro-mul |
@@ -169,14 +177,29 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             model: model_of(optional(&rest, "--model").unwrap_or("single"))?,
             seed: numeric(&rest, "--seed", 0)?,
         }),
+        "analyze" => {
+            if let Some(&bad) = rest
+                .iter()
+                .find(|&&a| a.starts_with("--") && a != "--json" && a != "--root")
+            {
+                return Err(ParseError(format!("unknown flag `{bad}`")));
+            }
+            Ok(Command::Analyze {
+                json: rest.contains(&"--json"),
+                root: optional(&rest, "--root").unwrap_or(".").to_string(),
+            })
+        }
         other => Err(ParseError(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
 }
 
 fn scale_of(rest: &[&str]) -> Result<Scale, ParseError> {
-    if rest.iter().any(|&a| a == "--paper") {
+    if rest.contains(&"--paper") {
         Ok(Scale::Paper)
-    } else if let Some(&bad) = rest.iter().find(|&&a| a != "--paper" && !a.starts_with("--dir")) {
+    } else if let Some(&bad) = rest
+        .iter()
+        .find(|&&a| a != "--paper" && !a.starts_with("--dir"))
+    {
         // `export` carries --dir <path>; tolerate its value pair.
         if bad.starts_with("--") {
             Err(ParseError(format!("unknown flag `{bad}`")))
@@ -277,10 +300,17 @@ mod tests {
 
     #[test]
     fn subcommands_parse() {
-        assert_eq!(parse_ok("tables"), Command::Tables { scale: Scale::Quick });
+        assert_eq!(
+            parse_ok("tables"),
+            Command::Tables {
+                scale: Scale::Quick
+            }
+        );
         assert_eq!(
             parse_ok("figures --paper"),
-            Command::Figures { scale: Scale::Paper }
+            Command::Figures {
+                scale: Scale::Paper
+            }
         );
         assert_eq!(parse_ok("help"), Command::Help);
         assert_eq!(
@@ -328,6 +358,25 @@ mod tests {
     }
 
     #[test]
+    fn analyze_parses() {
+        assert_eq!(
+            parse_ok("analyze"),
+            Command::Analyze {
+                json: false,
+                root: ".".to_string()
+            }
+        );
+        assert_eq!(
+            parse_ok("analyze --json --root /tmp/ws"),
+            Command::Analyze {
+                json: true,
+                root: "/tmp/ws".to_string()
+            }
+        );
+        assert!(parse_err("analyze --jsno").0.contains("unknown flag"));
+    }
+
+    #[test]
     fn inject_parses() {
         let c = parse_ok("inject --workload micro-fma --precision double --n 300 --model byte");
         assert_eq!(
@@ -347,19 +396,21 @@ mod tests {
         assert!(parse_err("campaign --workload mxm --precision half")
             .0
             .contains("--device"));
-        assert!(parse_err("campaign --device tpu --workload mxm --precision half")
-            .0
-            .contains("unknown device"));
+        assert!(
+            parse_err("campaign --device tpu --workload mxm --precision half")
+                .0
+                .contains("unknown device")
+        );
         assert!(parse_err("inject --workload mxm --precision quad")
             .0
             .contains("unknown precision"));
         assert!(parse_err("frobnicate").0.contains("unknown command"));
         assert!(parse_err("export").0.contains("--dir"));
-        assert!(parse_err(
-            "campaign --device gpu --workload mxm --precision half --strikes lots"
-        )
-        .0
-        .contains("integer"));
+        assert!(
+            parse_err("campaign --device gpu --workload mxm --precision half --strikes lots")
+                .0
+                .contains("integer")
+        );
     }
 
     #[test]

@@ -84,6 +84,28 @@ pub fn run(command: Command) -> i32 {
             model,
             seed,
         } => run_inject(workload, precision, injections, model, seed),
+        Command::Analyze { json, root } => run_analyze(json, &root),
+    }
+}
+
+fn run_analyze(json: bool, root: &str) -> i32 {
+    match mpr_analyze::analyze_workspace(std::path::Path::new(root)) {
+        Ok(analysis) => {
+            if json {
+                println!("{}", analysis.to_json());
+            } else {
+                print!("{}", analysis.to_text());
+            }
+            if analysis.clean() {
+                0
+            } else {
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("analyze failed: {e}");
+            2
+        }
     }
 }
 
@@ -177,14 +199,29 @@ fn run_campaign(
         "{} / {} / {precision}",
         result.device, result.workload
     ));
-    t.row(vec!["exec time".into(), format!("{:.3} s", result.exec_time_s)]);
+    t.row(vec![
+        "exec time".into(),
+        format!("{:.3} s", result.exec_time_s),
+    ]);
     t.row(vec!["runs".into(), format!("{:.0}", result.runs)]);
-    t.row(vec!["compute strikes".into(), result.candidates.to_string()]);
+    t.row(vec![
+        "compute strikes".into(),
+        result.candidates.to_string(),
+    ]);
     t.row(vec!["SDC events".into(), result.sdc.events().to_string()]);
     t.row(vec!["DUE events".into(), result.due.events().to_string()]);
-    t.row(vec!["SDC FIT".into(), format!("{:.3e} a.u.", result.fit_sdc().au())]);
-    t.row(vec!["DUE FIT".into(), format!("{:.3e} a.u.", result.fit_due().au())]);
-    t.row(vec!["MEBF".into(), format!("{:.3e} a.u.", result.mebf().executions())]);
+    t.row(vec![
+        "SDC FIT".into(),
+        format!("{:.3e} a.u.", result.fit_sdc().au()),
+    ]);
+    t.row(vec![
+        "DUE FIT".into(),
+        format!("{:.3e} a.u.", result.fit_due().au()),
+    ]);
+    t.row(vec![
+        "MEBF".into(),
+        format!("{:.3e} a.u.", result.mebf().executions()),
+    ]);
     let curve = result.tre_curve();
     t.row(vec![
         "tolerable @0.1%".into(),
@@ -236,4 +273,37 @@ fn run_inject(
     println!("SDC severity distribution:");
     println!("{}", SeverityHistogram::from_errors(&report.severities));
     0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::run_analyze;
+
+    fn temp_tree(tag: &str, rel: &str, source: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mpr_cli_{tag}_{}", std::process::id()));
+        let file = dir.join(rel);
+        std::fs::create_dir_all(file.parent().expect("parent")).expect("temp tree");
+        std::fs::write(&file, source).expect("write source");
+        dir
+    }
+
+    #[test]
+    fn analyze_exits_zero_on_clean_tree() {
+        let dir = temp_tree("clean", "crates/kernels/src/lib.rs", "//! Clean.\n");
+        assert_eq!(run_analyze(false, dir.to_str().expect("utf-8 path")), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_exits_nonzero_on_leaky_tree() {
+        let src = "//! Leaky.\nfn gain<F: FloatExt>() -> F {\n    F::one() * 0.5\n}\n";
+        let dir = temp_tree("bad", "crates/kernels/src/lib.rs", src);
+        assert_eq!(run_analyze(true, dir.to_str().expect("utf-8 path")), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_exits_two_on_missing_root() {
+        assert_eq!(run_analyze(false, "/nonexistent/mpr-root"), 2);
+    }
 }

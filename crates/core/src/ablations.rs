@@ -26,7 +26,6 @@ mod rand_like {
             z ^ (z >> 31)
         }
     }
-
 }
 use rand_like::SplitMix;
 
@@ -53,9 +52,9 @@ impl EccAblation {
     /// SDC-FIT reduction factor ECC buys, per benchmark and precision.
     pub fn sdc_reduction(&self) -> [[f64; 3]; 2] {
         let mut out = [[0.0; 3]; 2];
-        for b in 0..2 {
-            for p in 0..3 {
-                out[b][p] = self.bare_sdc[b][p] / self.ecc_sdc[b][p];
+        for (b, row) in out.iter_mut().enumerate() {
+            for (p, v) in row.iter_mut().enumerate() {
+                *v = self.bare_sdc[b][p] / self.ecc_sdc[b][p];
             }
         }
         out
@@ -193,7 +192,7 @@ impl Study {
                         .map(|_| {
                             let site = rng.next() % sites;
                             let bit = (rng.next() % width as u64) as u32;
-                            let fault = if rng.next() % 2 == 0 {
+                            let fault = if rng.next().is_multiple_of(2) {
                                 mpr_fault::ValueFault::StuckHigh(bit)
                             } else {
                                 mpr_fault::ValueFault::StuckLow(bit)
@@ -214,7 +213,11 @@ impl Study {
                     }
                 }
                 prob[pi] = sdc as f64 / trials as f64;
-                extent[pi] = if sdc > 0 { corrupted_sum / sdc as f64 } else { 0.0 };
+                extent[pi] = if sdc > 0 {
+                    corrupted_sum / sdc as f64
+                } else {
+                    0.0
+                };
             }
             sdc_probability.push(prob);
             corruption_extent.push(extent);

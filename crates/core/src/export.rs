@@ -31,7 +31,10 @@ impl Study {
             ("fig11.csv", self.fig11_gpu_tre().to_table().to_csv()),
             ("fig12.csv", self.fig12_gpu_avf().to_table().to_csv()),
             ("fig13.csv", self.fig13_gpu_mebf().to_table().to_csv()),
-            ("ablation_ecc.csv", self.ablation_gpu_ecc().to_table().to_csv()),
+            (
+                "ablation_ecc.csv",
+                self.ablation_gpu_ecc().to_table().to_csv(),
+            ),
             (
                 "ablation_fault_models.csv",
                 self.ablation_fault_models().to_table().to_csv(),
@@ -46,7 +49,10 @@ impl Study {
         for (name, csv) in artifacts {
             let path = dir.join(name);
             std::fs::write(&path, &csv)?;
-            manifest.push_str(&format!("{name},{}\n", csv.lines().count() - 1));
+            manifest.push_str(&format!(
+                "{name},{}\n",
+                csv.lines().count().saturating_sub(1)
+            ));
             written.push(path);
         }
         let manifest_path = dir.join("manifest.csv");

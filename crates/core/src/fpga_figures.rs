@@ -15,20 +15,22 @@ fn precision_headers(first: &str) -> Vec<String> {
     h
 }
 
+/// One Figure-2 row: design name plus LUT, DSP, and BRAM utilization,
+/// each in `[d, s, h]` order.
+pub type ResourceRow = (String, [f64; 3], [f64; 3], [f64; 3]);
+
 /// Figure 2: FPGA resource utilization per design and precision.
 #[derive(Debug, Clone)]
 pub struct Fig2 {
     /// (design, LUTs, DSPs, BRAMs) per precision in `[d, s, h]` order.
-    pub rows: Vec<(String, [f64; 3], [f64; 3], [f64; 3])>,
+    pub rows: Vec<ResourceRow>,
 }
 
 impl Fig2 {
     /// Renders the resource table.
     pub fn to_table(&self) -> Table {
-        let mut t = Table::new(vec![
-            "design", "resource", "double", "single", "half",
-        ])
-        .with_title("Figure 2: FPGA resource utilization (Zynq-7000)");
+        let mut t = Table::new(vec!["design", "resource", "double", "single", "half"])
+            .with_title("Figure 2: FPGA resource utilization (Zynq-7000)");
         for (design, luts, dsps, brams) in &self.rows {
             for (name, vals) in [("LUT", luts), ("DSP", dsps), ("BRAM", brams)] {
                 t.row(vec![
@@ -180,6 +182,7 @@ impl Study {
             let mut dsps = [0.0; 3];
             let mut brams = [0.0; 3];
             for (i, p) in PRECISIONS.iter().enumerate() {
+                // mpr-allow: panic-hygiene -- both studied designs are registered in Fpga::resources
                 let r = fpga.resources(design, *p).expect("studied design");
                 luts[i] = r.luts;
                 dsps[i] = r.dsps;
@@ -211,12 +214,12 @@ impl Study {
         };
 
         for (i, p) in PRECISIONS.iter().enumerate() {
-            let mxm = self.beam(&fpga, &gemm, &mxm_profile, *p, 0xF16_3A);
+            let mxm = self.beam(&fpga, &gemm, &mxm_profile, *p, 0xF163A);
             mxm_fit[i] = mxm.fit_sdc().au();
             per_gate[i] = fpga.per_gate_sensitivity("MxM", *p, mxm_fit[i]);
 
             let mn = BeamCampaign::new(&fpga, &mnist, &mnist_profile, *p)
-                .session(self.session(0xF16_3B ^ p.total_bits() as u64))
+                .session(self.session(0xF163B ^ p.total_bits() as u64))
                 .classifier(&classify)
                 .run();
             mnist_fit[i] = mn.fit_sdc().au();
@@ -240,16 +243,10 @@ impl Study {
         let fpga = self.fpga();
         let gemm = self.gemm();
         let profile = self.profile_mxm_fpga();
-        let mut curves = Vec::with_capacity(3);
-        let mut base = [0.0; 3];
-        for (i, p) in PRECISIONS.iter().enumerate() {
-            let r = self.beam(&fpga, &gemm, &profile, *p, 0xF16_4A);
-            base[i] = r.fit_sdc().au();
-            curves.push(r.tre_curve());
-        }
+        let results = PRECISIONS.map(|p| self.beam(&fpga, &gemm, &profile, p, 0xF164A));
         Fig4 {
-            curves: curves.try_into().expect("three precisions"),
-            base_fit: base,
+            base_fit: results.each_ref().map(|r| r.fit_sdc().au()),
+            curves: results.map(|r| r.tre_curve()),
         }
     }
 
@@ -264,11 +261,11 @@ impl Study {
         let mut mn = [0.0; 3];
         for (i, p) in PRECISIONS.iter().enumerate() {
             mxm[i] = self
-                .beam(&fpga, &gemm, &mxm_profile, *p, 0xF16_5A)
+                .beam(&fpga, &gemm, &mxm_profile, *p, 0xF165A)
                 .mebf()
                 .executions();
             mn[i] = self
-                .beam(&fpga, &mnist, &mnist_profile, *p, 0xF16_5B)
+                .beam(&fpga, &mnist, &mnist_profile, *p, 0xF165B)
                 .mebf()
                 .executions();
         }

@@ -129,7 +129,10 @@ pub struct Fig12 {
 impl Fig12 {
     /// Renders the AVF table.
     pub fn to_table(&self) -> Table {
-        let mut t = gpu_table("micro", "Figure 12: GPU AVF (register + pipeline injection)");
+        let mut t = gpu_table(
+            "micro",
+            "Figure 12: GPU AVF (register + pipeline injection)",
+        );
         for (i, op) in MicroKernelOp::ALL.iter().enumerate() {
             t.row(vec![
                 op.name().to_string(),
@@ -163,7 +166,10 @@ impl Fig13 {
     /// Renders the MEBF table, each row normalized to its double-
     /// precision value.
     pub fn to_table(&self) -> Table {
-        let mut t = gpu_table("benchmark", "Figure 13: GPU MEBF (relative to double = 1.00)");
+        let mut t = gpu_table(
+            "benchmark",
+            "Figure 13: GPU MEBF (relative to double = 1.00)",
+        );
         for (name, xs) in Self::NAMES.iter().zip(self.mebf.iter()) {
             t.row(vec![
                 name.to_string(),
@@ -228,8 +234,16 @@ impl Study {
 
         let take = |rs: &[mpr_beam::CampaignResult; 3]| -> ([f64; 3], [f64; 3]) {
             (
-                [rs[0].fit_sdc().au(), rs[1].fit_sdc().au(), rs[2].fit_sdc().au()],
-                [rs[0].fit_due().au(), rs[1].fit_due().au(), rs[2].fit_due().au()],
+                [
+                    rs[0].fit_sdc().au(),
+                    rs[1].fit_sdc().au(),
+                    rs[2].fit_sdc().au(),
+                ],
+                [
+                    rs[0].fit_due().au(),
+                    rs[1].fit_due().au(),
+                    rs[2].fit_due().au(),
+                ],
             )
         };
         let (m0, d0) = take(&micro[0]);
@@ -254,8 +268,7 @@ impl Study {
         let apps = self.app_campaigns(0x11_0001);
         let yolo = self.yolo_campaigns(0x11_0002);
 
-        let curves3 =
-            |rs: &[mpr_beam::CampaignResult; 3]| rs.each_ref().map(|r| r.tre_curve());
+        let curves3 = |rs: &[mpr_beam::CampaignResult; 3]| rs.each_ref().map(|r| r.tre_curve());
         let mut crit = [[0.0; 3]; 3];
         for (i, r) in yolo.iter().enumerate() {
             let fr = r.label_fractions();
@@ -263,11 +276,7 @@ impl Study {
             crit[i] = [get("tolerable"), get("detection"), get("classification")];
         }
         Fig11 {
-            micro_curves: [
-                curves3(&micro[0]),
-                curves3(&micro[1]),
-                curves3(&micro[2]),
-            ],
+            micro_curves: [curves3(&micro[0]), curves3(&micro[1]), curves3(&micro[2])],
             app_curves: [curves3(&apps[0]), curves3(&apps[1])],
             yolo_criticality: crit,
         }
@@ -279,25 +288,16 @@ impl Study {
     /// core — Section 6.2).
     pub fn fig12_gpu_avf(&self) -> Fig12 {
         let gpu = self.gpu();
-        let mut avf: Vec<[Vulnerability; 3]> = Vec::with_capacity(3);
-        for &op in &MicroKernelOp::ALL {
+        let avf = MicroKernelOp::ALL.map(|op| {
             let w = self.micro(op);
             let prof = self.profile_micro(op);
-            let per_precision = PRECISIONS.map(|p| {
+            PRECISIONS.map(|p| {
                 let pipe = gpu.exposure(&prof, p).pipeline_fraction;
-                self.inject_gpu_registers(
-                    &w,
-                    p,
-                    FaultModel::pipeline(pipe),
-                    0x12_0000 ^ op as u64,
-                )
-                .vulnerability()
-            });
-            avf.push(per_precision);
-        }
-        Fig12 {
-            avf: avf.try_into().expect("three micros"),
-        }
+                self.inject_gpu_registers(&w, p, FaultModel::pipeline(pipe), 0x12_0000 ^ op as u64)
+                    .vulnerability()
+            })
+        });
+        Fig12 { avf }
     }
 
     /// Figure 13: GPU MEBF for every benchmark.
@@ -358,7 +358,11 @@ mod tests {
         // MxM follows the FMA trend: half clearly lowest.
         assert!(mxm[2] < mxm[0] && mxm[2] < mxm[1], "{mxm:?}");
         // YOLO: half significantly lowest.
-        assert!(fig.yolo_sdc[2] < 0.85 * fig.yolo_sdc[1], "{:?}", fig.yolo_sdc);
+        assert!(
+            fig.yolo_sdc[2] < 0.85 * fig.yolo_sdc[1],
+            "{:?}",
+            fig.yolo_sdc
+        );
         // Micro DUE well below app DUE (control-flow density).
         assert!(fig.micro_due[1][0] < 0.3 * fig.app_due[0][0]);
         // YOLO DUE above arithmetic codes.

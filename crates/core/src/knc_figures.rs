@@ -148,7 +148,7 @@ impl Fig9 {
 }
 
 impl Study {
-    fn knc_campaigns(&self, salt: u64) -> Vec<[mpr_beam::CampaignResult; 2]> {
+    fn knc_campaigns(&self, salt: u64) -> [[mpr_beam::CampaignResult; 2]; 3] {
         let knc = self.knc();
         let lavamd = self.lavamd_knc_kernel();
         let gemm = self.gemm();
@@ -159,7 +159,7 @@ impl Study {
                 self.beam(&knc, w, prof, Precision::Single, salt),
             ]
         };
-        vec![
+        [
             runs(&lavamd, &self.profile_lavamd_knc()),
             runs(&gemm, &self.profile_mxm_knc()),
             runs(&lud, &self.profile_lud_knc()),
@@ -190,34 +190,28 @@ impl Study {
         let gemm = self.gemm();
         let lud = self.lud();
         let workloads: [&dyn mpr_fault::Workload; 3] = [&lavamd, &gemm, &lud];
-        let mut pvf = Vec::with_capacity(3);
-        for (i, w) in workloads.iter().enumerate() {
+        let pvf = [0u64, 1, 2].map(|i| {
+            let w = workloads[i as usize];
             let run = |p| {
                 self.inject(
-                    *w,
+                    w,
                     p,
                     FaultModel::single_bit(),
                     mpr_arch::calib::KNC_VARIABLE_LIVE_FRACTION,
-                    0x7_0000 + i as u64,
+                    0x7_0000 + i,
                 )
                 .vulnerability()
             };
-            pvf.push([run(Precision::Double), run(Precision::Single)]);
-        }
-        Fig7 {
-            pvf: pvf.try_into().expect("three benchmarks"),
-        }
+            [run(Precision::Double), run(Precision::Single)]
+        });
+        Fig7 { pvf }
     }
 
     /// Figure 8: TRE curves from the KNC beam campaigns.
     pub fn fig8_knc_tre(&self) -> Fig8 {
         let campaigns = self.knc_campaigns(0x8_0000);
-        let curves: Vec<[TreCurve; 2]> = campaigns
-            .iter()
-            .map(|pair| [pair[0].tre_curve(), pair[1].tre_curve()])
-            .collect();
         Fig8 {
-            curves: curves.try_into().expect("three benchmarks"),
+            curves: campaigns.map(|pair| [pair[0].tre_curve(), pair[1].tre_curve()]),
         }
     }
 
@@ -243,8 +237,16 @@ mod tests {
         let fig = Study::quick(11).fig6_knc_fit();
         // SDC: single > double for LavaMD and MxM (register allocation),
         // similar for LUD.
-        assert!(fig.sdc_fit[0][1] > fig.sdc_fit[0][0], "LavaMD {:?}", fig.sdc_fit[0]);
-        assert!(fig.sdc_fit[1][1] > fig.sdc_fit[1][0], "MxM {:?}", fig.sdc_fit[1]);
+        assert!(
+            fig.sdc_fit[0][1] > fig.sdc_fit[0][0],
+            "LavaMD {:?}",
+            fig.sdc_fit[0]
+        );
+        assert!(
+            fig.sdc_fit[1][1] > fig.sdc_fit[1][0],
+            "MxM {:?}",
+            fig.sdc_fit[1]
+        );
         let lud_ratio = fig.sdc_fit[2][1] / fig.sdc_fit[2][0];
         assert!((0.7..1.4).contains(&lud_ratio), "LUD ratio {lud_ratio}");
         // DUE: single > double everywhere (twice the control bits).
@@ -285,7 +287,10 @@ mod tests {
             lava_gap < 0.5 * lud_gap,
             "LavaMD gap {lava_gap:.3} must collapse vs LUD gap {lud_gap:.3}"
         );
-        assert!(lava[1] <= lava[0] + 0.03, "single at least as good: {lava:?}");
+        assert!(
+            lava[1] <= lava[0] + 0.03,
+            "single at least as good: {lava:?}"
+        );
     }
 
     #[test]
@@ -301,7 +306,11 @@ mod tests {
     #[test]
     fn tables_render() {
         let study = Study::quick(15);
-        assert!(study.fig6_knc_fit().to_table().to_string().contains("LavaMD SDC"));
+        assert!(study
+            .fig6_knc_fit()
+            .to_table()
+            .to_string()
+            .contains("LavaMD SDC"));
         assert!(study.fig9_knc_mebf().to_table().to_string().contains("LUD"));
     }
 }

@@ -94,8 +94,9 @@ mod tests {
     fn table3_matches_the_paper() {
         let t = Study::quick(0).table3_gpu_times().to_string();
         // Applications are calibrated to the measured Table 3.
-        for v in ["1.071", "0.554", "0.291", "2.327", "1.909", "1.180", "0.133", "0.079", "0.283"]
-        {
+        for v in [
+            "1.071", "0.554", "0.291", "2.327", "1.909", "1.180", "0.133", "0.079", "0.283",
+        ] {
             assert!(t.contains(v), "missing {v} in\n{t}");
         }
         // Micros are derived from the 8/4/3-cycle latency model: near

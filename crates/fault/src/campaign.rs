@@ -13,7 +13,7 @@ use rand::{Rng, SeedableRng};
 /// This mirrors the paper's CAROL-FI methodology (Section 3.3): more than
 /// 2,000 faults per application and data type, one fault per execution,
 /// outcome scored by output comparison. Campaigns are deterministic in
-/// the seed and parallelized across OS threads with crossbeam.
+/// the seed and parallelized across OS threads with `std::thread::scope`.
 ///
 /// # Example
 ///
@@ -151,13 +151,13 @@ impl<'a> InjectionCampaign<'a> {
         // is independent of the thread count.
         let nthreads = self.threads.min(self.injections.max(1) as usize);
         let mut partials: Vec<(OutcomeCounts, Vec<f64>)> = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..nthreads {
                 let golden = &golden;
                 let golden_bits = &golden_bits;
                 let campaign = &*self;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut counts = OutcomeCounts::default();
                     let mut severities = Vec::new();
                     let mut i = t as u64;
@@ -175,15 +175,11 @@ impl<'a> InjectionCampaign<'a> {
                             i += nthreads as u64;
                             continue;
                         }
-                        let out =
-                            campaign
-                                .workload
-                                .run_with_fault(campaign.precision, site, fault);
+                        let out = campaign
+                            .workload
+                            .run_with_fault(campaign.precision, site, fault);
                         let corrupted = out.len() != golden.len()
-                            || out
-                                .iter()
-                                .zip(golden_bits)
-                                .any(|(v, &g)| v.to_bits() != g);
+                            || out.iter().zip(golden_bits).any(|(v, &g)| v.to_bits() != g);
                         if corrupted {
                             counts.record(Outcome::Sdc);
                             severities.push(max_relative_error(&out, golden));
@@ -196,10 +192,10 @@ impl<'a> InjectionCampaign<'a> {
                 }));
             }
             for h in handles {
+                // mpr-allow: panic-hygiene -- a panicking worker already aborted the campaign; propagating is the only sound option
                 partials.push(h.join().expect("injection worker panicked"));
             }
-        })
-        .expect("crossbeam scope failed");
+        });
 
         let mut counts = OutcomeCounts::default();
         let mut severities = Vec::new();
@@ -339,11 +335,7 @@ mod tests {
             fn name(&self) -> &str {
                 "nohalf"
             }
-            fn dispatch(
-                &self,
-                _p: Precision,
-                _hook: &mut dyn crate::hook::FaultHook,
-            ) -> Vec<f64> {
+            fn dispatch(&self, _p: Precision, _hook: &mut dyn crate::hook::FaultHook) -> Vec<f64> {
                 vec![]
             }
             fn supports(&self, p: Precision) -> bool {

@@ -17,7 +17,7 @@
 //!   intermediate value as a fault site with a single code path for
 //!   golden, counting, and injected runs.
 //! * [`InjectionCampaign`] — N seeded injections (parallelized with
-//!   crossbeam), producing outcome counts, AVF/PVF estimates, and the
+//!   std::thread::scope), producing outcome counts, AVF/PVF estimates, and the
 //!   per-SDC severity list that feeds the TRE analysis.
 //!
 //! # Example

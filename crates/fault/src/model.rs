@@ -1,7 +1,6 @@
 //! Fault models: what a particle strike does to a value.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A concrete corruption applied to one `width`-bit value.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// wide register can be replayed on a narrower value without going out of
 /// range (mirroring how a strike in a 32-bit physical register lands in
 /// whatever value currently occupies it).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ValueFault {
     /// Flip a single bit — the dominant terrestrial soft-error mode.
     BitFlip(u32),
@@ -45,7 +44,11 @@ impl ValueFault {
     /// Panics if `width` is 0 or greater than 64.
     pub fn apply(&self, bits: u64, width: u32) -> u64 {
         assert!((1..=64).contains(&width), "width must be in 1..=64");
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         let corrupted = match *self {
             ValueFault::BitFlip(b) => bits ^ (1u64 << (b % width)),
             ValueFault::DoubleBitFlip(a, b) => bits ^ (1u64 << (a % width)) ^ (1u64 << (b % width)),
@@ -62,7 +65,7 @@ impl ValueFault {
 }
 
 /// A distribution over [`ValueFault`]s, sampled per injection.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultModel {
     /// Always a single uniformly placed bit flip — the model CAROL-FI uses
     /// for the paper's PVF campaigns (Section 5.2).
@@ -177,7 +180,7 @@ mod tests {
     #[test]
     fn double_flip_changes_two_bits() {
         let f = ValueFault::DoubleBitFlip(1, 9);
-        assert_eq!((f.apply(0, 16) as u64).count_ones(), 2);
+        assert_eq!(f.apply(0, 16).count_ones(), 2);
         // Colliding indices after wrapping still produce a valid value.
         let g = ValueFault::DoubleBitFlip(1, 17);
         assert_eq!(g.apply(0, 16), 0); // both land on bit 1 and cancel

@@ -66,14 +66,14 @@ impl Gemm {
             b.push(hook.touch(F::from_f64(gen_value(self.seed ^ 0xB, i, 0.25, 1.75))));
         }
 
-        let mut c = vec![0.0f64; n * n];
+        let mut c = Vec::with_capacity(n * n);
         for i in 0..n {
             for j in 0..n {
                 let mut acc = F::zero();
                 for k in 0..n {
                     acc = hook.touch(a[i * n + k].mul_add(b[k * n + j], acc));
                 }
-                c[i * n + j] = acc.to_f64();
+                c.push(acc.to_f64());
             }
         }
         c
@@ -147,7 +147,10 @@ mod tests {
         let faulty = g.run_with_fault(Precision::Single, 0, ValueFault::BitFlip(30));
         let changed: Vec<usize> = (0..36).filter(|&i| faulty[i] != golden[i]).collect();
         assert!(!changed.is_empty());
-        assert!(changed.iter().all(|&i| i < 6), "only row 0 affected: {changed:?}");
+        assert!(
+            changed.iter().all(|&i| i < 6),
+            "only row 0 affected: {changed:?}"
+        );
         assert_eq!(changed.len(), 6, "a[0][0] feeds all 6 row-0 outputs");
     }
 

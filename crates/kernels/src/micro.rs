@@ -5,10 +5,9 @@ use crate::util::gen_value;
 use mpr_fault::hook::FaultHook;
 use mpr_fault::Workload;
 use mpr_softfloat::{FloatExt, Precision};
-use serde::{Deserialize, Serialize};
 
 /// Which arithmetic operation a microbenchmark stresses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MicroKernelOp {
     /// Dependent additions.
     Add,

@@ -2,7 +2,6 @@
 
 use crate::stats::poisson_ci95;
 use crate::TERRESTRIAL_FLUX_N_CM2_H;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An observed event count over an accumulated particle fluence — the raw
@@ -14,7 +13,7 @@ use std::fmt;
 /// Like the paper, the crate only ever *reports* FIT in arbitrary units
 /// ([`CrossSection::fit_au`]), so the absolute calibration never appears
 /// in any output.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CrossSection {
     events: u64,
     fluence: f64,
@@ -75,7 +74,7 @@ impl CrossSection {
 /// Arbitrary units mean: values from the same study can be compared and
 /// divided, but carry no absolute physical meaning — mirroring the paper's
 /// normalization "to prevent the leakage of business-sensitive data".
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct FitRate(f64);
 
 impl FitRate {

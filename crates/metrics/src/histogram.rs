@@ -1,6 +1,5 @@
 //! Log-binned severity histograms with text rendering.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A logarithmically binned histogram of SDC severities (relative
@@ -18,7 +17,7 @@ use std::fmt;
 /// assert!(text.contains("1e-6"));
 /// assert!(text.contains("inf"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SeverityHistogram {
     /// Count per decade bin; bin `i` covers `[10^(i+MIN_EXP), 10^(i+1+MIN_EXP))`.
     bins: Vec<u64>,
@@ -48,8 +47,7 @@ impl SeverityHistogram {
             } else if e < 10f64.powi(MIN_EXP) {
                 h.underflow += 1;
             } else {
-                let idx = (e.log10().floor() as i32 - MIN_EXP)
-                    .clamp(0, nbins as i32 - 1) as usize;
+                let idx = (e.log10().floor() as i32 - MIN_EXP).clamp(0, nbins as i32 - 1) as usize;
                 h.bins[idx] += 1;
             }
         }
@@ -88,11 +86,29 @@ impl fmt::Display for SeverityHistogram {
             .max(1);
         let bar = |count: u64| "#".repeat(((count * 40) / max) as usize);
         writeln!(f, "{:>8}  {:>7}  distribution", "severity", "count")?;
-        writeln!(f, "{:>8}  {:>7}  {}", "<1e-9", self.underflow, bar(self.underflow))?;
+        writeln!(
+            f,
+            "{:>8}  {:>7}  {}",
+            "<1e-9",
+            self.underflow,
+            bar(self.underflow)
+        )?;
         for (edge, count) in self.decades() {
-            writeln!(f, "{:>8}  {:>7}  {}", format!("{edge:.0e}"), count, bar(count))?;
+            writeln!(
+                f,
+                "{:>8}  {:>7}  {}",
+                format!("{edge:.0e}"),
+                count,
+                bar(count)
+            )?;
         }
-        writeln!(f, "{:>8}  {:>7}  {}", "inf", self.infinite, bar(self.infinite))
+        writeln!(
+            f,
+            "{:>8}  {:>7}  {}",
+            "inf",
+            self.infinite,
+            bar(self.infinite)
+        )
     }
 }
 
@@ -104,7 +120,13 @@ mod tests {
     fn bins_land_in_the_right_decade() {
         let h = SeverityHistogram::from_errors(&[1.5e-6, 9.9e-6, 1e-5, 0.5]);
         let decades = h.decades();
-        let find = |edge: f64| decades.iter().find(|(e, _)| (*e - edge).abs() < edge * 0.01).unwrap().1;
+        let find = |edge: f64| {
+            decades
+                .iter()
+                .find(|(e, _)| (*e - edge).abs() < edge * 0.01)
+                .unwrap()
+                .1
+        };
         assert_eq!(find(1e-6), 2);
         assert_eq!(find(1e-5), 1);
         assert_eq!(find(1e-1), 1);
@@ -129,7 +151,7 @@ mod tests {
 
     #[test]
     fn display_scales_bars_to_the_mode() {
-        let errors: Vec<f64> = std::iter::repeat(1e-3).take(40).chain([0.5]).collect();
+        let errors: Vec<f64> = std::iter::repeat_n(1e-3, 40).chain([0.5]).collect();
         let text = SeverityHistogram::from_errors(&errors).to_string();
         let modal_line = text.lines().find(|l| l.contains("1e-3")).unwrap();
         assert!(modal_line.matches('#').count() == 40);

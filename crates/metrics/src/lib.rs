@@ -47,7 +47,7 @@ pub use fit::{CrossSection, FitRate};
 pub use histogram::SeverityHistogram;
 pub use mebf::Mebf;
 pub use outcome::{Outcome, OutcomeCounts};
-pub use report::Table;
+pub use report::{Table, TableError};
 pub use tre::TreCurve;
 pub use vulnerability::Vulnerability;
 

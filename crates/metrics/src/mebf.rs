@@ -1,7 +1,6 @@
 //! Mean Executions Between Failures.
 
 use crate::FitRate;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Mean Executions Between Failures: how many correct executions complete
@@ -23,7 +22,7 @@ use std::fmt;
 /// // Half precision: half the FIT and half the time -> 4x the MEBF.
 /// assert!((half.ratio_to(double) - 4.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Mebf(f64);
 
 impl Mebf {

@@ -1,10 +1,9 @@
 //! Fault outcome classification.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The three fates of a transient fault (paper, Section 2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Outcome {
     /// The fault had no effect on the program output.
     Masked,
@@ -40,7 +39,7 @@ impl fmt::Display for Outcome {
 /// assert_eq!(counts.total(), 4);
 /// assert_eq!(counts.sdc_fraction(), 0.5);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OutcomeCounts {
     /// Faults with no observable effect.
     pub masked: u64,

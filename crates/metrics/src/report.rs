@@ -2,6 +2,26 @@
 
 use std::fmt;
 
+/// Arity mismatch from fallible [`Table`] construction: a row whose cell
+/// count differs from the table's header count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableError {
+    expected: usize,
+    got: usize,
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "row has {} cells, table has {} columns",
+            self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for TableError {}
+
 /// A simple aligned text table with an optional title, used by every
 /// table/figure regenerator in `mpr-core` and by the examples.
 ///
@@ -39,20 +59,35 @@ impl Table {
         self
     }
 
+    /// Appends a row, rejecting arity mismatches as a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TableError`] when the row length differs from the
+    /// header count.
+    pub fn try_row(&mut self, cells: Vec<String>) -> Result<&mut Table, TableError> {
+        if cells.len() != self.headers.len() {
+            return Err(TableError {
+                expected: self.headers.len(),
+                got: cells.len(),
+            });
+        }
+        self.rows.push(cells);
+        Ok(self)
+    }
+
     /// Appends a row.
     ///
     /// # Panics
     ///
-    /// Panics if the row length differs from the header count.
+    /// Panics if the row length differs from the header count; the
+    /// figure regenerators build rows with statically known arity, so a
+    /// mismatch is a programming error. Use [`Table::try_row`] to handle
+    /// it as a value instead.
     pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
-        assert_eq!(
-            cells.len(),
-            self.headers.len(),
-            "row has {} cells, table has {} columns",
-            cells.len(),
-            self.headers.len()
-        );
-        self.rows.push(cells);
+        if let Err(e) = self.try_row(cells) {
+            panic!("{e}");
+        }
         self
     }
 
@@ -101,7 +136,7 @@ impl fmt::Display for Table {
             writeln!(f)
         };
         write_row(f, &self.headers)?;
-        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        let total: usize = widths.iter().sum::<usize>() + 2 * ncols.saturating_sub(1);
         writeln!(f, "{}", "-".repeat(total))?;
         for row in &self.rows {
             write_row(f, row)?;

@@ -1,7 +1,6 @@
 //! Tolerated Relative Error analysis.
 
 use crate::FitRate;
-use serde::{Deserialize, Serialize};
 
 /// The severity distribution of a campaign's SDC events, queried as "what
 /// fraction of errors would a user tolerating relative error `t` still
@@ -20,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(curve.surviving_fraction(1e-3), 0.5);  // two become tolerable
 /// assert_eq!(curve.surviving_fraction(1.0), 0.25);  // NaN/inf never tolerable
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TreCurve {
     /// Worst relative error of each SDC event, sorted ascending.
     errors: Vec<f64>,
@@ -35,7 +34,7 @@ impl TreCurve {
                 *e = f64::INFINITY;
             }
         }
-        errors.sort_by(|a, b| a.partial_cmp(b).expect("NaN already removed"));
+        errors.sort_by(f64::total_cmp);
         TreCurve { errors }
     }
 

@@ -1,11 +1,9 @@
 //! SDC criticality classification for classifiers and detectors.
 
-use serde::{Deserialize, Serialize};
-
 /// Outcome of a classifier SDC (paper Section 4.1, MNIST on the FPGA):
 /// a corrupted output is *tolerable* when the predicted class survives
 /// and *critical* when the classification changes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ClassificationImpact {
     /// Output corrupted, classification unchanged.
     Tolerable,
@@ -53,7 +51,7 @@ fn argmax(xs: &[f64]) -> usize {
 }
 
 /// One decoded object detection.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Detection {
     /// Predicted class index.
     pub class: usize,
@@ -66,7 +64,14 @@ pub struct Detection {
 impl Detection {
     /// Intersection-over-union with another box.
     pub fn iou(&self, other: &Detection) -> f64 {
-        let half = |b: &[f64; 4]| (b[0] - b[2] / 2.0, b[1] - b[3] / 2.0, b[0] + b[2] / 2.0, b[1] + b[3] / 2.0);
+        let half = |b: &[f64; 4]| {
+            (
+                b[0] - b[2] / 2.0,
+                b[1] - b[3] / 2.0,
+                b[0] + b[2] / 2.0,
+                b[1] + b[3] / 2.0,
+            )
+        };
         let (ax0, ay0, ax1, ay1) = half(&self.bbox);
         let (bx0, by0, bx1, by1) = half(&other.bbox);
         let iw = (ax1.min(bx1) - ax0.max(bx0)).max(0.0);
@@ -85,7 +90,7 @@ impl Detection {
 /// (*tolerable*), boxes may appear/vanish/move (*detection changed*), or
 /// a matched object may change class (*classification changed* — the
 /// critical case).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DetectionImpact {
     /// Same objects, same classes, boxes within tolerance.
     Tolerable,
@@ -118,7 +123,7 @@ pub fn classify_detections(golden: &[Detection], observed: &[Detection]) -> Dete
                 continue;
             }
             let iou = g.iou(o);
-            if best.map_or(true, |(_, b)| iou > b) {
+            if best.is_none_or(|(_, b)| iou > b) {
                 best = Some((i, iou));
             }
         }
@@ -171,13 +176,19 @@ mod tests {
     fn moved_box_changes_detection() {
         let g = vec![det(1, 0.9, 5.0, 5.0, 2.0, 2.0)];
         let o = vec![det(1, 0.9, 9.0, 9.0, 2.0, 2.0)];
-        assert_eq!(classify_detections(&g, &o), DetectionImpact::DetectionChanged);
+        assert_eq!(
+            classify_detections(&g, &o),
+            DetectionImpact::DetectionChanged
+        );
     }
 
     #[test]
     fn lost_and_spurious_detections() {
         let g = vec![det(0, 0.9, 5.0, 5.0, 2.0, 2.0)];
-        assert_eq!(classify_detections(&g, &[]), DetectionImpact::DetectionChanged);
+        assert_eq!(
+            classify_detections(&g, &[]),
+            DetectionImpact::DetectionChanged
+        );
         assert_eq!(
             classify_detections(&[], &g),
             DetectionImpact::DetectionChanged

@@ -76,8 +76,10 @@ pub fn conv2d<F: FloatExt>(
                 for i in 0..in_ch {
                     for dy in 0..w.k {
                         for dx in 0..w.k {
-                            acc = hook
-                                .touch(w.kernel(o, i, dy, dx).mul_add(input.get(i, y + dy, x + dx), acc));
+                            acc = hook.touch(
+                                w.kernel(o, i, dy, dx)
+                                    .mul_add(input.get(i, y + dy, x + dx), acc),
+                            );
                         }
                     }
                 }
@@ -118,7 +120,7 @@ pub fn relu<F: FloatExt>(input: &Tensor<F>, hook: &mut dyn FaultHook) -> Tensor<
         for y in 0..h {
             for x in 0..w {
                 let v = input.get(ch, y, x);
-                let a = if v.to_f64() > 0.0 { v } else { F::zero() };
+                let a = if v > F::zero() { v } else { F::zero() };
                 out.set(ch, y, x, hook.touch(a));
             }
         }
@@ -135,7 +137,7 @@ pub fn leaky_relu<F: FloatExt>(input: &Tensor<F>, hook: &mut dyn FaultHook) -> T
         for y in 0..h {
             for x in 0..w {
                 let v = input.get(ch, y, x);
-                let a = if v.to_f64() >= 0.0 { v } else { v * slope };
+                let a = if v >= F::zero() { v } else { v * slope };
                 out.set(ch, y, x, hook.touch(a));
             }
         }
@@ -167,6 +169,25 @@ pub fn dense<F: FloatExt>(
     out
 }
 
+/// Argument magnitude beyond which `exp` has saturated at every studied
+/// precision and no in-range polynomial executes.
+const EXP_ARG_LIMIT: f64 = 80.0;
+
+/// Cody-Waite two-term split of `ln 2` (`hi` exactly representable at
+/// the target precision, `lo` the residual), per precision.
+fn ln2_split(precision: mpr_softfloat::Precision) -> (f64, f64) {
+    match precision {
+        mpr_softfloat::Precision::Half => (0.693359375, -2.1219444005469057e-4),
+        mpr_softfloat::Precision::Single => (0.693145751953125, 1.4286067653301193e-6),
+        mpr_softfloat::Precision::Double => (0.6931471803691238, 1.9082149292705877e-10),
+    }
+}
+
+/// `1 / k!` in the f64 master domain, for Taylor coefficients.
+fn inv_factorial(k: usize) -> f64 {
+    1.0 / (1..=k as u32).map(f64::from).product::<f64>()
+}
+
 /// In-precision `exp` with every intermediate exposed to the fault hook:
 /// argument reduction, a precision-deep Horner recurrence, and the final
 /// scale. GPUs evaluate transcendentals in software (paper Section 6.3),
@@ -177,22 +198,18 @@ pub fn exp_hooked<F: FloatExt>(x: F, hook: &mut dyn FaultHook) -> F {
         return x.exp();
     }
     let xf = x.to_f64();
-    if !(-80.0..=80.0).contains(&xf) {
+    if !(-EXP_ARG_LIMIT..=EXP_ARG_LIMIT).contains(&xf) {
         return x.exp(); // saturated: no in-range polynomial executes
     }
     let log2e = F::from_f64(std::f64::consts::LOG2_E);
     let n = (x * log2e).to_f64().round() as i32;
     let nf = F::from_f64(n as f64);
-    let (hi, lo) = match F::PRECISION {
-        mpr_softfloat::Precision::Half => (0.693359375, -2.1219444005469057e-4),
-        mpr_softfloat::Precision::Single => (0.693145751953125, 1.4286067653301193e-6),
-        mpr_softfloat::Precision::Double => (0.6931471803691238, 1.9082149292705877e-10),
-    };
+    let (hi, lo) = ln2_split(F::PRECISION);
     let r = hook.touch((x - nf * F::from_f64(hi)) - nf * F::from_f64(lo));
     let terms = exp_terms(F::PRECISION);
     let mut acc = F::zero();
     for k in (1..=terms).rev() {
-        let coeff = F::from_f64(1.0 / (1..=k as u32).map(f64::from).product::<f64>());
+        let coeff = F::from_f64(inv_factorial(k));
         acc = hook.touch(acc.mul_add(r, coeff));
     }
     let p = hook.touch(acc.mul_add(r, F::one()));
@@ -307,7 +324,8 @@ mod tests {
 
     #[test]
     fn leaky_relu_scales_negatives() {
-        let input: Tensor<f64> = Tensor::from_fn(1, 1, 2, |_, _, x| if x == 0 { -8.0 } else { 8.0 });
+        let input: Tensor<f64> =
+            Tensor::from_fn(1, 1, 2, |_, _, x| if x == 0 { -8.0 } else { 8.0 });
         let out = leaky_relu(&input, &mut hook());
         assert_eq!(out.to_f64_vec(), vec![-1.0, 8.0]);
     }

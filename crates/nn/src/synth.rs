@@ -8,6 +8,8 @@
 //! weights drawn from a seeded generator and *shared across precisions*
 //! (the paper casts one set of single-precision weights; retraining per
 //! precision would confound the comparison — Section 3.1).
+//!
+//! mpr-allow-file: precision-leak -- generators run in the f64 master domain by design; every value crosses into F exactly once at a from_f64 boundary so all precisions see the same inputs
 
 use crate::Tensor;
 use mpr_softfloat::FloatExt;
@@ -45,10 +47,10 @@ pub(crate) fn digit_image<F: FloatExt>(class: usize, seed: u64, size: usize) -> 
         // depend on the digit class, vaguely like stroke statistics.
         let phase = (class * 7) % 10;
         let stroke = match class % 4 {
-            0 => y.abs_diff(size / 2) <= 1,                          // horizontal bar
-            1 => x.abs_diff(size / 2) <= 1,                          // vertical bar
-            2 => x.abs_diff(y) <= 1,                                 // diagonal
-            _ => x.abs_diff(size - 1 - y) <= 1,                      // anti-diagonal
+            0 => y.abs_diff(size / 2) <= 1,     // horizontal bar
+            1 => x.abs_diff(size / 2) <= 1,     // vertical bar
+            2 => x.abs_diff(y) <= 1,            // diagonal
+            _ => x.abs_diff(size - 1 - y) <= 1, // anti-diagonal
         };
         let ring = y.abs_diff(phase) + x.abs_diff(phase) <= size / 3;
         let base = if stroke || ring { 0.9 } else { 0.05 };

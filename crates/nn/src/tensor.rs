@@ -116,8 +116,7 @@ mod tests {
 
     #[test]
     fn from_fn_and_indexing() {
-        let t: Tensor<f64> =
-            Tensor::from_fn(2, 3, 4, |c, y, x| (c * 100 + y * 10 + x) as f64);
+        let t: Tensor<f64> = Tensor::from_fn(2, 3, 4, |c, y, x| (c * 100 + y * 10 + x) as f64);
         assert_eq!(t.get(0, 0, 0), 0.0);
         assert_eq!(t.get(1, 2, 3), 123.0);
         assert_eq!(t.len(), 24);

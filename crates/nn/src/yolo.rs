@@ -99,9 +99,10 @@ impl TinyYolo {
         // categories), as in a real multi-class detector.
         let obj_gain = F::from_f64(20.0);
         for w in head_kernels.iter_mut().take(16) {
-            *w = *w * obj_gain;
+            // mpr-allow: fault-site -- weight synthesis precedes injection; campaigns count sites from the first conv2d
+            *w *= obj_gain;
         }
-        head_biases[0] = head_biases[0] * obj_gain;
+        head_biases[0] *= obj_gain;
         let head = ConvWeights::new(head_kernels, head_biases, 16, HEAD_CH, 1);
 
         let x = conv2d(&input, &conv1, hook); // 8 x 12 x 12
@@ -122,9 +123,7 @@ impl TinyYolo {
                     // 1x1 convolution at the sampled cell.
                     let mut acc: F = head.biases[ch];
                     for i in 0..16 {
-                        acc = hook.touch(
-                            head.kernels[ch * 16 + i].mul_add(x.get(i, sy, sx), acc),
-                        );
+                        acc = hook.touch(head.kernels[ch * 16 + i].mul_add(x.get(i, sy, sx), acc));
                     }
                     // Squash objectness, offsets, and class scores; leave
                     // width/height terms raw (channels 3, 4).
@@ -147,17 +146,14 @@ impl TinyYolo {
     ///
     /// Panics if the output length is not `GRID*GRID*HEAD_CH`.
     pub fn decode(output: &[f64]) -> Vec<Detection> {
-        assert_eq!(
-            output.len(),
-            GRID * GRID * HEAD_CH,
-            "malformed head output"
-        );
+        assert_eq!(output.len(), GRID * GRID * HEAD_CH, "malformed head output");
         let mut candidates = Vec::new();
         for gy in 0..GRID {
             for gx in 0..GRID {
                 let base = (gy * GRID + gx) * HEAD_CH;
                 let obj = output[base];
-                if !(obj > SCORE_THRESHOLD) {
+                let detected = obj > SCORE_THRESHOLD;
+                if !detected {
                     continue; // NaN objectness never detects
                 }
                 let cx = gx as f64 + output[base + 1];
@@ -277,8 +273,7 @@ mod tests {
         for t in 0..40u64 {
             let site = t * sites / 40;
             let out = yolo.run_with_fault(Precision::Half, site, ValueFault::BitFlip(14));
-            if classify_detections(&golden, &TinyYolo::decode(&out)) != DetectionImpact::Tolerable
-            {
+            if classify_detections(&golden, &TinyYolo::decode(&out)) != DetectionImpact::Tolerable {
                 changed += 1;
             }
         }

@@ -1,7 +1,6 @@
 //! Dynamically typed float values for the fault injector.
 
 use crate::{FloatExt, Half, Precision};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A float value whose precision is chosen at runtime.
@@ -23,7 +22,7 @@ use std::fmt;
 /// let d = AnyFloat::encode(Precision::Double, 1.0);
 /// assert_eq!(d.flip_bit(9).to_f64(), 1.0 + 2f64.powi(-43));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AnyFloat {
     /// A binary16 value.
     F16(Half),
@@ -137,7 +136,9 @@ mod tests {
     #[test]
     fn flip_bit_magnitude_depends_on_format() {
         // A flip in the lowest mantissa bit is tiny in double, large in half.
-        let d = AnyFloat::encode(Precision::Double, 1.0).flip_bit(0).to_f64();
+        let d = AnyFloat::encode(Precision::Double, 1.0)
+            .flip_bit(0)
+            .to_f64();
         let h = AnyFloat::encode(Precision::Half, 1.0).flip_bit(0).to_f64();
         assert!((d - 1.0).abs() < 1e-15);
         assert!((h - 1.0).abs() > 9e-4);
@@ -150,11 +151,15 @@ mod tests {
             -3.0
         );
         assert_eq!(
-            AnyFloat::encode(Precision::Single, 3.0).flip_bit(31).to_f64(),
+            AnyFloat::encode(Precision::Single, 3.0)
+                .flip_bit(31)
+                .to_f64(),
             -3.0
         );
         assert_eq!(
-            AnyFloat::encode(Precision::Double, 3.0).flip_bit(63).to_f64(),
+            AnyFloat::encode(Precision::Double, 3.0)
+                .flip_bit(63)
+                .to_f64(),
             -3.0
         );
     }

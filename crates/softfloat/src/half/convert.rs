@@ -153,7 +153,11 @@ impl Half {
 
     /// Exact widening conversion to `f32`.
     pub fn to_f32(self) -> f32 {
-        let sign = if self.is_sign_negative() { -1.0f32 } else { 1.0 };
+        let sign = if self.is_sign_negative() {
+            -1.0f32
+        } else {
+            1.0
+        };
         match (self.exp_field(), self.frac_field()) {
             (0, 0) => sign * 0.0,
             // Subnormal: frac * 2^-24, exact in f32.
@@ -170,7 +174,11 @@ impl Half {
 
     /// Exact widening conversion to `f64`.
     pub fn to_f64(self) -> f64 {
-        let sign = if self.is_sign_negative() { -1.0f64 } else { 1.0 };
+        let sign = if self.is_sign_negative() {
+            -1.0f64
+        } else {
+            1.0
+        };
         match (self.exp_field(), self.frac_field()) {
             (0, 0) => sign * 0.0,
             (0, f) => sign * f as f64 * 2f64.powi(-24),
@@ -267,7 +275,10 @@ mod tests {
     fn signed_zero_is_preserved() {
         assert_eq!(Half::from_f64(0.0).to_bits(), 0x0000);
         assert_eq!(Half::from_f64(-0.0).to_bits(), 0x8000);
-        assert_eq!(Half::from_bits(0x8000).to_f64().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(
+            Half::from_bits(0x8000).to_f64().to_bits(),
+            (-0.0f64).to_bits()
+        );
     }
 
     #[test]

@@ -171,16 +171,16 @@ mod tests {
             0x8000
         );
         // Exact cancellation gives +0 under round-to-nearest.
-        assert_eq!(Half::ONE.mul_add(Half::ONE, Half::NEG_ONE).to_bits(), 0x0000);
+        assert_eq!(
+            Half::ONE.mul_add(Half::ONE, Half::NEG_ONE).to_bits(),
+            0x0000
+        );
     }
 
     #[test]
     fn overflow_to_infinity() {
         assert_eq!(Half::MAX.mul_add(Half::TWO, Half::ZERO), Half::INFINITY);
-        assert_eq!(
-            Half::MIN.mul_add(Half::TWO, Half::ZERO),
-            Half::NEG_INFINITY
-        );
+        assert_eq!(Half::MIN.mul_add(Half::TWO, Half::ZERO), Half::NEG_INFINITY);
     }
 
     #[test]

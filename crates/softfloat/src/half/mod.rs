@@ -5,8 +5,8 @@ mod convert;
 mod fma;
 mod ops;
 
-pub use ops::ParseHalfError;
 pub(crate) use convert::round_pack_f16;
+pub use ops::ParseHalfError;
 
 use core::num::FpCategory;
 

@@ -19,9 +19,9 @@ use crate::{FloatExt, Precision};
 /// reduced interval `|r| <= ln(2)/2` is below the format's epsilon.
 pub const fn exp_terms(precision: Precision) -> usize {
     match precision {
-        Precision::Half => 5,     // error ~4e-5 < 2^-10
-        Precision::Single => 8,   // error ~5e-9 < 2^-23
-        Precision::Double => 14,  // error ~4e-18 < 2^-52
+        Precision::Half => 5,    // error ~4e-5 < 2^-10
+        Precision::Single => 8,  // error ~5e-9 < 2^-23
+        Precision::Double => 14, // error ~4e-18 < 2^-52
     }
 }
 
@@ -71,7 +71,7 @@ pub fn exp_poly<F: FloatExt>(x: F) -> F {
     // without cancellation noise, then the lo correction is applied.
     let (ln2_hi, ln2_lo) = match F::PRECISION {
         Precision::Half => (0.693359375, -2.1219444005469057e-4),
-        Precision::Single => (0.6931457519531250, 1.4286067653301193e-6),
+        Precision::Single => (0.693145751953125, 1.4286067653301193e-6),
         Precision::Double => (0.6931471803691238, 1.9082149292705877e-10),
     };
     let nf = F::from_f64(n as f64);
@@ -311,10 +311,7 @@ mod tests {
             let x = i as f32 * 0.3;
             let a = tanh_poly(x);
             let b = -tanh_poly(-x);
-            assert!(
-                crate::ulp::ulp_distance(a, b) <= 8,
-                "x={x}: {a} vs {b}"
-            );
+            assert!(crate::ulp::ulp_distance(a, b) <= 8, "x={x}: {a} vs {b}");
         }
     }
 }

@@ -1,6 +1,5 @@
 //! Runtime precision selection and IEEE-754 format metadata.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The three IEEE-754 binary formats studied by the paper.
@@ -19,7 +18,7 @@ use std::fmt;
 /// // Probability that a uniformly placed bit flip lands in the mantissa:
 /// assert!((Precision::Double.mantissa_fraction() - 52.0 / 64.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Precision {
     /// IEEE-754 binary16: 1 + 5 + 10 bits.
     Half,

@@ -276,11 +276,11 @@ impl FloatExt for Half {
         let mut v = self;
         let mut n = n;
         while n > 14 {
-            v = v * Half::from_f64(2f64.powi(14));
+            v *= Half::from_f64(2f64.powi(14));
             n -= 14;
         }
         while n < -14 {
-            v = v * Half::from_f64(2f64.powi(-14));
+            v *= Half::from_f64(2f64.powi(-14));
             n += 14;
         }
         v * Half::from_f64(2f64.powi(n))

@@ -99,8 +99,8 @@ mod tests {
         assert_eq!(relative_error(1.0, f64::NAN), f64::INFINITY);
         assert_eq!(relative_error(0.0, 1.0), 1.0);
         assert_eq!(relative_error(-0.0, 0.0), 0.0); // same value, different bits
-        // Identical NaN bit patterns count as "no corruption": the output
-        // byte-compares equal to the golden output.
+                                                    // Identical NaN bit patterns count as "no corruption": the output
+                                                    // byte-compares equal to the golden output.
         assert_eq!(relative_error(f64::NAN, f64::NAN), 0.0);
     }
 

@@ -37,7 +37,11 @@ fn main() {
     ])
     .with_title("Titan V vs Tesla V100 (ECC) under the same beam");
 
-    let cases: [(&str, &dyn Workload, mixed_precision_reliability::arch::WorkloadProfile); 3] = [
+    let cases: [(
+        &str,
+        &dyn Workload,
+        mixed_precision_reliability::arch::WorkloadProfile,
+    ); 3] = [
         ("Micro-FMA", &micro, profiles::micro(MicroKernelOp::Fma)),
         ("MxM", &gemm, profiles::mxm_gpu()),
         ("YOLOv3", &yolo, nn_profiles::yolo_gpu()),
@@ -58,7 +62,10 @@ fn main() {
                 format!("{:.2e}", b.fit_sdc().au()),
                 format!("{:.2e}", e.fit_sdc().au()),
                 format!("{:.1}x", b.fit_sdc().au() / e.fit_sdc().au()),
-                format!("{:+.0}%", (e.fit_due().au() / b.fit_due().au() - 1.0) * 100.0),
+                format!(
+                    "{:+.0}%",
+                    (e.fit_due().au() / b.fit_due().au() - 1.0) * 100.0
+                ),
             ]);
         }
     }

@@ -35,10 +35,9 @@ fn main() {
     let strike_pe = 3 % pes;
     let fault = ValueFault::BitFlip(28);
 
-    let mut table = Table::new(vec!["run", "corrupted outputs", "note"])
-        .with_title(format!(
-            "Persistent fault in 1 of {pes} PEs on the FPGA MxM circuit (single precision)"
-        ));
+    let mut table = Table::new(vec!["run", "corrupted outputs", "note"]).with_title(format!(
+        "Persistent fault in 1 of {pes} PEs on the FPGA MxM circuit (single precision)"
+    ));
 
     let scrub_period = 4; // scrub every 4th run
     for run in 0..8u32 {

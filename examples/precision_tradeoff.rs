@@ -32,7 +32,7 @@ fn survey(
             .run();
         let mebf = result.mebf().executions();
         cells.push(format!("{mebf:.2e}"));
-        if best.map_or(true, |(_, b)| mebf > b) {
+        if best.is_none_or(|(_, b)| mebf > b) {
             best = Some((precision, mebf));
         }
     }
@@ -62,7 +62,12 @@ fn main() {
     let lud = Lud::new(16);
     let micro_fma = Micro::new(MicroKernelOp::Fma, 16, 128);
 
-    survey(&mut table, &gpu, &micro_fma, &profiles::micro(MicroKernelOp::Fma));
+    survey(
+        &mut table,
+        &gpu,
+        &micro_fma,
+        &profiles::micro(MicroKernelOp::Fma),
+    );
     survey(&mut table, &gpu, &lavamd, &profiles::lavamd_gpu());
     survey(&mut table, &gpu, &gemm, &profiles::mxm_gpu());
     survey(&mut table, &knc, &lavamd_knc, &profiles::lavamd_knc());

@@ -22,7 +22,7 @@ fn main() {
     let profile = profiles::mxm_gpu();
 
     println!("device: {}", gpu.name());
-    println!("workload: {} ({} fault sites per run)\n", "MxM 16x16", {
+    println!("workload: MxM 16x16 ({} fault sites per run)\n", {
         use mixed_precision_reliability::fault::Workload;
         gemm.site_count(Precision::Single)
     });
@@ -47,7 +47,10 @@ fn main() {
             format!("{:.3e}", result.fit_sdc().au()),
             format!("{:.3e}", result.fit_due().au()),
             format!("{:.3e}", result.mebf().executions()),
-            format!("{:.1}%", result.tre_curve().tolerable_fraction(0.01) * 100.0),
+            format!(
+                "{:.1}%",
+                result.tre_curve().tolerable_fraction(0.01) * 100.0
+            ),
         ]);
     }
 

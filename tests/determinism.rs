@@ -3,9 +3,9 @@
 
 use mixed_precision_reliability::arch::VoltaGpu;
 use mixed_precision_reliability::beam::{BeamCampaign, BeamSession};
+use mixed_precision_reliability::fault::Workload;
 use mixed_precision_reliability::fault::{FaultModel, InjectionCampaign};
 use mixed_precision_reliability::kernels::{profiles, Gemm, LavaMd, Lud, Micro, MicroKernelOp};
-use mixed_precision_reliability::fault::Workload;
 use mixed_precision_reliability::softfloat::Precision;
 
 #[test]

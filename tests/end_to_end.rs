@@ -88,10 +88,7 @@ fn transcendental_unit_variant_changes_sites_not_golden() {
         let b = knc.run_golden(p);
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
-            assert!(
-                (x - y).abs() <= 1e-2 * x.abs().max(1e-6),
-                "{p}: {x} vs {y}"
-            );
+            assert!((x - y).abs() <= 1e-2 * x.abs().max(1e-6), "{p}: {x} vs {y}");
         }
         assert_ne!(
             plain.site_count(p),

@@ -1,0 +1,238 @@
+//! Vendored, dependency-free stand-in for the slice of `criterion` this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! ships a miniature wall-clock benchmark harness with the same surface
+//! syntax: [`Criterion::benchmark_group`], `bench_function`,
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Each benchmark is calibrated to a target
+//! measurement window and reports mean ns/iteration to stdout; there is
+//! no statistical analysis, plotting, or result persistence.
+//!
+//! When invoked by `cargo test` (which passes `--test` to `harness =
+//! false` bench targets), benchmarks run one iteration each as a smoke
+//! test so the test cycle stays fast.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    smoke_test: bool,
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let smoke_test = std::env::args().any(|a| a == "--test");
+        Criterion {
+            smoke_test,
+            target: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            smoke_test: self.smoke_test,
+            target: self.target,
+            report: None,
+        };
+        f(&mut bencher);
+        bencher.print(id);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of samples taken per benchmark. The shim measures
+    /// a single time window, so this only shortens the window for
+    /// expensive benchmarks (matching the intent of the upstream call).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let scale = (n.max(1) as u32).min(100);
+        self.criterion.target = Duration::from_millis(2 * scale as u64);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            smoke_test: self.criterion.smoke_test,
+            target: self.criterion.target,
+            report: None,
+        };
+        f(&mut bencher);
+        bencher.print(&format!("{}/{id}", self.name));
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            smoke_test: self.criterion.smoke_test,
+            target: self.criterion.target,
+            report: None,
+        };
+        f(&mut bencher, input);
+        bencher.print(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Ends the group (report flushing is per-benchmark; this is a
+    /// surface-compatibility no-op).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function/parameter` identifier.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{parameter}", function.into()))
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Times one closure.
+#[derive(Debug)]
+pub struct Bencher {
+    smoke_test: bool,
+    target: Duration,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Measures `routine`, auto-scaling the iteration count to the
+    /// target window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_test {
+            black_box(routine());
+            self.report = Some((1, Duration::ZERO));
+            return;
+        }
+        // Calibrate: grow the batch until it fills ~1/10 of the target,
+        // then measure whole batches until the window closes.
+        let mut batch: u64 = 1;
+        let calibration_floor = self.target / 10;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= calibration_floor || batch >= 1 << 40 {
+                break;
+            }
+            batch *= 8;
+        }
+        let mut iters: u64 = 0;
+        let mut spent = Duration::ZERO;
+        while spent < self.target {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            spent += t.elapsed();
+            iters += batch;
+        }
+        self.report = Some((iters, spent));
+    }
+
+    fn print(&self, id: &str) {
+        match self.report {
+            Some((1, d)) if d == Duration::ZERO => println!("  {id}: ok (smoke test)"),
+            Some((iters, spent)) => {
+                let ns = spent.as_nanos() as f64 / iters as f64;
+                println!("  {id}: {ns:.1} ns/iter ({iters} iters)");
+            }
+            None => println!("  {id}: no measurement recorded"),
+        }
+    }
+}
+
+/// Declares a benchmark entry point running each listed function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_iterations() {
+        let mut c = Criterion {
+            smoke_test: false,
+            target: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.finish();
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut b = Bencher {
+            smoke_test: true,
+            target: Duration::from_secs(100),
+            report: None,
+        };
+        let mut runs = 0;
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,576 @@
+//! Vendored, dependency-light stand-in for the slice of `proptest` this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! ships a miniature property-testing harness with the same surface
+//! syntax: the [`proptest!`] macro, [`Strategy`] with `prop_map` /
+//! `prop_filter`, range and tuple strategies, [`collection::vec`],
+//! [`prop_oneof!`], [`Just`], [`any`], and the `prop_assert*` /
+//! `prop_assume!` macros. Shrinking is not implemented — a failing case
+//! reports the generated inputs and the deterministic case seed instead.
+//!
+//! Cases are seeded from the test's name, so runs are fully
+//! deterministic: there is no persistence file and no environment
+//! dependence.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Why a generated case did not produce a verdict.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded (`prop_assume!` / `prop_filter`).
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discard with the given reason.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Generates one value, or a discard reason.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TestCaseError::Reject`] when a filter discards the draw.
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred`.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: impl Into<String>,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            pred,
+        }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe strategy, for heterogeneous unions.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> Result<V, TestCaseError>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> Result<S::Value, TestCaseError> {
+        self.generate(rng)
+    }
+}
+
+impl<V: Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<V, TestCaseError> {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice among equally weighted boxed strategies.
+pub struct Union<V>(pub Vec<BoxedStrategy<V>>);
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<V, TestCaseError> {
+        use rand::Rng;
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let idx = rng.gen_range(0..self.0.len());
+        self.0[idx].generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Result<T, TestCaseError> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<U, TestCaseError> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<S::Value, TestCaseError> {
+        // Retry locally before escalating to a whole-case discard, so
+        // sparse filters don't exhaust the runner's discard budget.
+        for _ in 0..16 {
+            let v = self.inner.generate(rng)?;
+            if (self.pred)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(TestCaseError::reject(self.whence.clone()))
+    }
+}
+
+/// `any::<T>()`: the type's full natural domain, including edge cases.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<T, TestCaseError> {
+        Ok(T::arbitrary(rng))
+    }
+}
+
+/// Types with a full-domain generator.
+pub trait Arbitrary: Debug + Sized {
+    /// Draws one value covering the whole domain (all bit patterns for
+    /// ints; floats include NaN, infinities, and subnormals).
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        use rand::Rng;
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        use rand::Rng;
+        // Raw bit patterns cover NaNs/infinities/subnormals but almost
+        // never land in human-scale magnitudes; mix in a bounded uniform
+        // component so both regimes are exercised.
+        if rng.gen_bool(0.5) {
+            f64::from_bits(rng.gen::<u64>())
+        } else {
+            rng.gen_range(-1e6..1e6)
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        use rand::Rng;
+        if rng.gen_bool(0.5) {
+            f32::from_bits(rng.gen::<u64>() as u32)
+        } else {
+            rng.gen_range(-1e6f32..1e6)
+        }
+    }
+}
+
+macro_rules! range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, TestCaseError> {
+                use rand::Rng;
+                Ok(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+range_strategy_int!(u8, u16, u32, u64, usize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError> {
+                let ($($name,)+) = self;
+                Ok(($($name.generate(rng)?,)+))
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestCaseError, TestRng};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// `vec(element, len_range)`: a vector whose length is drawn from
+    /// `len_range` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, TestCaseError> {
+            use rand::Rng;
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything the test files import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// FNV-1a over the test identifier: a stable per-test seed.
+pub fn seed_of(ident: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in ident.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives one property: repeatedly generates a case and evaluates it
+/// until `config.cases` cases pass.
+///
+/// # Panics
+///
+/// Panics when a case fails, or when the discard budget is exhausted.
+pub fn run_property<F>(config: &ProptestConfig, ident: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = seed_of(ident);
+    let mut passed: u64 = 0;
+    let mut discarded: u64 = 0;
+    let budget = (config.cases as u64) * 64 + 1024;
+    while passed < config.cases as u64 {
+        let case_seed = base ^ (passed + discarded).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                discarded += 1;
+                assert!(
+                    discarded <= budget,
+                    "{ident}: discard budget exhausted after {passed} passing cases \
+                     ({discarded} discards) — loosen the filters"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{ident}: case failed (case seed {case_seed:#x})\n{msg}")
+            }
+        }
+    }
+}
+
+/// The `proptest!` block: each `#[test] fn name(binding in strategy, ...)`
+/// becomes a deterministic multi-case test.
+#[macro_export]
+macro_rules! proptest {
+    (
+        @with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                $(let $arg = $strat;)+
+                let strategies = ( $(&$arg,)+ );
+                $crate::run_property(
+                    &config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |rng| {
+                        #[allow(non_snake_case)]
+                        let ( $($arg,)+ ) = &strategies;
+                        $(
+                            let $arg = $crate::Strategy::generate(*$arg, rng)?;
+                        )+
+                        let values_desc = format!(
+                            concat!($(stringify!($arg), " = {:?}; ",)+),
+                            $(&$arg,)+
+                        );
+                        let verdict = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            Ok(())
+                        })();
+                        match verdict {
+                            Err($crate::TestCaseError::Fail(msg)) => {
+                                Err($crate::TestCaseError::Fail(format!(
+                                    "inputs: {values_desc}\n{msg}"
+                                )))
+                            }
+                            other => other,
+                        }
+                    },
+                );
+            }
+        )*
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union(vec![ $( $crate::Strategy::boxed($strat) ),+ ])
+    };
+}
+
+/// Asserts within a property; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discards the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn runner_is_deterministic_per_ident() {
+        let mut first: Vec<u64> = Vec::new();
+        let mut second: Vec<u64> = Vec::new();
+        for out in [&mut first, &mut second] {
+            crate::run_property(&ProptestConfig::with_cases(16), "t::x", |rng| {
+                use rand::Rng;
+                out.push(rng.gen());
+                Ok(())
+            });
+        }
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "case failed")]
+    fn failures_panic_with_inputs() {
+        crate::run_property(&ProptestConfig::default(), "t::fail", |_| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "discard budget")]
+    fn discard_budget_is_enforced() {
+        crate::run_property(&ProptestConfig::with_cases(4), "t::reject", |_| {
+            Err(TestCaseError::reject("always"))
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_binds_multiple_strategies(a in 0u32..10, b in 5usize..9, v in crate::collection::vec(0.0f64..1.0, 0..4)) {
+            prop_assert!(a < 10);
+            prop_assert!((5..9).contains(&b));
+            prop_assert!(v.len() < 4);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn combinators_compose(x in (0u64..100, 0u64..100).prop_map(|(a, b)| a + b)) {
+            prop_assert!(x < 199);
+        }
+
+        #[test]
+        fn oneof_and_just_choose_arms(s in prop_oneof![Just("a"), Just("b")]) {
+            prop_assert!(s == "a" || s == "b");
+        }
+
+        #[test]
+        fn filters_discard(v in (0u32..100).prop_filter("even", |v| v % 2 == 0)) {
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn assume_discards_cases(v in 0u32..100) {
+            prop_assume!(v >= 50);
+            prop_assert!(v >= 50);
+        }
+    }
+}
