@@ -211,6 +211,7 @@ pub fn lint_applies(lint: &str, rel_path: &str) -> bool {
             p.starts_with("crates/beam/src")
                 || p.starts_with("crates/fault/src")
                 || p.starts_with("crates/core/src")
+                || p.starts_with("crates/exp/src")
         }
         "panic-hygiene" => true,
         _ => false,
@@ -335,6 +336,7 @@ mod tests {
             "crates/beam/src/campaign.rs"
         ));
         assert!(lint_applies("determinism", "crates/core/src/study.rs"));
+        assert!(lint_applies("determinism", "crates/exp/src/engine.rs"));
         assert!(!lint_applies("determinism", "crates/metrics/src/fit.rs"));
         assert!(lint_applies("panic-hygiene", "crates/metrics/src/fit.rs"));
     }

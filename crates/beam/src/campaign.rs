@@ -25,6 +25,7 @@ pub struct BeamCampaign<'a> {
     precision: Precision,
     session: BeamSession,
     classifier: Option<&'a SdcClassifier>,
+    golden: Option<&'a [f64]>,
 }
 
 impl std::fmt::Debug for BeamCampaign<'_> {
@@ -68,6 +69,7 @@ impl<'a> BeamCampaign<'a> {
             precision,
             session: BeamSession::paper(0),
             classifier: None,
+            golden: None,
         }
     }
 
@@ -84,6 +86,15 @@ impl<'a> BeamCampaign<'a> {
         self
     }
 
+    /// Supplies a precomputed golden output, skipping the internal
+    /// golden run. The caller must pass exactly
+    /// `workload.run_golden(precision)` — the engine memoizes this per
+    /// (workload × precision) so shared cells pay for it once.
+    pub fn golden(mut self, golden: &'a [f64]) -> Self {
+        self.golden = Some(golden);
+        self
+    }
+
     /// Runs the campaign.
     pub fn run(&self) -> CampaignResult {
         let exec_time = self.device.exec_time(self.profile, self.precision);
@@ -95,7 +106,14 @@ impl<'a> BeamCampaign<'a> {
         let flux = self.session.target_candidates as f64 / (exposure.compute * seconds);
         let fluence = flux * seconds;
 
-        let golden = self.workload.run_golden(self.precision);
+        let golden_owned;
+        let golden: &[f64] = match self.golden {
+            Some(g) => g,
+            None => {
+                golden_owned = self.workload.run_golden(self.precision);
+                &golden_owned
+            }
+        };
         let golden_bits: Vec<u64> = golden.iter().map(|v| v.to_bits()).collect();
         let sites = self.workload.site_count(self.precision);
         let width = self.precision.total_bits();

@@ -42,5 +42,5 @@
 mod campaign;
 mod session;
 
-pub use campaign::{BeamCampaign, CampaignResult};
+pub use campaign::{BeamCampaign, CampaignResult, SdcClassifier, SdcLabel};
 pub use session::BeamSession;

@@ -8,15 +8,18 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Print Tables 1-3.
-    Tables { scale: Scale },
+    Tables { opts: StudyOpts },
     /// Print every figure (2-13).
-    Figures { scale: Scale },
+    Figures { opts: StudyOpts },
     /// Print the ablations.
-    Ablations { scale: Scale },
+    Ablations { opts: StudyOpts },
+    /// Print the whole report: tables, figures, ablations, and the
+    /// engine's cell statistics.
+    Report { opts: StudyOpts },
     /// Export all artifacts as CSV.
-    Export { dir: String, scale: Scale },
+    Export { dir: String, opts: StudyOpts },
     /// Run the executable shape validation.
-    Validate { scale: Scale },
+    Validate { opts: StudyOpts },
     /// Run one beam campaign.
     Campaign {
         device: DeviceArg,
@@ -25,6 +28,7 @@ pub enum Command {
         strikes: u64,
         hours: f64,
         seed: u64,
+        threads: Option<usize>,
     },
     /// Run one injection campaign.
     Inject {
@@ -33,6 +37,7 @@ pub enum Command {
         injections: u64,
         model: ModelArg,
         seed: u64,
+        threads: Option<usize>,
     },
     /// Run the workspace static-analysis lints.
     Analyze {
@@ -46,12 +51,26 @@ pub enum Command {
 }
 
 /// Statistical scale of a study command.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Scale {
     /// Fast statistics.
+    #[default]
     Quick,
     /// Paper-scale statistics.
     Paper,
+}
+
+/// Options shared by every study-backed subcommand (tables, figures,
+/// ablations, report, export, validate).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StudyOpts {
+    /// Statistical scale.
+    pub scale: Scale,
+    /// `--threads N` override; `None` falls back to the `MPR_THREADS`
+    /// environment variable, then to all available cores.
+    pub threads: Option<usize>,
+    /// `--cache-dir PATH`: on-disk experiment-cell cache.
+    pub cache_dir: Option<String>,
 }
 
 /// Device selector.
@@ -118,18 +137,24 @@ pub const USAGE: &str = "\
 mpr — mixed-precision reliability study
 
 USAGE:
-    mpr tables    [--paper]
-    mpr figures   [--paper]
-    mpr ablations [--paper]
-    mpr validate  [--paper]
-    mpr export    --dir <PATH> [--paper]
+    mpr tables    [STUDY OPTS]
+    mpr figures   [STUDY OPTS]
+    mpr ablations [STUDY OPTS]
+    mpr report    [STUDY OPTS]
+    mpr validate  [STUDY OPTS]
+    mpr export    --dir <PATH> [STUDY OPTS]
     mpr campaign  --device <gpu|gpu-ecc|knc|fpga> --workload <WORKLOAD>
                   --precision <double|single|half>
-                  [--strikes N] [--hours H] [--seed S]
+                  [--strikes N] [--hours H] [--seed S] [--threads N]
     mpr inject    --workload <WORKLOAD> --precision <double|single|half>
-                  [--n N] [--model single|double|byte] [--seed S]
+                  [--n N] [--model single|double|byte] [--seed S] [--threads N]
     mpr analyze   [--json] [--root <PATH>]
     mpr help
+
+STUDY OPTS:
+    --paper           paper-scale statistics (default: quick)
+    --threads N       worker threads (default: MPR_THREADS, then all cores)
+    --cache-dir PATH  reuse cached experiment cells across runs
 
 WORKLOAD: mxm | lavamd | lavamd-knc | lud | micro-add | micro-mul |
           micro-fma | mnist | yolo
@@ -147,20 +172,23 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     match sub {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "tables" => Ok(Command::Tables {
-            scale: scale_of(&rest)?,
+            opts: study_opts(&rest, false)?,
         }),
         "figures" => Ok(Command::Figures {
-            scale: scale_of(&rest)?,
+            opts: study_opts(&rest, false)?,
         }),
         "ablations" => Ok(Command::Ablations {
-            scale: scale_of(&rest)?,
+            opts: study_opts(&rest, false)?,
+        }),
+        "report" => Ok(Command::Report {
+            opts: study_opts(&rest, false)?,
         }),
         "validate" => Ok(Command::Validate {
-            scale: scale_of(&rest)?,
+            opts: study_opts(&rest, false)?,
         }),
         "export" => Ok(Command::Export {
             dir: required(&rest, "--dir")?.to_string(),
-            scale: scale_of(&rest)?,
+            opts: study_opts(&rest, true)?,
         }),
         "campaign" => Ok(Command::Campaign {
             device: device_of(required(&rest, "--device")?)?,
@@ -169,6 +197,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             strikes: numeric(&rest, "--strikes", 2000)?,
             hours: float(&rest, "--hours", 100.0)?,
             seed: numeric(&rest, "--seed", 0)?,
+            threads: threads_of(&rest)?,
         }),
         "inject" => Ok(Command::Inject {
             workload: workload_of(required(&rest, "--workload")?)?,
@@ -176,6 +205,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             injections: numeric(&rest, "--n", 2000)?,
             model: model_of(optional(&rest, "--model").unwrap_or("single"))?,
             seed: numeric(&rest, "--seed", 0)?,
+            threads: threads_of(&rest)?,
         }),
         "analyze" => {
             if let Some(&bad) = rest
@@ -193,21 +223,48 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     }
 }
 
-fn scale_of(rest: &[&str]) -> Result<Scale, ParseError> {
-    if rest.contains(&"--paper") {
-        Ok(Scale::Paper)
-    } else if let Some(&bad) = rest
-        .iter()
-        .find(|&&a| a != "--paper" && !a.starts_with("--dir"))
-    {
-        // `export` carries --dir <path>; tolerate its value pair.
-        if bad.starts_with("--") {
-            Err(ParseError(format!("unknown flag `{bad}`")))
-        } else {
-            Ok(Scale::Quick)
+/// Parses the shared study options, rejecting unknown flags. `allow_dir`
+/// tolerates `export`'s `--dir <path>` value pair.
+fn study_opts(rest: &[&str], allow_dir: bool) -> Result<StudyOpts, ParseError> {
+    let mut opts = StudyOpts::default();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i] {
+            "--paper" => {
+                opts.scale = Scale::Paper;
+                i += 1;
+            }
+            "--threads" => {
+                let v = rest
+                    .get(i + 1)
+                    .ok_or_else(|| ParseError("`--threads` expects a value".to_string()))?;
+                opts.threads = Some(v.parse().map_err(|_| {
+                    ParseError(format!("`--threads` expects an integer, got `{v}`"))
+                })?);
+                i += 2;
+            }
+            "--cache-dir" => {
+                let v = rest
+                    .get(i + 1)
+                    .ok_or_else(|| ParseError("`--cache-dir` expects a path".to_string()))?;
+                opts.cache_dir = Some(v.to_string());
+                i += 2;
+            }
+            "--dir" if allow_dir => i += 2,
+            other => return Err(ParseError(format!("unknown flag `{other}`\n\n{USAGE}"))),
         }
-    } else {
-        Ok(Scale::Quick)
+    }
+    Ok(opts)
+}
+
+/// Parses an optional `--threads N` flag (campaign/inject).
+fn threads_of(rest: &[&str]) -> Result<Option<usize>, ParseError> {
+    match optional(rest, "--threads") {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| ParseError(format!("`--threads` expects an integer, got `{v}`"))),
     }
 }
 
@@ -303,13 +360,16 @@ mod tests {
         assert_eq!(
             parse_ok("tables"),
             Command::Tables {
-                scale: Scale::Quick
+                opts: StudyOpts::default()
             }
         );
         assert_eq!(
             parse_ok("figures --paper"),
             Command::Figures {
-                scale: Scale::Paper
+                opts: StudyOpts {
+                    scale: Scale::Paper,
+                    ..StudyOpts::default()
+                }
             }
         );
         assert_eq!(parse_ok("help"), Command::Help);
@@ -317,9 +377,39 @@ mod tests {
             parse_ok("export --dir /tmp/x --paper"),
             Command::Export {
                 dir: "/tmp/x".to_string(),
-                scale: Scale::Paper
+                opts: StudyOpts {
+                    scale: Scale::Paper,
+                    ..StudyOpts::default()
+                }
             }
         );
+    }
+
+    #[test]
+    fn study_opts_parse_threads_and_cache_dir() {
+        assert_eq!(
+            parse_ok("report --threads 4 --cache-dir /tmp/cells"),
+            Command::Report {
+                opts: StudyOpts {
+                    scale: Scale::Quick,
+                    threads: Some(4),
+                    cache_dir: Some("/tmp/cells".to_string()),
+                }
+            }
+        );
+        assert_eq!(
+            parse_ok("tables --paper --threads 2"),
+            Command::Tables {
+                opts: StudyOpts {
+                    scale: Scale::Paper,
+                    threads: Some(2),
+                    cache_dir: None,
+                }
+            }
+        );
+        assert!(parse_err("figures --threads lots").0.contains("integer"));
+        assert!(parse_err("tables --cache-dir").0.contains("path"));
+        assert!(parse_err("tables --frobnicate").0.contains("unknown flag"));
     }
 
     #[test]
@@ -334,11 +424,12 @@ mod tests {
                 strikes: 2000,
                 hours: 100.0,
                 seed: 0,
+                threads: None,
             }
         );
         let c = parse_ok(
             "campaign --device knc --workload lavamd-knc --precision single \
-             --strikes 500 --hours 10 --seed 7",
+             --strikes 500 --hours 10 --seed 7 --threads 3",
         );
         match c {
             Command::Campaign {
@@ -347,11 +438,13 @@ mod tests {
                 strikes,
                 hours,
                 seed,
+                threads,
                 ..
             } => {
                 assert_eq!(device, DeviceArg::Knc);
                 assert_eq!(workload, WorkloadArg::LavamdKnc);
                 assert_eq!((strikes, hours, seed), (500, 10.0, 7));
+                assert_eq!(threads, Some(3));
             }
             other => panic!("{other:?}"),
         }
@@ -387,6 +480,7 @@ mod tests {
                 injections: 300,
                 model: ModelArg::Byte,
                 seed: 0,
+                threads: None,
             }
         );
     }

@@ -1,13 +1,11 @@
 //! Command execution.
 
-use crate::args::{Command, DeviceArg, ModelArg, Scale, WorkloadArg};
-use mpr_arch::{Device, Fpga, VoltaGpu, WorkloadProfile, XeonPhiKnc};
-use mpr_beam::{BeamCampaign, BeamSession};
+use crate::args::{Command, DeviceArg, ModelArg, Scale, StudyOpts, WorkloadArg};
 use mpr_core::Study;
-use mpr_fault::{FaultModel, InjectionCampaign, Workload};
-use mpr_kernels::{profiles as kprofiles, Gemm, LavaMd, Lud, Micro, MicroKernelOp};
+use mpr_exp::{CellKey, CellKind, ClassifierId, DeviceId, Engine, WorkloadId};
+use mpr_fault::FaultModel;
+use mpr_kernels::MicroKernelOp;
 use mpr_metrics::{SeverityHistogram, Table};
-use mpr_nn::{profiles as nprofiles, Mnist, TinyYolo};
 use mpr_softfloat::Precision;
 
 /// Runs a parsed command, returning the process exit code.
@@ -17,38 +15,37 @@ pub fn run(command: Command) -> i32 {
             println!("{}", crate::args::USAGE);
             0
         }
-        Command::Tables { scale } => {
-            let study = study(scale);
-            println!("{}", study.table1_fpga_times());
-            println!("{}", study.table2_knc_times());
-            println!("{}", study.table3_gpu_times());
+        Command::Tables { opts } => {
+            let study = study(&opts);
+            print_tables(&study);
             0
         }
-        Command::Figures { scale } => {
-            let study = study(scale);
-            println!("{}", study.fig2_fpga_resources().to_table());
-            println!("{}", study.fig3_fpga_fit().to_table());
-            println!("{}", study.fig4_fpga_tre().to_table());
-            println!("{}", study.fig5_fpga_mebf().to_table());
-            println!("{}", study.fig6_knc_fit().to_table());
-            println!("{}", study.fig7_knc_pvf().to_table());
-            println!("{}", study.fig8_knc_tre().to_table());
-            println!("{}", study.fig9_knc_mebf().to_table());
-            println!("{}", study.fig10_gpu_fit().to_table());
-            println!("{}", study.fig11_gpu_tre().to_table());
-            println!("{}", study.fig12_gpu_avf().to_table());
-            println!("{}", study.fig13_gpu_mebf().to_table());
+        Command::Figures { opts } => {
+            let study = study(&opts);
+            print_figures(&study);
             0
         }
-        Command::Ablations { scale } => {
-            let study = study(scale);
-            println!("{}", study.ablation_gpu_ecc().to_table());
-            println!("{}", study.ablation_fault_models().to_table());
-            println!("{}", study.ablation_fault_accumulation().to_table());
+        Command::Ablations { opts } => {
+            let study = study(&opts);
+            print_ablations(&study);
             0
         }
-        Command::Validate { scale } => {
-            let report = study(scale).validate_shapes();
+        Command::Report { opts } => {
+            let study = study(&opts);
+            print_tables(&study);
+            print_figures(&study);
+            print_ablations(&study);
+            let store = study.engine().store();
+            println!(
+                "experiment cells: {} executed, {} memory hits, {} disk hits",
+                store.executed(),
+                store.mem_hits(),
+                store.disk_hits()
+            );
+            0
+        }
+        Command::Validate { opts } => {
+            let report = study(&opts).validate_shapes();
             println!("{}", report.to_table());
             if report.all_passed() {
                 0
@@ -56,8 +53,8 @@ pub fn run(command: Command) -> i32 {
                 1
             }
         }
-        Command::Export { dir, scale } => {
-            let study = study(scale);
+        Command::Export { dir, opts } => {
+            let study = study(&opts);
             match study.export_csv(std::path::Path::new(&dir)) {
                 Ok(paths) => {
                     println!("wrote {} artifacts to {dir}", paths.len());
@@ -76,16 +73,45 @@ pub fn run(command: Command) -> i32 {
             strikes,
             hours,
             seed,
-        } => run_campaign(device, workload, precision, strikes, hours, seed),
+            threads,
+        } => run_campaign(device, workload, precision, strikes, hours, seed, threads),
         Command::Inject {
             workload,
             precision,
             injections,
             model,
             seed,
-        } => run_inject(workload, precision, injections, model, seed),
+            threads,
+        } => run_inject(workload, precision, injections, model, seed, threads),
         Command::Analyze { json, root } => run_analyze(json, &root),
     }
+}
+
+fn print_tables(study: &Study) {
+    println!("{}", study.table1_fpga_times());
+    println!("{}", study.table2_knc_times());
+    println!("{}", study.table3_gpu_times());
+}
+
+fn print_figures(study: &Study) {
+    println!("{}", study.fig2_fpga_resources().to_table());
+    println!("{}", study.fig3_fpga_fit().to_table());
+    println!("{}", study.fig4_fpga_tre().to_table());
+    println!("{}", study.fig5_fpga_mebf().to_table());
+    println!("{}", study.fig6_knc_fit().to_table());
+    println!("{}", study.fig7_knc_pvf().to_table());
+    println!("{}", study.fig8_knc_tre().to_table());
+    println!("{}", study.fig9_knc_mebf().to_table());
+    println!("{}", study.fig10_gpu_fit().to_table());
+    println!("{}", study.fig11_gpu_tre().to_table());
+    println!("{}", study.fig12_gpu_avf().to_table());
+    println!("{}", study.fig13_gpu_mebf().to_table());
+}
+
+fn print_ablations(study: &Study) {
+    println!("{}", study.ablation_gpu_ecc().to_table());
+    println!("{}", study.ablation_fault_models().to_table());
+    println!("{}", study.ablation_fault_accumulation().to_table());
 }
 
 fn run_analyze(json: bool, root: &str) -> i32 {
@@ -109,59 +135,100 @@ fn run_analyze(json: bool, root: &str) -> i32 {
     }
 }
 
-fn study(scale: Scale) -> Study {
-    match scale {
+/// Resolves the worker-thread budget: the `--threads` flag wins, then
+/// the `MPR_THREADS` environment variable, then 0 (all cores).
+fn resolve_threads(flag: Option<usize>, env: Option<&str>) -> usize {
+    flag.or_else(|| env.and_then(|s| s.trim().parse().ok()))
+        .unwrap_or(0)
+}
+
+fn threads_from_env(flag: Option<usize>) -> usize {
+    resolve_threads(flag, std::env::var("MPR_THREADS").ok().as_deref())
+}
+
+fn study(opts: &StudyOpts) -> Study {
+    let mut study = match opts.scale {
         Scale::Quick => Study::quick(2019),
         Scale::Paper => Study::paper(2019),
     }
+    .with_threads(threads_from_env(opts.threads));
+    if let Some(dir) = &opts.cache_dir {
+        study = study.with_cache_dir(dir);
+    }
+    study
 }
 
-fn device_of(arg: DeviceArg) -> Box<dyn Device> {
+fn device_id(arg: DeviceArg) -> DeviceId {
     match arg {
-        DeviceArg::Gpu => Box::new(VoltaGpu::titan_v()),
-        DeviceArg::GpuEcc => Box::new(VoltaGpu::tesla_v100()),
-        DeviceArg::Knc => Box::new(XeonPhiKnc::coprocessor_3120a()),
-        DeviceArg::Fpga => Box::new(Fpga::zynq7000()),
+        DeviceArg::Gpu => DeviceId::TitanV,
+        DeviceArg::GpuEcc => DeviceId::TeslaV100,
+        DeviceArg::Knc => DeviceId::Knc3120a,
+        DeviceArg::Fpga => DeviceId::Zynq7000,
     }
 }
 
-fn workload_of(arg: WorkloadArg, device: DeviceArg) -> (Box<dyn Workload>, WorkloadProfile) {
+/// The CLI's fixed mid-size workload proxies (between the study's
+/// quick and paper scales).
+fn workload_id(arg: WorkloadArg) -> WorkloadId {
     match arg {
-        WorkloadArg::Mxm => (
-            Box::new(Gemm::new(16)),
-            match device {
-                DeviceArg::Knc => kprofiles::mxm_knc(),
-                DeviceArg::Fpga => kprofiles::mxm_fpga(),
-                _ => kprofiles::mxm_gpu(),
-            },
-        ),
-        WorkloadArg::Lavamd => (
-            Box::new(LavaMd::new(2, 4)),
-            match device {
-                DeviceArg::Knc => kprofiles::lavamd_knc(),
-                _ => kprofiles::lavamd_gpu(),
-            },
-        ),
-        WorkloadArg::LavamdKnc => (
-            Box::new(LavaMd::new(2, 4).for_knc()),
-            kprofiles::lavamd_knc(),
-        ),
-        WorkloadArg::Lud => (Box::new(Lud::new(20)), kprofiles::lud_knc()),
-        WorkloadArg::MicroAdd => (
-            Box::new(Micro::new(MicroKernelOp::Add, 32, 256)),
-            kprofiles::micro(MicroKernelOp::Add),
-        ),
-        WorkloadArg::MicroMul => (
-            Box::new(Micro::new(MicroKernelOp::Mul, 32, 256)),
-            kprofiles::micro(MicroKernelOp::Mul),
-        ),
-        WorkloadArg::MicroFma => (
-            Box::new(Micro::new(MicroKernelOp::Fma, 32, 256)),
-            kprofiles::micro(MicroKernelOp::Fma),
-        ),
-        WorkloadArg::Mnist => (Box::new(Mnist::new()), nprofiles::mnist_fpga()),
-        WorkloadArg::Yolo => (Box::new(TinyYolo::new()), nprofiles::yolo_gpu()),
+        WorkloadArg::Mxm => WorkloadId::Gemm { dim: 16 },
+        WorkloadArg::Lavamd => WorkloadId::LavaMd {
+            boxes: 2,
+            particles: 4,
+            knc_unit: false,
+        },
+        WorkloadArg::LavamdKnc => WorkloadId::LavaMd {
+            boxes: 2,
+            particles: 4,
+            knc_unit: true,
+        },
+        WorkloadArg::Lud => WorkloadId::Lud { dim: 20 },
+        WorkloadArg::MicroAdd => micro_id(MicroKernelOp::Add),
+        WorkloadArg::MicroMul => micro_id(MicroKernelOp::Mul),
+        WorkloadArg::MicroFma => micro_id(MicroKernelOp::Fma),
+        WorkloadArg::Mnist => WorkloadId::Mnist { seed: 0x313 },
+        WorkloadArg::Yolo => WorkloadId::Yolo,
     }
+}
+
+fn micro_id(op: MicroKernelOp) -> WorkloadId {
+    WorkloadId::Micro {
+        op,
+        threads: 32,
+        iters: 256,
+    }
+}
+
+fn classifier_for(workload: &WorkloadId) -> ClassifierId {
+    match workload {
+        WorkloadId::Mnist { .. } => ClassifierId::MnistLogits,
+        WorkloadId::Yolo => ClassifierId::YoloDetections,
+        _ => ClassifierId::None,
+    }
+}
+
+/// Checks precision support with distinct messages for the device and
+/// the workload; returns the exit code on failure.
+fn check_supported(key: &CellKey) -> Option<i32> {
+    let device = key.device.build();
+    let workload = key.workload.build();
+    if matches!(key.kind, CellKind::Beam { .. }) && !device.supports(key.precision) {
+        eprintln!(
+            "{} has no {}-precision hardware",
+            device.name(),
+            key.precision
+        );
+        return Some(2);
+    }
+    if !workload.supports(key.precision) {
+        eprintln!(
+            "{} has no {}-precision implementation",
+            workload.name(),
+            key.precision
+        );
+        return Some(2);
+    }
+    None
 }
 
 fn run_campaign(
@@ -171,29 +238,24 @@ fn run_campaign(
     strikes: u64,
     hours: f64,
     seed: u64,
+    threads: Option<usize>,
 ) -> i32 {
-    let device = device_of(device_arg);
-    let (workload, profile) = workload_of(workload_arg, device_arg);
-    if !device.supports(precision) {
-        eprintln!("{} has no {precision}-precision hardware", device.name());
-        return 2;
-    }
-    if !workload.supports(precision) {
-        eprintln!(
-            "{} has no {precision}-precision implementation",
-            workload.name()
-        );
-        return 2;
-    }
-    let session = BeamSession {
-        hours,
-        target_candidates: strikes,
-        seed,
-        threads: 0,
+    let key = CellKey {
+        device: device_id(device_arg),
+        workload: workload_id(workload_arg),
+        precision,
+        kind: CellKind::Beam {
+            hours,
+            target_candidates: strikes,
+            classifier: classifier_for(&workload_id(workload_arg)),
+        },
     };
-    let result = BeamCampaign::new(device.as_ref(), workload.as_ref(), &profile, precision)
-        .session(session)
-        .run();
+    if let Some(code) = check_supported(&key) {
+        return code;
+    }
+    let engine = Engine::new(seed).with_threads(threads_from_env(threads));
+    let cell = engine.run_one(&key);
+    let result = cell.beam();
 
     let mut t = Table::new(vec!["quantity", "value"]).with_title(format!(
         "{} / {} / {precision}",
@@ -243,25 +305,37 @@ fn run_inject(
     injections: u64,
     model: ModelArg,
     seed: u64,
+    threads: Option<usize>,
 ) -> i32 {
-    let (workload, _) = workload_of(workload_arg, DeviceArg::Gpu);
-    if !workload.supports(precision) {
-        eprintln!(
-            "{} has no {precision}-precision implementation",
-            workload.name()
-        );
-        return 2;
-    }
+    let workload = workload_id(workload_arg);
     let model = match model {
         ModelArg::Single => FaultModel::SingleBit,
         ModelArg::Double => FaultModel::DoubleBit,
         ModelArg::Byte => FaultModel::RandomByte,
     };
-    let report = InjectionCampaign::new(workload.as_ref(), precision)
-        .injections(injections)
-        .seed(seed)
-        .model(model)
-        .run();
+    // Injection bypasses the device's execution units: the device slot
+    // only namespaces the cell (same convention as the study).
+    let key = CellKey {
+        device: match workload {
+            WorkloadId::Micro { .. } | WorkloadId::Yolo => DeviceId::TitanV,
+            WorkloadId::Mnist { .. } => DeviceId::Zynq7000,
+            _ => DeviceId::Knc3120a,
+        },
+        workload,
+        precision,
+        kind: CellKind::Inject {
+            injections,
+            model,
+            live_fraction: 1.0,
+        },
+    };
+    if let Some(code) = check_supported(&key) {
+        return code;
+    }
+    let engine = Engine::new(seed).with_threads(threads_from_env(threads));
+    let cell = engine.run_one(&key);
+    let report = cell.inject();
+
     let v = report.vulnerability();
     let mut t = Table::new(vec!["quantity", "value"])
         .with_title(format!("{} / {precision} / {model:?}", report.workload));
@@ -277,7 +351,7 @@ fn run_inject(
 
 #[cfg(test)]
 mod tests {
-    use super::run_analyze;
+    use super::{resolve_threads, run_analyze};
 
     fn temp_tree(tag: &str, rel: &str, source: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("mpr_cli_{tag}_{}", std::process::id()));
@@ -305,5 +379,15 @@ mod tests {
     #[test]
     fn analyze_exits_two_on_missing_root() {
         assert_eq!(run_analyze(false, "/nonexistent/mpr-root"), 2);
+    }
+
+    #[test]
+    fn thread_budget_resolution_order() {
+        // Flag beats environment beats the all-cores default.
+        assert_eq!(resolve_threads(Some(4), Some("8")), 4);
+        assert_eq!(resolve_threads(None, Some("8")), 8);
+        assert_eq!(resolve_threads(None, Some(" 2 ")), 2);
+        assert_eq!(resolve_threads(None, Some("many")), 0);
+        assert_eq!(resolve_threads(None, None), 0);
     }
 }

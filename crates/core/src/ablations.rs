@@ -3,31 +3,10 @@
 
 use crate::fpga_figures::PRECISIONS;
 use crate::Study;
-use mpr_arch::VoltaGpu;
-use mpr_fault::{FaultModel, Workload};
+use mpr_exp::DeviceId;
+use mpr_fault::FaultModel;
+use mpr_kernels::MicroKernelOp;
 use mpr_metrics::Table;
-
-/// Tiny deterministic generator for the accumulation sweep (kept local:
-/// the sweep needs far fewer random bits than a full campaign).
-mod rand_like {
-    #[derive(Debug)]
-    pub struct SplitMix(u64);
-
-    impl SplitMix {
-        pub fn new(seed: u64) -> SplitMix {
-            SplitMix(seed)
-        }
-
-        pub fn next(&mut self) -> u64 {
-            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = self.0;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^ (z >> 31)
-        }
-    }
-}
-use rand_like::SplitMix;
 
 /// ECC ablation: the paper's Titan V has no ECC ("there is no ECC
 /// available on the Titan-V", Section 3.2); the same GV100 silicon ships
@@ -167,57 +146,23 @@ impl AccumulationAblation {
 impl Study {
     /// Runs the accumulation ablation on the FPGA MxM circuit.
     pub fn ablation_fault_accumulation(&self) -> AccumulationAblation {
-        use mpr_fault::hook::MultiStrikeHook;
-
-        let gemm = self.gemm();
         let fault_counts = vec![1usize, 2, 4, 8, 16];
-        let trials = match self.scale() {
-            crate::StudyScale::Quick => 60,
-            crate::StudyScale::Paper => 250,
-        };
+        let mut cells = Vec::with_capacity(fault_counts.len() * 3);
+        for &k in &fault_counts {
+            for p in PRECISIONS {
+                cells.push(self.acc_cell(p, k as u32));
+            }
+        }
+        let results = self.run_cells(cells);
         let mut sdc_probability = Vec::new();
         let mut corruption_extent = Vec::new();
-        for &k in &fault_counts {
+        for i in 0..fault_counts.len() {
             let mut prob = [0.0; 3];
             let mut extent = [0.0; 3];
-            for (pi, p) in PRECISIONS.iter().enumerate() {
-                let golden = gemm.run_golden(*p);
-                let sites = gemm.site_count(*p);
-                let width = p.total_bits();
-                let mut sdc = 0u64;
-                let mut corrupted_sum = 0.0;
-                let mut rng = SplitMix::new(self.seed() ^ (k as u64) << 8 ^ pi as u64);
-                for _ in 0..trials {
-                    let strikes: Vec<_> = (0..k)
-                        .map(|_| {
-                            let site = rng.next() % sites;
-                            let bit = (rng.next() % width as u64) as u32;
-                            let fault = if rng.next().is_multiple_of(2) {
-                                mpr_fault::ValueFault::StuckHigh(bit)
-                            } else {
-                                mpr_fault::ValueFault::StuckLow(bit)
-                            };
-                            (site, fault)
-                        })
-                        .collect();
-                    let mut hook = MultiStrikeHook::new(strikes);
-                    let out = gemm.dispatch(*p, &mut hook);
-                    let corrupted = out
-                        .iter()
-                        .zip(&golden)
-                        .filter(|(a, b)| a.to_bits() != b.to_bits())
-                        .count();
-                    if corrupted > 0 {
-                        sdc += 1;
-                        corrupted_sum += corrupted as f64 / golden.len() as f64;
-                    }
-                }
-                prob[pi] = sdc as f64 / trials as f64;
-                extent[pi] = if sdc > 0 {
-                    corrupted_sum / sdc as f64
-                } else {
-                    0.0
-                };
+            for j in 0..3 {
+                let o = results[3 * i + j].accumulate();
+                prob[j] = o.sdc_probability;
+                extent[j] = o.corruption_extent;
             }
             sdc_probability.push(prob);
             corruption_extent.push(extent);
@@ -229,14 +174,20 @@ impl Study {
         }
     }
 
-    /// Runs the ECC ablation (Titan V vs Tesla V100).
+    /// Runs the ECC ablation (Titan V vs Tesla V100). The bare-GPU arm
+    /// reuses the Figure 10/13 cells for Micro-FMA and MxM; only the
+    /// ECC arm adds new campaigns.
     pub fn ablation_gpu_ecc(&self) -> EccAblation {
-        let bare = VoltaGpu::titan_v();
-        let ecc = VoltaGpu::tesla_v100();
-        let micro = self.micro(mpr_kernels::MicroKernelOp::Fma);
-        let gemm = self.gemm();
-        let micro_prof = self.profile_micro(mpr_kernels::MicroKernelOp::Fma);
-        let mxm_prof = self.profile_mxm_gpu();
+        let workloads = [self.micro_id(MicroKernelOp::Fma), self.gemm_id()];
+        let mut cells = Vec::with_capacity(12);
+        for device in [DeviceId::TitanV, DeviceId::TeslaV100] {
+            for w in workloads {
+                for p in PRECISIONS {
+                    cells.push(self.beam_cell(device, w, p));
+                }
+            }
+        }
+        let results = self.run_cells(cells);
 
         let mut result = EccAblation {
             bare_sdc: [[0.0; 3]; 2],
@@ -244,12 +195,10 @@ impl Study {
             bare_due: [[0.0; 3]; 2],
             ecc_due: [[0.0; 3]; 2],
         };
-        let pairs: [(&dyn Workload, &mpr_arch::WorkloadProfile); 2] =
-            [(&micro, &micro_prof), (&gemm, &mxm_prof)];
-        for (b, (w, prof)) in pairs.iter().enumerate() {
-            for (i, p) in PRECISIONS.iter().enumerate() {
-                let r0 = self.beam(&bare, *w, prof, *p, 0xECC0 + b as u64);
-                let r1 = self.beam(&ecc, *w, prof, *p, 0xECC0 + b as u64);
+        for b in 0..2 {
+            for i in 0..3 {
+                let r0 = results[3 * b + i].beam();
+                let r1 = results[6 + 3 * b + i].beam();
                 result.bare_sdc[b][i] = r0.fit_sdc().au();
                 result.ecc_sdc[b][i] = r1.fit_sdc().au();
                 result.bare_due[b][i] = r0.fit_due().au();
@@ -261,19 +210,25 @@ impl Study {
 
     /// Runs the fault-model ablation on the MxM kernel.
     pub fn ablation_fault_models(&self) -> FaultModelAblation {
-        let gemm = self.gemm();
         let models: [(&'static str, FaultModel); 3] = [
             ("single bit flip", FaultModel::SingleBit),
             ("double bit flip", FaultModel::DoubleBit),
             ("random byte", FaultModel::RandomByte),
         ];
+        let mut cells = Vec::with_capacity(9);
+        for (_, model) in &models {
+            for p in PRECISIONS {
+                cells.push(self.inject_cell(self.gemm_id(), p, *model, 1.0));
+            }
+        }
+        let results = self.run_cells(cells);
         let mut avf = Vec::new();
         let mut tol = Vec::new();
-        for (i, (_, model)) in models.iter().enumerate() {
+        for i in 0..models.len() {
             let mut a = [0.0; 3];
             let mut t = [0.0; 3];
-            for (j, p) in PRECISIONS.iter().enumerate() {
-                let r = self.inject(&gemm, *p, *model, 1.0, 0xFA_0000 + i as u64);
+            for j in 0..3 {
+                let r = results[3 * i + j].inject();
                 a[j] = r.vulnerability().factor();
                 t[j] = r.tre_curve().tolerable_fraction(0.01);
             }

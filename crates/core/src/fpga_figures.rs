@@ -1,9 +1,8 @@
 //! FPGA experiments: Figures 2-5 of the paper.
 
 use crate::Study;
-use mpr_beam::BeamCampaign;
+use mpr_exp::DeviceId;
 use mpr_metrics::{Table, TreCurve};
-use mpr_nn::ClassificationImpact;
 use mpr_softfloat::Precision;
 
 /// Precision order used by all per-figure arrays: `[double, single, half]`.
@@ -193,35 +192,35 @@ impl Study {
         Fig2 { rows }
     }
 
+    /// The FPGA campaign cells: MxM and MNIST at every precision. Each
+    /// figure requests this same set, so the engine executes it once
+    /// per study.
+    fn fpga_cells(&self) -> Vec<mpr_exp::CellKey> {
+        let mut cells = Vec::with_capacity(6);
+        for p in PRECISIONS {
+            cells.push(self.beam_cell(DeviceId::Zynq7000, self.gemm_id(), p));
+        }
+        for p in PRECISIONS {
+            cells.push(self.beam_cell(DeviceId::Zynq7000, self.mnist_id(), p));
+        }
+        cells
+    }
+
     /// Figure 3: beam campaigns on the FPGA MxM and MNIST circuits.
     pub fn fig3_fpga_fit(&self) -> Fig3 {
         let fpga = self.fpga();
-        let gemm = self.gemm();
-        let mxm_profile = self.profile_mxm_fpga();
-        let mnist = self.mnist();
-        let mnist_profile = self.profile_mnist_fpga();
+        let results = self.run_cells(self.fpga_cells());
 
         let mut mxm_fit = [0.0; 3];
         let mut mnist_fit = [0.0; 3];
         let mut critical = [0.0; 3];
         let mut per_gate = [0.0; 3];
-
-        let classify = |golden: &[f64], out: &[f64]| -> &'static str {
-            match mpr_nn::classify_logits(golden, out) {
-                ClassificationImpact::Critical => "critical",
-                ClassificationImpact::Tolerable => "tolerable",
-            }
-        };
-
         for (i, p) in PRECISIONS.iter().enumerate() {
-            let mxm = self.beam(&fpga, &gemm, &mxm_profile, *p, 0xF163A);
+            let mxm = results[i].beam();
             mxm_fit[i] = mxm.fit_sdc().au();
             per_gate[i] = fpga.per_gate_sensitivity("MxM", *p, mxm_fit[i]);
 
-            let mn = BeamCampaign::new(&fpga, &mnist, &mnist_profile, *p)
-                .session(self.session(0xF163B ^ p.total_bits() as u64))
-                .classifier(&classify)
-                .run();
+            let mn = results[3 + i].beam();
             mnist_fit[i] = mn.fit_sdc().au();
             critical[i] = mn
                 .label_fractions()
@@ -240,38 +239,19 @@ impl Study {
 
     /// Figure 4: TRE analysis of the FPGA MxM campaigns.
     pub fn fig4_fpga_tre(&self) -> Fig4 {
-        let fpga = self.fpga();
-        let gemm = self.gemm();
-        let profile = self.profile_mxm_fpga();
-        let results = PRECISIONS.map(|p| self.beam(&fpga, &gemm, &profile, p, 0xF164A));
+        let results = self.run_cells(self.fpga_cells());
         Fig4 {
-            base_fit: results.each_ref().map(|r| r.fit_sdc().au()),
-            curves: results.map(|r| r.tre_curve()),
+            base_fit: [0, 1, 2].map(|i| results[i].beam().fit_sdc().au()),
+            curves: [0, 1, 2].map(|i| results[i].beam().tre_curve()),
         }
     }
 
     /// Figure 5: FPGA MEBF for MxM and MNIST.
     pub fn fig5_fpga_mebf(&self) -> Fig5 {
-        let fpga = self.fpga();
-        let gemm = self.gemm();
-        let mxm_profile = self.profile_mxm_fpga();
-        let mnist = self.mnist();
-        let mnist_profile = self.profile_mnist_fpga();
-        let mut mxm = [0.0; 3];
-        let mut mn = [0.0; 3];
-        for (i, p) in PRECISIONS.iter().enumerate() {
-            mxm[i] = self
-                .beam(&fpga, &gemm, &mxm_profile, *p, 0xF165A)
-                .mebf()
-                .executions();
-            mn[i] = self
-                .beam(&fpga, &mnist, &mnist_profile, *p, 0xF165B)
-                .mebf()
-                .executions();
-        }
+        let results = self.run_cells(self.fpga_cells());
         Fig5 {
-            mxm_mebf: mxm,
-            mnist_mebf: mn,
+            mxm_mebf: [0, 1, 2].map(|i| results[i].beam().mebf().executions()),
+            mnist_mebf: [0, 1, 2].map(|i| results[3 + i].beam().mebf().executions()),
         }
     }
 }

@@ -3,11 +3,10 @@
 use crate::fpga_figures::PRECISIONS;
 use crate::Study;
 use mpr_arch::Device;
-use mpr_beam::BeamCampaign;
+use mpr_exp::{CellResult, DeviceId};
 use mpr_fault::FaultModel;
 use mpr_kernels::MicroKernelOp;
 use mpr_metrics::{Table, TreCurve, Vulnerability};
-use mpr_nn::{DetectionImpact, TinyYolo};
 
 fn gpu_table(first: &str, title: &str) -> Table {
     Table::new(vec![first, "double", "single", "half"]).with_title(title)
@@ -183,67 +182,41 @@ impl Fig13 {
 }
 
 impl Study {
-    fn micro_campaigns(&self, salt: u64) -> Vec<[mpr_beam::CampaignResult; 3]> {
-        let gpu = self.gpu();
-        MicroKernelOp::ALL
-            .iter()
-            .map(|&op| {
-                let w = self.micro(op);
-                let prof = self.profile_micro(op);
-                PRECISIONS.map(|p| self.beam(&gpu, &w, &prof, p, salt ^ op as u64))
-            })
-            .collect()
-    }
-
-    fn app_campaigns(&self, salt: u64) -> Vec<[mpr_beam::CampaignResult; 3]> {
-        let gpu = self.gpu();
-        let lavamd = self.lavamd();
-        let gemm = self.gemm();
-        vec![
-            PRECISIONS.map(|p| self.beam(&gpu, &lavamd, &self.profile_lavamd_gpu(), p, salt)),
-            PRECISIONS.map(|p| self.beam(&gpu, &gemm, &self.profile_mxm_gpu(), p, salt ^ 1)),
-        ]
-    }
-
-    fn yolo_campaigns(&self, salt: u64) -> [mpr_beam::CampaignResult; 3] {
-        let gpu = self.gpu();
-        let yolo = self.yolo();
-        let profile = self.profile_yolo_gpu();
-        let classify = |golden: &[f64], out: &[f64]| -> &'static str {
-            let g = TinyYolo::decode(golden);
-            let o = TinyYolo::decode(out);
-            match mpr_nn::classify_detections(&g, &o) {
-                DetectionImpact::Tolerable => "tolerable",
-                DetectionImpact::DetectionChanged => "detection",
-                DetectionImpact::ClassificationChanged => "classification",
+    /// The GPU beam cells — the three micros, LavaMD, MxM, and YOLOv3
+    /// at every precision, in that row order. Figures 10, 11, and 13
+    /// (and the ECC ablation's bare-GPU arm) all project this one set
+    /// of campaigns.
+    fn gpu_results(&self) -> [[CellResult; 3]; 6] {
+        let workloads = [
+            self.micro_id(MicroKernelOp::Add),
+            self.micro_id(MicroKernelOp::Mul),
+            self.micro_id(MicroKernelOp::Fma),
+            self.lavamd_id(),
+            self.gemm_id(),
+            self.yolo_id(),
+        ];
+        let mut cells = Vec::with_capacity(18);
+        for w in workloads {
+            for p in PRECISIONS {
+                cells.push(self.beam_cell(DeviceId::TitanV, w, p));
             }
-        };
-        PRECISIONS.map(|p| {
-            BeamCampaign::new(&gpu, &yolo, &profile, p)
-                .session(self.session(salt ^ p.total_bits() as u64))
-                .classifier(&classify)
-                .run()
-        })
+        }
+        let mut results = self.run_cells(cells).into_iter();
+        // mpr-allow: panic-hygiene -- run_cells returns exactly one result per requested cell
+        [(); 6].map(|_| [(); 3].map(|_| results.next().expect("eighteen gpu cells")))
     }
 
     /// Figure 10: GPU beam campaigns for micros, apps, and YOLOv3.
     pub fn fig10_gpu_fit(&self) -> Fig10 {
-        let micro = self.micro_campaigns(0x10_0000);
-        let apps = self.app_campaigns(0x10_0001);
-        let yolo = self.yolo_campaigns(0x10_0002);
+        let rows = self.gpu_results();
+        let micro = &rows[..3];
+        let apps = &rows[3..5];
+        let yolo = &rows[5];
 
-        let take = |rs: &[mpr_beam::CampaignResult; 3]| -> ([f64; 3], [f64; 3]) {
+        let take = |rs: &[CellResult; 3]| -> ([f64; 3], [f64; 3]) {
             (
-                [
-                    rs[0].fit_sdc().au(),
-                    rs[1].fit_sdc().au(),
-                    rs[2].fit_sdc().au(),
-                ],
-                [
-                    rs[0].fit_due().au(),
-                    rs[1].fit_due().au(),
-                    rs[2].fit_due().au(),
-                ],
+                [0, 1, 2].map(|i| rs[i].beam().fit_sdc().au()),
+                [0, 1, 2].map(|i| rs[i].beam().fit_due().au()),
             )
         };
         let (m0, d0) = take(&micro[0]);
@@ -251,7 +224,7 @@ impl Study {
         let (m2, d2) = take(&micro[2]);
         let (a0, ad0) = take(&apps[0]);
         let (a1, ad1) = take(&apps[1]);
-        let (y, yd) = take(&yolo);
+        let (y, yd) = take(yolo);
         Fig10 {
             micro_sdc: [m0, m1, m2],
             micro_due: [d0, d1, d2],
@@ -264,20 +237,18 @@ impl Study {
 
     /// Figure 11: TRE curves and YOLOv3 criticality.
     pub fn fig11_gpu_tre(&self) -> Fig11 {
-        let micro = self.micro_campaigns(0x11_0000);
-        let apps = self.app_campaigns(0x11_0001);
-        let yolo = self.yolo_campaigns(0x11_0002);
+        let rows = self.gpu_results();
 
-        let curves3 = |rs: &[mpr_beam::CampaignResult; 3]| rs.each_ref().map(|r| r.tre_curve());
+        let curves3 = |rs: &[CellResult; 3]| rs.each_ref().map(|r| r.beam().tre_curve());
         let mut crit = [[0.0; 3]; 3];
-        for (i, r) in yolo.iter().enumerate() {
-            let fr = r.label_fractions();
+        for (i, r) in rows[5].iter().enumerate() {
+            let fr = r.beam().label_fractions();
             let get = |l: &str| fr.iter().find(|(k, _)| *k == l).map_or(0.0, |(_, f)| *f);
             crit[i] = [get("tolerable"), get("detection"), get("classification")];
         }
         Fig11 {
-            micro_curves: [curves3(&micro[0]), curves3(&micro[1]), curves3(&micro[2])],
-            app_curves: [curves3(&apps[0]), curves3(&apps[1])],
+            micro_curves: [curves3(&rows[0]), curves3(&rows[1]), curves3(&rows[2])],
+            app_curves: [curves3(&rows[3]), curves3(&rows[4])],
             yolo_criticality: crit,
         }
     }
@@ -288,35 +259,29 @@ impl Study {
     /// core — Section 6.2).
     pub fn fig12_gpu_avf(&self) -> Fig12 {
         let gpu = self.gpu();
-        let avf = MicroKernelOp::ALL.map(|op| {
-            let w = self.micro(op);
+        let mut cells = Vec::with_capacity(9);
+        for op in MicroKernelOp::ALL {
             let prof = self.profile_micro(op);
-            PRECISIONS.map(|p| {
+            for p in PRECISIONS {
                 let pipe = gpu.exposure(&prof, p).pipeline_fraction;
-                self.inject_gpu_registers(&w, p, FaultModel::pipeline(pipe), 0x12_0000 ^ op as u64)
-                    .vulnerability()
-            })
-        });
+                cells.push(self.inject_cell(
+                    self.micro_id(op),
+                    p,
+                    FaultModel::pipeline(pipe),
+                    mpr_arch::calib::VOLTA_REG_LIVE_FRACTION,
+                ));
+            }
+        }
+        let results = self.run_cells(cells);
+        let avf = [0, 1, 2].map(|i| [0, 1, 2].map(|j| results[3 * i + j].inject().vulnerability()));
         Fig12 { avf }
     }
 
     /// Figure 13: GPU MEBF for every benchmark.
     pub fn fig13_gpu_mebf(&self) -> Fig13 {
-        let micro = self.micro_campaigns(0x13_0000);
-        let apps = self.app_campaigns(0x13_0001);
-        let yolo = self.yolo_campaigns(0x13_0002);
-        let mebf3 = |rs: &[mpr_beam::CampaignResult; 3]| -> [f64; 3] {
-            rs.each_ref().map(|r| r.mebf().executions())
-        };
+        let rows = self.gpu_results();
         Fig13 {
-            mebf: [
-                mebf3(&micro[0]),
-                mebf3(&micro[1]),
-                mebf3(&micro[2]),
-                mebf3(&apps[0]),
-                mebf3(&apps[1]),
-                mebf3(&yolo),
-            ],
+            mebf: rows.map(|rs| [0, 1, 2].map(|i| rs[i].beam().mebf().executions())),
         }
     }
 }
@@ -327,7 +292,7 @@ mod tests {
 
     #[test]
     fn fig10_micro_orderings() {
-        let fig = Study::quick(21).fig10_gpu_fit();
+        let fig = Study::quick(27).fig10_gpu_fit();
         // Order within Fig10 rows: [ADD, MUL, FMA] x [d, s, h].
         let add = fig.micro_sdc[0];
         let mul = fig.micro_sdc[1];

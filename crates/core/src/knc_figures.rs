@@ -1,6 +1,7 @@
 //! Xeon Phi experiments: Figures 6-9 of the paper.
 
 use crate::Study;
+use mpr_exp::{CellResult, DeviceId};
 use mpr_fault::FaultModel;
 use mpr_metrics::{Table, TreCurve, Vulnerability};
 use mpr_softfloat::Precision;
@@ -148,33 +149,31 @@ impl Fig9 {
 }
 
 impl Study {
-    fn knc_campaigns(&self, salt: u64) -> [[mpr_beam::CampaignResult; 2]; 3] {
-        let knc = self.knc();
-        let lavamd = self.lavamd_knc_kernel();
-        let gemm = self.gemm();
-        let lud = self.lud();
-        let runs = |w: &dyn mpr_fault::Workload, prof: &mpr_arch::WorkloadProfile| {
-            [
-                self.beam(&knc, w, prof, Precision::Double, salt),
-                self.beam(&knc, w, prof, Precision::Single, salt),
-            ]
-        };
-        [
-            runs(&lavamd, &self.profile_lavamd_knc()),
-            runs(&gemm, &self.profile_mxm_knc()),
-            runs(&lud, &self.profile_lud_knc()),
-        ]
+    /// The KNC beam cells — LavaMD, MxM, and LUD at double and single
+    /// precision (the KNC has no half-precision hardware). Figures 6,
+    /// 8, and 9 all project this one set of campaigns.
+    fn knc_results(&self) -> [[CellResult; 2]; 3] {
+        let workloads = [self.lavamd_knc_id(), self.gemm_id(), self.lud_id()];
+        let mut cells = Vec::with_capacity(6);
+        for w in workloads {
+            for p in [Precision::Double, Precision::Single] {
+                cells.push(self.beam_cell(DeviceId::Knc3120a, w, p));
+            }
+        }
+        let mut results = self.run_cells(cells).into_iter();
+        // mpr-allow: panic-hygiene -- run_cells returns exactly one result per requested cell
+        [(); 3].map(|_| [(); 2].map(|_| results.next().expect("six knc cells")))
     }
 
     /// Figure 6: KNC beam campaigns.
     pub fn fig6_knc_fit(&self) -> Fig6 {
-        let campaigns = self.knc_campaigns(0x6_0000);
+        let campaigns = self.knc_results();
         let mut sdc = [[0.0; 2]; 3];
         let mut due = [[0.0; 2]; 3];
         for (i, pair) in campaigns.iter().enumerate() {
             for (j, r) in pair.iter().enumerate() {
-                sdc[i][j] = r.fit_sdc().au();
-                due[i][j] = r.fit_due().au();
+                sdc[i][j] = r.beam().fit_sdc().au();
+                due[i][j] = r.beam().fit_due().au();
             }
         }
         Fig6 {
@@ -186,42 +185,38 @@ impl Study {
     /// Figure 7: variable-level single-bit injection (CAROL-FI on the
     /// KNC injects program variables — Section 5.2).
     pub fn fig7_knc_pvf(&self) -> Fig7 {
-        let lavamd = self.lavamd_knc_kernel();
-        let gemm = self.gemm();
-        let lud = self.lud();
-        let workloads: [&dyn mpr_fault::Workload; 3] = [&lavamd, &gemm, &lud];
-        let pvf = [0u64, 1, 2].map(|i| {
-            let w = workloads[i as usize];
-            let run = |p| {
-                self.inject(
+        let workloads = [self.lavamd_knc_id(), self.gemm_id(), self.lud_id()];
+        let mut cells = Vec::with_capacity(6);
+        for w in workloads {
+            for p in [Precision::Double, Precision::Single] {
+                cells.push(self.inject_cell(
                     w,
                     p,
                     FaultModel::single_bit(),
                     mpr_arch::calib::KNC_VARIABLE_LIVE_FRACTION,
-                    0x7_0000 + i,
-                )
-                .vulnerability()
-            };
-            [run(Precision::Double), run(Precision::Single)]
-        });
+                ));
+            }
+        }
+        let results = self.run_cells(cells);
+        let pvf = [0, 1, 2].map(|i| [0, 1].map(|j| results[2 * i + j].inject().vulnerability()));
         Fig7 { pvf }
     }
 
     /// Figure 8: TRE curves from the KNC beam campaigns.
     pub fn fig8_knc_tre(&self) -> Fig8 {
-        let campaigns = self.knc_campaigns(0x8_0000);
+        let campaigns = self.knc_results();
         Fig8 {
-            curves: campaigns.map(|pair| [pair[0].tre_curve(), pair[1].tre_curve()]),
+            curves: campaigns.map(|pair| [pair[0].beam().tre_curve(), pair[1].beam().tre_curve()]),
         }
     }
 
     /// Figure 9: KNC MEBF.
     pub fn fig9_knc_mebf(&self) -> Fig9 {
-        let campaigns = self.knc_campaigns(0x9_0000);
+        let campaigns = self.knc_results();
         let mut mebf = [[0.0; 2]; 3];
         for (i, pair) in campaigns.iter().enumerate() {
             for (j, r) in pair.iter().enumerate() {
-                mebf[i][j] = r.mebf().executions();
+                mebf[i][j] = r.beam().mebf().executions();
             }
         }
         Fig9 { mebf }

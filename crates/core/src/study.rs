@@ -1,11 +1,16 @@
-//! The study configuration and shared campaign plumbing.
+//! The study configuration: scale, seed, and the experiment engine.
 
-use mpr_arch::{Device, Fpga, VoltaGpu, WorkloadProfile, XeonPhiKnc};
-use mpr_beam::{BeamCampaign, BeamSession, CampaignResult};
-use mpr_fault::{FaultModel, InjectionCampaign, InjectionReport, Workload};
-use mpr_kernels::{profiles as kprofiles, Gemm, LavaMd, Lud, Micro, MicroKernelOp};
-use mpr_nn::{profiles as nprofiles, Mnist, TinyYolo};
+use mpr_arch::{Fpga, VoltaGpu, WorkloadProfile, XeonPhiKnc};
+use mpr_exp::{
+    mix_seed, CellKey, CellKind, CellResult, ClassifierId, DeviceId, Engine, ExperimentPlan,
+    ResultStore, WorkloadId,
+};
+use mpr_fault::FaultModel;
+use mpr_kernels::{profiles as kprofiles, MicroKernelOp};
+use mpr_nn::profiles as nprofiles;
 use mpr_softfloat::Precision;
+use std::path::Path;
+use std::sync::Arc;
 
 /// How much statistical weight to put behind each experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,12 +27,18 @@ pub enum StudyScale {
 /// One reproduction of the paper's evaluation.
 ///
 /// Construct with [`Study::quick`] or [`Study::paper`], then call the
-/// per-table/figure runners. All campaigns are deterministic in the
-/// seed.
+/// per-table/figure runners. Every figure obtains its campaigns
+/// through the study's [`Engine`]: identical experiment cells are
+/// executed once and shared across figures, campaigns run in parallel
+/// across cells, and an optional disk cache
+/// ([`Study::with_cache_dir`]) makes repeated reports incremental.
+/// All results are deterministic in the seed, independent of thread
+/// count and cache temperature.
 #[derive(Debug, Clone)]
 pub struct Study {
     seed: u64,
     scale: StudyScale,
+    engine: Engine,
 }
 
 impl Study {
@@ -36,6 +47,7 @@ impl Study {
         Study {
             seed,
             scale: StudyScale::Quick,
+            engine: Engine::new(seed),
         }
     }
 
@@ -44,7 +56,25 @@ impl Study {
         Study {
             seed,
             scale: StudyScale::Paper,
+            engine: Engine::new(seed),
         }
+    }
+
+    /// Overrides the engine's worker-thread budget (0 = available
+    /// parallelism). Results are identical for every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Study {
+        self.engine = self.engine.with_threads(threads);
+        self
+    }
+
+    /// Attaches an on-disk result cache: cells already present in
+    /// `dir` (from any earlier run at the same seed and scale) are
+    /// loaded instead of executed, and fresh results are written back.
+    pub fn with_cache_dir(mut self, dir: impl AsRef<Path>) -> Study {
+        self.engine = self
+            .engine
+            .with_store(Arc::new(ResultStore::with_cache_dir(dir.as_ref())));
+        self
     }
 
     /// The study's RNG seed.
@@ -57,10 +87,30 @@ impl Study {
         self.scale
     }
 
-    pub(crate) fn session(&self, salt: u64) -> BeamSession {
+    /// The experiment engine behind this study.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// How many experiment cells this study has actually executed
+    /// (cache hits — memory or disk — are not counted).
+    pub fn executed_cells(&self) -> u64 {
+        self.engine.store().executed()
+    }
+
+    // --- session parameters -------------------------------------------------
+
+    pub(crate) fn hours(&self) -> f64 {
         match self.scale {
-            StudyScale::Quick => BeamSession::quick(self.seed ^ salt).with_target_candidates(400),
-            StudyScale::Paper => BeamSession::paper(self.seed ^ salt).with_target_candidates(4000),
+            StudyScale::Quick => 10.0,
+            StudyScale::Paper => 100.0,
+        }
+    }
+
+    pub(crate) fn target_candidates(&self) -> u64 {
+        match self.scale {
+            StudyScale::Quick => 256,
+            StudyScale::Paper => 4000,
         }
     }
 
@@ -72,50 +122,75 @@ impl Study {
         }
     }
 
-    // --- workload proxies -------------------------------------------------
+    // --- workload identities ------------------------------------------------
 
-    pub(crate) fn gemm(&self) -> Gemm {
-        match self.scale {
-            StudyScale::Quick => Gemm::new(12),
-            StudyScale::Paper => Gemm::new(24),
+    pub(crate) fn gemm_id(&self) -> WorkloadId {
+        WorkloadId::Gemm {
+            dim: match self.scale {
+                StudyScale::Quick => 12,
+                StudyScale::Paper => 24,
+            },
         }
     }
 
-    pub(crate) fn lavamd(&self) -> LavaMd {
-        match self.scale {
-            StudyScale::Quick => LavaMd::new(2, 3),
-            StudyScale::Paper => LavaMd::new(2, 5),
+    pub(crate) fn lavamd_id(&self) -> WorkloadId {
+        let (boxes, particles) = match self.scale {
+            StudyScale::Quick => (2, 3),
+            StudyScale::Paper => (2, 5),
+        };
+        WorkloadId::LavaMd {
+            boxes,
+            particles,
+            knc_unit: false,
         }
     }
 
     /// LavaMD with the KNC's dedicated-transcendental-unit exp model.
-    pub(crate) fn lavamd_knc_kernel(&self) -> LavaMd {
-        self.lavamd().for_knc()
-    }
-
-    pub(crate) fn lud(&self) -> Lud {
-        match self.scale {
-            StudyScale::Quick => Lud::new(16),
-            StudyScale::Paper => Lud::new(28),
+    pub(crate) fn lavamd_knc_id(&self) -> WorkloadId {
+        match self.lavamd_id() {
+            WorkloadId::LavaMd {
+                boxes, particles, ..
+            } => WorkloadId::LavaMd {
+                boxes,
+                particles,
+                knc_unit: true,
+            },
+            // mpr-allow: panic-hygiene -- lavamd_id always returns the LavaMd variant
+            other => unreachable!("lavamd_id returned {other:?}"),
         }
     }
 
-    pub(crate) fn micro(&self, op: MicroKernelOp) -> Micro {
-        match self.scale {
-            StudyScale::Quick => Micro::new(op, 16, 128),
-            StudyScale::Paper => Micro::new(op, 48, 512),
+    pub(crate) fn lud_id(&self) -> WorkloadId {
+        WorkloadId::Lud {
+            dim: match self.scale {
+                StudyScale::Quick => 16,
+                StudyScale::Paper => 28,
+            },
         }
     }
 
-    pub(crate) fn mnist(&self) -> Mnist {
-        Mnist::new().with_seed(0x313 ^ self.seed.rotate_left(8))
+    pub(crate) fn micro_id(&self, op: MicroKernelOp) -> WorkloadId {
+        let (threads, iters) = match self.scale {
+            StudyScale::Quick => (16, 128),
+            StudyScale::Paper => (48, 512),
+        };
+        WorkloadId::Micro { op, threads, iters }
     }
 
-    pub(crate) fn yolo(&self) -> TinyYolo {
-        TinyYolo::new()
+    pub(crate) fn mnist_id(&self) -> WorkloadId {
+        // The weight seed rides on the study seed through a full
+        // splitmix64 avalanche (the old `0x313 ^ rotate` derivation
+        // collided for related seeds).
+        WorkloadId::Mnist {
+            seed: mix_seed(self.seed, 0x313),
+        }
     }
 
-    // --- devices ----------------------------------------------------------
+    pub(crate) fn yolo_id(&self) -> WorkloadId {
+        WorkloadId::Yolo
+    }
+
+    // --- devices ------------------------------------------------------------
 
     pub(crate) fn fpga(&self) -> Fpga {
         Fpga::zynq7000()
@@ -129,57 +204,89 @@ impl Study {
         VoltaGpu::titan_v()
     }
 
-    // --- shared campaign runners -------------------------------------------
+    // --- cell constructors --------------------------------------------------
 
-    /// Runs one beam campaign.
-    pub(crate) fn beam(
+    /// A beam cell at this study's scale. Workloads with a domain
+    /// classifier (MNIST, YOLO) always carry it, so label-consuming
+    /// and label-free figures share one campaign.
+    pub(crate) fn beam_cell(
         &self,
-        device: &dyn Device,
-        workload: &dyn Workload,
-        profile: &WorkloadProfile,
+        device: DeviceId,
+        workload: WorkloadId,
         precision: Precision,
-        salt: u64,
-    ) -> CampaignResult {
-        BeamCampaign::new(device, workload, profile, precision)
-            .session(self.session(salt ^ precision.total_bits() as u64))
-            .run()
+    ) -> CellKey {
+        let classifier = match workload {
+            WorkloadId::Mnist { .. } => ClassifierId::MnistLogits,
+            WorkloadId::Yolo => ClassifierId::YoloDetections,
+            _ => ClassifierId::None,
+        };
+        CellKey {
+            device,
+            workload,
+            precision,
+            kind: CellKind::Beam {
+                hours: self.hours(),
+                target_candidates: self.target_candidates(),
+                classifier,
+            },
+        }
     }
 
-    /// Runs one injection campaign with the given fault model and live
-    /// fraction (blind injections land in dead state the rest of the
-    /// time — see `InjectionCampaign::live_fraction`).
-    pub(crate) fn inject(
+    /// An injection cell at this study's scale, with the given fault
+    /// model and live fraction (blind injections land in dead state
+    /// the rest of the time — see `InjectionCampaign::live_fraction`).
+    pub(crate) fn inject_cell(
         &self,
-        workload: &dyn Workload,
+        workload: WorkloadId,
         precision: Precision,
         model: FaultModel,
         live_fraction: f64,
-        salt: u64,
-    ) -> InjectionReport {
-        InjectionCampaign::new(workload, precision)
-            .injections(self.injections())
-            .seed(self.seed ^ salt ^ precision.total_bits() as u64)
-            .model(model)
-            .live_fraction(live_fraction)
-            .run()
-    }
-
-    /// GPU register-level injection (the paper's CAROL-FI SASS mode,
-    /// Section 6.2).
-    pub(crate) fn inject_gpu_registers(
-        &self,
-        workload: &dyn Workload,
-        precision: Precision,
-        model: FaultModel,
-        salt: u64,
-    ) -> InjectionReport {
-        self.inject(
+    ) -> CellKey {
+        // Injection campaigns bypass the device's execution units; the
+        // device slot only namespaces the cell. Use the device whose
+        // methodology the model mimics to keep keys self-describing.
+        let device = match workload {
+            WorkloadId::Micro { .. } | WorkloadId::Yolo => DeviceId::TitanV,
+            WorkloadId::Mnist { .. } => DeviceId::Zynq7000,
+            _ => DeviceId::Knc3120a,
+        };
+        CellKey {
+            device,
             workload,
             precision,
-            model,
-            mpr_arch::calib::VOLTA_REG_LIVE_FRACTION,
-            salt,
-        )
+            kind: CellKind::Inject {
+                injections: self.injections(),
+                model,
+                live_fraction,
+            },
+        }
+    }
+
+    /// An FPGA error-accumulation cell (MxM, `faults` stuck-at upsets
+    /// per trial).
+    pub(crate) fn acc_cell(&self, precision: Precision, faults: u32) -> CellKey {
+        CellKey {
+            device: DeviceId::Zynq7000,
+            workload: self.gemm_id(),
+            precision,
+            kind: CellKind::Accumulate {
+                faults,
+                trials: match self.scale {
+                    StudyScale::Quick => 60,
+                    StudyScale::Paper => 250,
+                },
+            },
+        }
+    }
+
+    /// Runs a batch of cells through the engine, one result per
+    /// request in request order.
+    pub(crate) fn run_cells(&self, keys: Vec<CellKey>) -> Vec<CellResult> {
+        let mut plan = ExperimentPlan::new();
+        for key in keys {
+            plan.push(key);
+        }
+        self.engine.run(&plan)
     }
 
     // --- profile accessors (full-scale characterizations) ------------------
@@ -222,19 +329,44 @@ mod tests {
         let q = Study::quick(1);
         let p = Study::paper(1);
         assert!(p.injections() > q.injections());
-        assert!(p.session(0).target_candidates > q.session(0).target_candidates);
+        assert!(p.target_candidates() > q.target_candidates());
+        assert!(p.hours() > q.hours());
         assert_eq!(q.scale(), StudyScale::Quick);
         assert_eq!(p.scale(), StudyScale::Paper);
     }
 
     #[test]
     fn proxies_grow_with_scale() {
-        assert!(Study::paper(0).gemm().dim() > Study::quick(0).gemm().dim());
-        assert!(Study::paper(0).lud().dim() > Study::quick(0).lud().dim());
+        assert_eq!(Study::quick(0).gemm_id(), WorkloadId::Gemm { dim: 12 });
+        assert_eq!(Study::paper(0).gemm_id(), WorkloadId::Gemm { dim: 24 });
+        assert_eq!(Study::paper(0).lud_id(), WorkloadId::Lud { dim: 28 });
     }
 
     #[test]
     fn seed_is_plumbed() {
         assert_eq!(Study::quick(9).seed(), 9);
+        assert_eq!(Study::quick(9).engine().seed(), 9);
+    }
+
+    #[test]
+    fn mnist_weight_seed_avalanches_the_study_seed() {
+        let a = Study::quick(1).mnist_id();
+        let b = Study::quick(2).mnist_id();
+        assert_ne!(a, b);
+        // Nearby seeds must not produce related weight seeds.
+        let (WorkloadId::Mnist { seed: sa }, WorkloadId::Mnist { seed: sb }) = (a, b) else {
+            // mpr-allow: panic-hygiene -- mnist_id always returns the Mnist variant
+            panic!("mnist_id variant");
+        };
+        assert!((sa ^ sb).count_ones() > 8, "{sa:x} vs {sb:x}");
+    }
+
+    #[test]
+    fn identical_cells_share_seeds_across_figures() {
+        let s = Study::quick(7);
+        let a = s.beam_cell(DeviceId::TitanV, s.gemm_id(), Precision::Single);
+        let b = s.beam_cell(DeviceId::TitanV, s.gemm_id(), Precision::Single);
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.cell_seed(s.seed()), b.cell_seed(s.seed()));
     }
 }

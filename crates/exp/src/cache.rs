@@ -1,0 +1,487 @@
+//! On-disk JSON cache for cell results.
+//!
+//! Format: one file per cell, named `<fnv1a64(store_key)>.json`, whose
+//! body embeds the full store key. Loads verify the embedded key
+//! against the requested one, so a hash collision or a stale file is a
+//! cache miss, never a wrong result. Floats are encoded as the hex of
+//! their IEEE-754 bits (`"3ff0000000000000"`) so every value
+//! round-trips bit-exactly — a warm-cache report is byte-identical to
+//! the cold run that produced it. Bump [`crate::cell::KEY_VERSION`]
+//! (which is part of every store key) to invalidate all entries when
+//! execution semantics change.
+
+use crate::seed::fnv1a64;
+use crate::store::{AccumulateOutcome, CellResult};
+use mpr_beam::{CampaignResult, SdcLabel};
+use mpr_fault::InjectionReport;
+use mpr_metrics::{CrossSection, OutcomeCounts};
+use mpr_softfloat::Precision;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Identifies the file layout, independent of the cell-key version.
+const FORMAT: &str = "mpr-exp-cache-v1";
+
+/// The cache file path for a store key.
+pub fn entry_path(dir: &Path, store_key: &str) -> PathBuf {
+    dir.join(format!("{:016x}.json", fnv1a64(store_key.as_bytes())))
+}
+
+/// Serializes and writes one entry; best effort (IO errors degrade the
+/// cache to memoization, they never fail the run).
+pub fn save(dir: &Path, store_key: &str, result: &CellResult) {
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = entry_path(dir, store_key);
+    let body = serialize(store_key, result);
+    // Write-then-rename so readers never observe a torn file.
+    let tmp = path.with_extension("json.tmp");
+    if std::fs::write(&tmp, body).is_ok() {
+        let _ = std::fs::rename(&tmp, &path);
+    }
+}
+
+/// Loads one entry, returning `None` on any mismatch, parse error, or
+/// IO error (all equivalent to a cache miss).
+pub fn load(path: &Path, store_key: &str) -> Option<CellResult> {
+    let body = std::fs::read_to_string(path).ok()?;
+    let value = parse(&body)?;
+    let obj = value.as_obj()?;
+    if obj.get("format")?.as_str()? != FORMAT || obj.get("key")?.as_str()? != store_key {
+        return None;
+    }
+    let result = obj.get("result")?.as_obj()?;
+    match result.get("kind")?.as_str()? {
+        "beam" => Some(CellResult::Beam(CampaignResult {
+            device: result.get("device")?.as_str()?.to_string(),
+            workload: result.get("workload")?.as_str()?.to_string(),
+            precision: parse_precision(result.get("precision")?.as_str()?)?,
+            exec_time_s: result.get("exec_time_s")?.as_f64()?,
+            runs: result.get("runs")?.as_f64()?,
+            fluence: result.get("fluence")?.as_f64()?,
+            candidates: result.get("candidates")?.as_u64()?,
+            sdc: CrossSection::new(
+                result.get("sdc_events")?.as_u64()?,
+                result.get("fluence")?.as_f64()?,
+            ),
+            due: CrossSection::new(
+                result.get("due_events")?.as_u64()?,
+                result.get("fluence")?.as_f64()?,
+            ),
+            severities: result.get("severities")?.as_f64_vec()?,
+            labels: result
+                .get("labels")?
+                .as_arr()?
+                .iter()
+                .map(|l| l.as_str().and_then(intern_label))
+                .collect::<Option<Vec<_>>>()?,
+        })),
+        "inject" => Some(CellResult::Inject(InjectionReport {
+            workload: result.get("workload")?.as_str()?.to_string(),
+            precision: parse_precision(result.get("precision")?.as_str()?)?,
+            counts: OutcomeCounts::new(
+                result.get("masked")?.as_u64()?,
+                result.get("sdc")?.as_u64()?,
+                result.get("due")?.as_u64()?,
+            ),
+            severities: result.get("severities")?.as_f64_vec()?,
+        })),
+        "accumulate" => Some(CellResult::Accumulate(AccumulateOutcome {
+            sdc_probability: result.get("sdc_probability")?.as_f64()?,
+            corruption_extent: result.get("corruption_extent")?.as_f64()?,
+            trials: result.get("trials")?.as_u64()? as u32,
+        })),
+        _ => None,
+    }
+}
+
+/// Maps a stored label back to the engine's static label strings.
+///
+/// SDC labels are `&'static str` by design (they are interned name
+/// tags, not data); only labels produced by a named [`crate::ClassifierId`]
+/// can appear in a cache entry, so an unknown label means a foreign or
+/// corrupt file and the load is rejected.
+fn intern_label(label: &str) -> Option<SdcLabel> {
+    const KNOWN: [SdcLabel; 4] = ["critical", "tolerable", "detection", "classification"];
+    KNOWN.iter().find(|&&k| k == label).copied()
+}
+
+fn parse_precision(name: &str) -> Option<Precision> {
+    match name {
+        "double" => Some(Precision::Double),
+        "single" => Some(Precision::Single),
+        "half" => Some(Precision::Half),
+        _ => None,
+    }
+}
+
+// --- serialization ---------------------------------------------------------
+
+fn serialize(store_key: &str, result: &CellResult) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str("{\n");
+    field(&mut out, "format", &str_json(FORMAT));
+    field(&mut out, "key", &str_json(store_key));
+    out.push_str("  \"result\": {\n");
+    match result {
+        CellResult::Beam(r) => {
+            field2(&mut out, "kind", &str_json("beam"));
+            field2(&mut out, "device", &str_json(&r.device));
+            field2(&mut out, "workload", &str_json(&r.workload));
+            field2(&mut out, "precision", &str_json(r.precision.name()));
+            field2(&mut out, "exec_time_s", &f64_json(r.exec_time_s));
+            field2(&mut out, "runs", &f64_json(r.runs));
+            field2(&mut out, "fluence", &f64_json(r.fluence));
+            field2(&mut out, "candidates", &r.candidates.to_string());
+            field2(&mut out, "sdc_events", &r.sdc.events().to_string());
+            field2(&mut out, "due_events", &r.due.events().to_string());
+            field2(&mut out, "severities", &f64_vec_json(&r.severities));
+            let labels: Vec<String> = r.labels.iter().map(|l| str_json(l)).collect();
+            last_field2(&mut out, "labels", &format!("[{}]", labels.join(",")));
+        }
+        CellResult::Inject(r) => {
+            field2(&mut out, "kind", &str_json("inject"));
+            field2(&mut out, "workload", &str_json(&r.workload));
+            field2(&mut out, "precision", &str_json(r.precision.name()));
+            field2(&mut out, "masked", &r.counts.masked.to_string());
+            field2(&mut out, "sdc", &r.counts.sdc.to_string());
+            field2(&mut out, "due", &r.counts.due.to_string());
+            last_field2(&mut out, "severities", &f64_vec_json(&r.severities));
+        }
+        CellResult::Accumulate(r) => {
+            field2(&mut out, "kind", &str_json("accumulate"));
+            field2(&mut out, "sdc_probability", &f64_json(r.sdc_probability));
+            field2(
+                &mut out,
+                "corruption_extent",
+                &f64_json(r.corruption_extent),
+            );
+            last_field2(&mut out, "trials", &r.trials.to_string());
+        }
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn field(out: &mut String, name: &str, value: &str) {
+    out.push_str(&format!("  \"{name}\": {value},\n"));
+}
+
+fn field2(out: &mut String, name: &str, value: &str) {
+    out.push_str(&format!("    \"{name}\": {value},\n"));
+}
+
+fn last_field2(out: &mut String, name: &str, value: &str) {
+    out.push_str(&format!("    \"{name}\": {value}\n"));
+}
+
+fn str_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Floats travel as the hex of their bits, quoted, for exact round-trip.
+fn f64_json(v: f64) -> String {
+    format!("\"{:016x}\"", v.to_bits())
+}
+
+fn f64_vec_json(vs: &[f64]) -> String {
+    let items: Vec<String> = vs.iter().map(|v| f64_json(*v)).collect();
+    format!("[{}]", items.join(","))
+}
+
+// --- parsing ---------------------------------------------------------------
+
+/// A parsed JSON value; numbers stay as raw text until typed access.
+enum Json {
+    Obj(BTreeMap<String, Json>),
+    Arr(Vec<Json>),
+    Str(String),
+    Num(String),
+}
+
+impl Json {
+    fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Floats are stored as quoted bit-hex strings.
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Str(s) if s.len() == 16 => u64::from_str_radix(s, 16).ok().map(f64::from_bits),
+            _ => None,
+        }
+    }
+
+    fn as_f64_vec(&self) -> Option<Vec<f64>> {
+        self.as_arr()?.iter().map(Json::as_f64).collect()
+    }
+}
+
+fn parse(text: &str) -> Option<Json> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    (pos == bytes.len()).then_some(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Option<Json> {
+    skip_ws(b, pos);
+    match b.get(*pos)? {
+        b'{' => parse_obj(b, pos),
+        b'[' => parse_arr(b, pos),
+        b'"' => parse_str(b, pos).map(Json::Str),
+        c if c.is_ascii_digit() || *c == b'-' => parse_num(b, pos),
+        _ => None,
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Option<Json> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Some(Json::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_str(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return None;
+        }
+        *pos += 1;
+        map.insert(key, parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos)? {
+            b',' => *pos += 1,
+            b'}' => {
+                *pos += 1;
+                return Some(Json::Obj(map));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Option<Json> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Some(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos)? {
+            b',' => *pos += 1,
+            b']' => {
+                *pos += 1;
+                return Some(Json::Arr(items));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_str(b: &[u8], pos: &mut usize) -> Option<String> {
+    if b.get(*pos) != Some(&b'"') {
+        return None;
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'u' => {
+                        let hex = b.get(*pos + 1..*pos + 5)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            &c if c < 0x80 => {
+                out.push(c as char);
+                *pos += 1;
+            }
+            _ => {
+                // Multi-byte UTF-8: consume the full scalar.
+                let s = std::str::from_utf8(&b[*pos..]).ok()?;
+                let c = s.chars().next()?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Option<Json> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E')) {
+        *pos += 1;
+    }
+    (*pos > start).then(|| Json::Num(String::from_utf8_lossy(&b[start..*pos]).into_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_beam() -> CellResult {
+        CellResult::Beam(CampaignResult {
+            device: "NVIDIA Titan V".to_string(),
+            workload: "MxM".to_string(),
+            precision: Precision::Single,
+            exec_time_s: 0.1 + 0.2, // a value that does not print exactly
+            runs: 3.5e5,
+            fluence: 1.25e9,
+            candidates: 400,
+            sdc: CrossSection::new(37, 1.25e9),
+            due: CrossSection::new(5, 1.25e9),
+            severities: vec![1e-8, 0.25, f64::INFINITY],
+            labels: vec!["tolerable", "critical"],
+        })
+    }
+
+    #[test]
+    fn beam_round_trips_bit_exactly() {
+        let dir = std::env::temp_dir().join("mpr-exp-cache-test-beam");
+        let key = "seed=0000000000000007;v1;dev=titan-v;wl=gemm:12;p=single;k=beam";
+        save(&dir, key, &sample_beam());
+        let loaded = load(&entry_path(&dir, key), key);
+        let (CellResult::Beam(orig), Some(CellResult::Beam(got))) = (sample_beam(), loaded) else {
+            // mpr-allow: panic-hygiene -- test asserts the variant round-trips
+            panic!("beam entry failed to load");
+        };
+        assert_eq!(got.device, orig.device);
+        assert_eq!(got.precision, orig.precision);
+        assert_eq!(got.exec_time_s.to_bits(), orig.exec_time_s.to_bits());
+        assert_eq!(got.fluence.to_bits(), orig.fluence.to_bits());
+        assert_eq!(got.candidates, orig.candidates);
+        assert_eq!(got.sdc.events(), orig.sdc.events());
+        assert_eq!(got.due.events(), orig.due.events());
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&got.severities), bits(&orig.severities));
+        assert_eq!(got.labels, orig.labels);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_mismatch_is_a_miss() {
+        let dir = std::env::temp_dir().join("mpr-exp-cache-test-miss");
+        let key = "seed=0000000000000001;v1;dev=a;wl=b;p=half;k=acc:k=1,t=2";
+        save(
+            &dir,
+            key,
+            &CellResult::Accumulate(AccumulateOutcome {
+                sdc_probability: 1.0,
+                corruption_extent: 0.5,
+                trials: 2,
+            }),
+        );
+        // Same file, different expected key: rejected.
+        assert!(load(&entry_path(&dir, key), "seed=ff;other").is_none());
+        assert!(load(&entry_path(&dir, key), key).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inject_round_trips() {
+        let dir = std::env::temp_dir().join("mpr-exp-cache-test-inject");
+        let key = "seed=0000000000000002;v1;dev=knc-3120a;wl=lud:16;p=double;k=inj";
+        let orig = CellResult::Inject(InjectionReport {
+            workload: "LUD".to_string(),
+            precision: Precision::Double,
+            counts: OutcomeCounts::new(300, 99, 1),
+            severities: vec![0.001, 2.0],
+        });
+        save(&dir, key, &orig);
+        let Some(CellResult::Inject(got)) = load(&entry_path(&dir, key), key) else {
+            // mpr-allow: panic-hygiene -- test asserts the variant round-trips
+            panic!("inject entry failed to load");
+        };
+        assert_eq!(got.counts, OutcomeCounts::new(300, 99, 1));
+        assert_eq!(got.workload, "LUD");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_labels_are_rejected() {
+        assert_eq!(intern_label("critical"), Some("critical"));
+        assert_eq!(intern_label("made-up"), None);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("").is_none());
+        assert!(parse("{").is_none());
+        assert!(parse("{\"a\": }").is_none());
+        assert!(parse("{} trailing").is_none());
+        assert!(parse("{\"a\": 1}").is_some());
+    }
+}

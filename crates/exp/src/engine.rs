@@ -1,0 +1,383 @@
+//! The experiment engine: plans, deduplication, and the cross-cell
+//! work pool.
+
+use crate::cell::{CellKey, CellKind};
+use crate::seed::SplitMix;
+use crate::store::{AccumulateOutcome, CellResult, ResultStore};
+use mpr_beam::{BeamCampaign, BeamSession};
+use mpr_fault::hook::MultiStrikeHook;
+use mpr_fault::{InjectionCampaign, ValueFault};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An ordered list of requested cells.
+///
+/// Push every cell a figure needs — duplicates are welcome and cheap:
+/// the engine executes each *unique* cell once and hands every
+/// requester a copy. Results come back in request order.
+#[derive(Debug, Default, Clone)]
+pub struct ExperimentPlan {
+    cells: Vec<CellKey>,
+}
+
+impl ExperimentPlan {
+    /// An empty plan.
+    pub fn new() -> ExperimentPlan {
+        ExperimentPlan::default()
+    }
+
+    /// Requests a cell; returns its index into the result vector.
+    pub fn push(&mut self, key: CellKey) -> usize {
+        self.cells.push(key);
+        self.cells.len() - 1
+    }
+
+    /// The requested cells, in request order.
+    pub fn cells(&self) -> &[CellKey] {
+        &self.cells
+    }
+
+    /// Number of requested cells (duplicates included).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Number of *unique* cells the plan would execute.
+    pub fn unique_count(&self) -> usize {
+        let mut seen: BTreeMap<String, ()> = BTreeMap::new();
+        for c in &self.cells {
+            seen.insert(c.canonical(), ());
+        }
+        seen.len()
+    }
+}
+
+/// Executes experiment plans against a [`ResultStore`].
+///
+/// The engine owns the study's base seed and thread budget. Every cell
+/// derives its RNG stream from `(base seed, cell key)` alone, and the
+/// campaign layers are thread-count invariant, so results are
+/// bit-identical for any thread count and any request order.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    seed: u64,
+    threads: usize,
+    store: Arc<ResultStore>,
+}
+
+impl Engine {
+    /// An engine with a fresh in-memory store and automatic threading.
+    pub fn new(seed: u64) -> Engine {
+        Engine {
+            seed,
+            threads: 0,
+            store: Arc::new(ResultStore::in_memory()),
+        }
+    }
+
+    /// Overrides the worker-thread budget (0 = available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Engine {
+        self.threads = threads;
+        self
+    }
+
+    /// Attaches a (possibly shared, possibly disk-backed) result store.
+    pub fn with_store(mut self, store: Arc<ResultStore>) -> Engine {
+        self.store = store;
+        self
+    }
+
+    /// The engine's base seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The engine's result store.
+    pub fn store(&self) -> &Arc<ResultStore> {
+        &self.store
+    }
+
+    /// The resolved worker-thread count.
+    pub fn threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism().map_or(4, |n| n.get()),
+            n => n,
+        }
+    }
+
+    /// Runs a plan: dedups the requested cells, executes the unique
+    /// misses in parallel across cells, and returns one result per
+    /// request, in request order.
+    pub fn run(&self, plan: &ExperimentPlan) -> Vec<CellResult> {
+        // Dedup while preserving first-seen order.
+        let mut unique: Vec<&CellKey> = Vec::new();
+        let mut index_of: BTreeMap<String, usize> = BTreeMap::new();
+        let mut request_to_unique = Vec::with_capacity(plan.len());
+        for key in plan.cells() {
+            let canonical = key.canonical();
+            let idx = *index_of.entry(canonical).or_insert_with(|| {
+                unique.push(key);
+                unique.len() - 1
+            });
+            request_to_unique.push(idx);
+        }
+
+        // Resolve what the store already knows.
+        let mut slots: Vec<Option<CellResult>> = unique
+            .iter()
+            .map(|key| self.store.lookup(&ResultStore::store_key(self.seed, key)))
+            .collect();
+        let pending: Vec<usize> = (0..unique.len()).filter(|&i| slots[i].is_none()).collect();
+
+        if !pending.is_empty() {
+            let threads = self.threads();
+            let outer = threads.min(pending.len());
+            // Campaigns are thread-count invariant, so leftover budget
+            // can safely parallelize *inside* the cells.
+            let inner = (threads / outer).max(1);
+            let next = AtomicUsize::new(0);
+            let fresh: Vec<Mutex<Option<CellResult>>> =
+                pending.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..outer {
+                    scope.spawn(|| loop {
+                        let j = next.fetch_add(1, Ordering::Relaxed);
+                        if j >= pending.len() {
+                            break;
+                        }
+                        let key = unique[pending[j]];
+                        let result = self.execute(key, inner);
+                        self.store
+                            .insert(&ResultStore::store_key(self.seed, key), result.clone());
+                        // mpr-allow: panic-hygiene -- a poisoned slot lock means a sibling worker already panicked
+                        *fresh[j].lock().expect("result slot") = Some(result);
+                    });
+                }
+            });
+            for (j, cell) in fresh.into_iter().enumerate() {
+                // mpr-allow: panic-hygiene -- the scope joined every worker; a poisoned slot means one panicked
+                let filled = cell.into_inner().expect("result slot");
+                // mpr-allow: panic-hygiene -- each slot was filled exactly once before the scope exited
+                slots[pending[j]] = Some(filled.expect("worker filled slot"));
+            }
+        }
+
+        request_to_unique
+            .into_iter()
+            // mpr-allow: panic-hygiene -- every unique slot is Some by construction after execution
+            .map(|i| slots[i].clone().expect("resolved cell"))
+            .collect()
+    }
+
+    /// Convenience: runs a single cell through the store.
+    pub fn run_one(&self, key: &CellKey) -> CellResult {
+        let mut plan = ExperimentPlan::new();
+        plan.push(key.clone());
+        // mpr-allow: panic-hygiene -- a one-cell plan returns exactly one result
+        self.run(&plan).into_iter().next().expect("one result")
+    }
+
+    /// Executes one cell with `inner` worker threads inside the
+    /// campaign. This is the only place campaigns are constructed.
+    fn execute(&self, key: &CellKey, inner: usize) -> CellResult {
+        let seed = key.cell_seed(self.seed);
+        let workload = key.workload.build();
+        let golden_key = key.workload.golden_key(key.precision);
+        match key.kind {
+            CellKind::Beam {
+                hours,
+                target_candidates,
+                classifier,
+            } => {
+                let device = key.device.build();
+                let profile = key.workload.profile(key.device);
+                let golden = self
+                    .store
+                    .golden(&golden_key, || workload.run_golden(key.precision));
+                let session = BeamSession {
+                    hours,
+                    target_candidates,
+                    seed,
+                    threads: inner,
+                };
+                let mut campaign =
+                    BeamCampaign::new(device.as_ref(), workload.as_ref(), &profile, key.precision)
+                        .session(session)
+                        .golden(&golden);
+                if let Some(classify) = classifier.classifier() {
+                    campaign = campaign.classifier(classify);
+                }
+                CellResult::Beam(campaign.run())
+            }
+            CellKind::Inject {
+                injections,
+                model,
+                live_fraction,
+            } => {
+                let golden = self
+                    .store
+                    .golden(&golden_key, || workload.run_golden(key.precision));
+                CellResult::Inject(
+                    InjectionCampaign::new(workload.as_ref(), key.precision)
+                        .injections(injections)
+                        .seed(seed)
+                        .model(model)
+                        .live_fraction(live_fraction)
+                        .threads(inner)
+                        .golden(&golden)
+                        .run(),
+                )
+            }
+            CellKind::Accumulate { faults, trials } => {
+                let golden = self
+                    .store
+                    .golden(&golden_key, || workload.run_golden(key.precision));
+                let sites = workload.site_count(key.precision);
+                let width = key.precision.total_bits();
+                let mut rng = SplitMix::new(seed);
+                let mut sdc = 0u64;
+                let mut corrupted_sum = 0.0;
+                for _ in 0..trials {
+                    let strikes: Vec<(u64, ValueFault)> = (0..faults)
+                        .map(|_| {
+                            let site = rng.next_u64() % sites;
+                            let bit = (rng.next_u64() % width as u64) as u32;
+                            let fault = if rng.next_u64().is_multiple_of(2) {
+                                ValueFault::StuckHigh(bit)
+                            } else {
+                                ValueFault::StuckLow(bit)
+                            };
+                            (site, fault)
+                        })
+                        .collect();
+                    let mut hook = MultiStrikeHook::new(strikes);
+                    let out = workload.dispatch(key.precision, &mut hook);
+                    let corrupted = out
+                        .iter()
+                        .zip(golden.iter())
+                        .filter(|(a, b)| a.to_bits() != b.to_bits())
+                        .count();
+                    if corrupted > 0 {
+                        sdc += 1;
+                        corrupted_sum += corrupted as f64 / golden.len().max(1) as f64;
+                    }
+                }
+                CellResult::Accumulate(AccumulateOutcome {
+                    sdc_probability: sdc as f64 / trials.max(1) as f64,
+                    corruption_extent: if sdc > 0 {
+                        corrupted_sum / sdc as f64
+                    } else {
+                        0.0
+                    },
+                    trials,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{ClassifierId, DeviceId, WorkloadId};
+    use mpr_fault::FaultModel;
+    use mpr_softfloat::Precision;
+
+    fn micro_cell(p: Precision) -> CellKey {
+        CellKey {
+            device: DeviceId::TitanV,
+            workload: WorkloadId::Micro {
+                op: mpr_kernels::MicroKernelOp::Add,
+                threads: 8,
+                iters: 32,
+            },
+            precision: p,
+            kind: CellKind::Beam {
+                hours: 10.0,
+                target_candidates: 80,
+                classifier: ClassifierId::None,
+            },
+        }
+    }
+
+    #[test]
+    fn duplicate_requests_execute_once() {
+        let engine = Engine::new(3);
+        let mut plan = ExperimentPlan::new();
+        plan.push(micro_cell(Precision::Single));
+        plan.push(micro_cell(Precision::Single));
+        plan.push(micro_cell(Precision::Half));
+        assert_eq!(plan.unique_count(), 2);
+        let results = engine.run(&plan);
+        assert_eq!(results.len(), 3);
+        assert_eq!(engine.store().executed(), 2);
+        // The duplicate requests received the same outcome.
+        assert_eq!(
+            results[0].beam().sdc.events(),
+            results[1].beam().sdc.events()
+        );
+    }
+
+    #[test]
+    fn rerun_is_served_from_memory() {
+        let engine = Engine::new(5);
+        let key = CellKey {
+            device: DeviceId::Knc3120a,
+            workload: WorkloadId::Lud { dim: 10 },
+            precision: Precision::Double,
+            kind: CellKind::Inject {
+                injections: 40,
+                model: FaultModel::SingleBit,
+                live_fraction: 1.0,
+            },
+        };
+        let a = engine.run_one(&key);
+        let b = engine.run_one(&key);
+        assert_eq!(engine.store().executed(), 1);
+        assert!(engine.store().mem_hits() >= 1);
+        assert_eq!(a.inject().counts, b.inject().counts);
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_results() {
+        let run = |threads| {
+            let engine = Engine::new(11).with_threads(threads);
+            let mut plan = ExperimentPlan::new();
+            plan.push(micro_cell(Precision::Single));
+            plan.push(micro_cell(Precision::Double));
+            let r = engine.run(&plan);
+            (
+                r[0].beam().sdc.events(),
+                r[1].beam().sdc.events(),
+                r[0].beam().severities.len(),
+            )
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
+    }
+
+    #[test]
+    fn accumulation_cells_execute() {
+        let engine = Engine::new(7);
+        let key = CellKey {
+            device: DeviceId::Zynq7000,
+            workload: WorkloadId::Gemm { dim: 8 },
+            precision: Precision::Half,
+            kind: CellKind::Accumulate {
+                faults: 16,
+                trials: 10,
+            },
+        };
+        let r = engine.run_one(&key);
+        let acc = r.accumulate();
+        assert!(acc.sdc_probability > 0.5, "{acc:?}");
+        assert_eq!(acc.trials, 10);
+    }
+}

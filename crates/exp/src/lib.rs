@@ -1,0 +1,53 @@
+//! Cell-keyed experiment engine for the mixed-precision reliability
+//! study.
+//!
+//! The paper's evaluation is a grid of (device × workload × precision)
+//! campaigns that many figures project in different ways. This crate
+//! names each point of that grid with a [`CellKey`], collects requests
+//! into an [`ExperimentPlan`], and lets an [`Engine`] execute the
+//! *unique* cells exactly once — in parallel across cells, memoized in
+//! a [`ResultStore`], and optionally persisted to an on-disk JSON
+//! cache so repeated reports are incremental. Figures become pure
+//! views over plan results.
+//!
+//! Determinism contract: a cell's RNG stream is a pure function of the
+//! study base seed and the cell key (via splitmix64 mixing), and the
+//! campaign layers are thread-count invariant, so results are
+//! bit-identical across thread counts, request orders, and cache
+//! temperatures.
+//!
+//! ```rust
+//! use mpr_exp::{CellKey, CellKind, ClassifierId, DeviceId, Engine, ExperimentPlan, WorkloadId};
+//! use mpr_softfloat::Precision;
+//!
+//! let engine = Engine::new(2019);
+//! let mut plan = ExperimentPlan::new();
+//! for p in [Precision::Single, Precision::Half] {
+//!     plan.push(CellKey {
+//!         device: DeviceId::TitanV,
+//!         workload: WorkloadId::Gemm { dim: 8 },
+//!         precision: p,
+//!         kind: CellKind::Beam {
+//!             hours: 10.0,
+//!             target_candidates: 60,
+//!             classifier: ClassifierId::None,
+//!         },
+//!     });
+//! }
+//! let results = engine.run(&plan);
+//! assert_eq!(results.len(), 2);
+//! assert_eq!(engine.store().executed(), 2);
+//! ```
+
+#![deny(missing_docs)]
+
+mod cache;
+mod cell;
+mod engine;
+mod seed;
+mod store;
+
+pub use cell::{CellKey, CellKind, ClassifierId, DeviceId, WorkloadId, KEY_VERSION};
+pub use engine::{Engine, ExperimentPlan};
+pub use seed::{fnv1a64, mix_seed, splitmix64, SplitMix};
+pub use store::{AccumulateOutcome, CellResult, ResultStore};

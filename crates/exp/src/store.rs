@@ -1,0 +1,246 @@
+//! The result store: in-memory memoization plus an optional on-disk
+//! JSON cache, shared by every figure of a study.
+
+use crate::cache;
+use crate::cell::CellKey;
+use mpr_beam::CampaignResult;
+use mpr_fault::InjectionReport;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The outcome of an FPGA error-accumulation cell: `trials` runs with
+/// `faults` stuck-at configuration upsets piled up in each.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccumulateOutcome {
+    /// Fraction of trials whose output was corrupted.
+    pub sdc_probability: f64,
+    /// Mean fraction of output elements corrupted, among SDC trials.
+    pub corruption_extent: f64,
+    /// Number of trials behind the estimate.
+    pub trials: u32,
+}
+
+/// The result of one executed (or cached) experiment cell.
+#[derive(Debug, Clone)]
+pub enum CellResult {
+    /// A beam campaign outcome.
+    Beam(CampaignResult),
+    /// A fault-injection campaign outcome.
+    Inject(InjectionReport),
+    /// An error-accumulation sweep point.
+    Accumulate(AccumulateOutcome),
+}
+
+impl CellResult {
+    /// The beam campaign result inside.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell was not a beam cell — a plan-construction bug.
+    pub fn beam(&self) -> &CampaignResult {
+        match self {
+            CellResult::Beam(r) => r,
+            other => panic!("expected a beam result, got {other:?}"),
+        }
+    }
+
+    /// The injection report inside.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell was not an injection cell.
+    pub fn inject(&self) -> &InjectionReport {
+        match self {
+            CellResult::Inject(r) => r,
+            other => panic!("expected an injection result, got {other:?}"),
+        }
+    }
+
+    /// The accumulation outcome inside.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell was not an accumulation cell.
+    pub fn accumulate(&self) -> &AccumulateOutcome {
+        match self {
+            CellResult::Accumulate(r) => r,
+            other => panic!("expected an accumulation result, got {other:?}"),
+        }
+    }
+}
+
+/// Memoized results and golden outputs for one study.
+///
+/// The store is keyed by the *store key* — the base seed plus the
+/// cell's canonical encoding — so a single store can safely serve
+/// studies at different seeds (and an on-disk cache directory can be
+/// shared across runs and seeds). Golden outputs are memoized
+/// separately per (workload × precision): a golden run is seed- and
+/// device-independent, so every cell sharing that pair reuses one run.
+pub struct ResultStore {
+    results: Mutex<BTreeMap<String, CellResult>>,
+    goldens: Mutex<BTreeMap<String, Arc<Vec<f64>>>>,
+    cache_dir: Option<PathBuf>,
+    executed: AtomicU64,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+}
+
+impl std::fmt::Debug for ResultStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultStore")
+            .field("cache_dir", &self.cache_dir)
+            .field("executed", &self.executed())
+            .field("mem_hits", &self.mem_hits())
+            .field("disk_hits", &self.disk_hits())
+            .finish()
+    }
+}
+
+impl Default for ResultStore {
+    fn default() -> Self {
+        ResultStore::in_memory()
+    }
+}
+
+impl ResultStore {
+    /// A purely in-memory store.
+    pub fn in_memory() -> ResultStore {
+        ResultStore {
+            results: Mutex::new(BTreeMap::new()),
+            goldens: Mutex::new(BTreeMap::new()),
+            cache_dir: None,
+            executed: AtomicU64::new(0),
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// A store backed by an on-disk JSON cache directory (created on
+    /// first write). Disk entries survive the process, so repeated
+    /// reports are incremental.
+    pub fn with_cache_dir(dir: impl Into<PathBuf>) -> ResultStore {
+        ResultStore {
+            cache_dir: Some(dir.into()),
+            ..ResultStore::in_memory()
+        }
+    }
+
+    /// The disk cache directory, if any.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.cache_dir.as_deref()
+    }
+
+    /// The store key for a cell under a base seed.
+    pub fn store_key(base_seed: u64, key: &CellKey) -> String {
+        format!("seed={base_seed:016x};{}", key.canonical())
+    }
+
+    /// Looks a cell up, consulting memory first and then the disk
+    /// cache. Disk entries embed their full store key and are verified
+    /// against it on load; a mismatch (hash collision or stale format)
+    /// is a miss, never a wrong answer.
+    pub fn lookup(&self, store_key: &str) -> Option<CellResult> {
+        // mpr-allow: panic-hygiene -- a poisoned store lock means a worker already panicked; propagating is the only sound option
+        if let Some(hit) = self.results.lock().expect("store lock").get(store_key) {
+            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(hit.clone());
+        }
+        let dir = self.cache_dir.as_ref()?;
+        let loaded = cache::load(&cache::entry_path(dir, store_key), store_key)?;
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        // mpr-allow: panic-hygiene -- a poisoned store lock means a worker already panicked; propagating is the only sound option
+        let mut results = self.results.lock().expect("store lock");
+        results.insert(store_key.to_string(), loaded.clone());
+        Some(loaded)
+    }
+
+    /// Records a freshly executed result, writing it through to the
+    /// disk cache when one is configured (best effort: an unwritable
+    /// cache directory degrades to memoization, it never fails a run).
+    pub fn insert(&self, store_key: &str, result: CellResult) {
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        if let Some(dir) = &self.cache_dir {
+            cache::save(dir, store_key, &result);
+        }
+        // mpr-allow: panic-hygiene -- a poisoned store lock means a worker already panicked; propagating is the only sound option
+        let mut results = self.results.lock().expect("store lock");
+        results.insert(store_key.to_string(), result);
+    }
+
+    /// The golden output for a (workload × precision) pair, computing
+    /// it with `compute` on first request and reusing it afterwards.
+    pub fn golden(&self, golden_key: &str, compute: impl FnOnce() -> Vec<f64>) -> Arc<Vec<f64>> {
+        {
+            // mpr-allow: panic-hygiene -- a poisoned store lock means a worker already panicked; propagating is the only sound option
+            let map = self.goldens.lock().expect("golden lock");
+            if let Some(hit) = map.get(golden_key) {
+                return Arc::clone(hit);
+            }
+        }
+        // Compute outside the lock; a racing duplicate computes the
+        // same deterministic value and the first insert wins.
+        let value = Arc::new(compute());
+        // mpr-allow: panic-hygiene -- a poisoned store lock means a worker already panicked; propagating is the only sound option
+        let mut map = self.goldens.lock().expect("golden lock");
+        Arc::clone(map.entry(golden_key.to_string()).or_insert(value))
+    }
+
+    /// How many cells this store actually executed (cache misses).
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// How many lookups were served from memory.
+    pub fn mem_hits(&self) -> u64 {
+        self.mem_hits.load(Ordering::Relaxed)
+    }
+
+    /// How many lookups were served from the disk cache.
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_is_computed_once() {
+        let store = ResultStore::in_memory();
+        let mut calls = 0;
+        let a = store.golden("gemm:12@single", || {
+            calls += 1;
+            vec![1.0, 2.0]
+        });
+        let b = store.golden("gemm:12@single", || {
+            // mpr-allow: panic-hygiene -- test asserts the closure is never reached
+            panic!("golden recomputed")
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn memoization_counts_hits() {
+        let store = ResultStore::in_memory();
+        let key = "seed=0000000000000001;v1;dev=x;wl=y;p=single;k=acc:k=1,t=1";
+        assert!(store.lookup(key).is_none());
+        store.insert(
+            key,
+            CellResult::Accumulate(AccumulateOutcome {
+                sdc_probability: 0.5,
+                corruption_extent: 0.25,
+                trials: 4,
+            }),
+        );
+        let hit = store.lookup(key);
+        assert!(hit.is_some());
+        assert_eq!(store.executed(), 1);
+        assert_eq!(store.mem_hits(), 1);
+        assert_eq!(store.disk_hits(), 0);
+    }
+}

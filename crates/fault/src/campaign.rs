@@ -49,6 +49,7 @@ pub struct InjectionCampaign<'a> {
     model: FaultModel,
     live_fraction: f64,
     threads: usize,
+    golden: Option<&'a [f64]>,
 }
 
 impl std::fmt::Debug for InjectionCampaign<'_> {
@@ -87,6 +88,7 @@ impl<'a> InjectionCampaign<'a> {
             model: FaultModel::SingleBit,
             live_fraction: 1.0,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            golden: None,
         }
     }
 
@@ -138,9 +140,25 @@ impl<'a> InjectionCampaign<'a> {
         self
     }
 
+    /// Supplies a precomputed golden output, skipping the internal
+    /// golden run. The caller must pass exactly
+    /// `workload.run_golden(precision)` — the engine memoizes this per
+    /// (workload × precision) so shared cells pay for it once.
+    pub fn golden(mut self, golden: &'a [f64]) -> Self {
+        self.golden = Some(golden);
+        self
+    }
+
     /// Runs the campaign and collects the report.
     pub fn run(&self) -> InjectionReport {
-        let golden = self.workload.run_golden(self.precision);
+        let golden_owned;
+        let golden: &[f64] = match self.golden {
+            Some(g) => g,
+            None => {
+                golden_owned = self.workload.run_golden(self.precision);
+                &golden_owned
+            }
+        };
         let golden_bits: Vec<u64> = golden.iter().map(|v| v.to_bits()).collect();
         let sites = self.workload.site_count(self.precision);
         assert!(sites > 0, "workload exposes no fault sites");

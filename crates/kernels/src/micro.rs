@@ -7,7 +7,7 @@ use mpr_fault::Workload;
 use mpr_softfloat::{FloatExt, Precision};
 
 /// Which arithmetic operation a microbenchmark stresses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum MicroKernelOp {
     /// Dependent additions.
     Add,

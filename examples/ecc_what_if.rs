@@ -11,21 +11,53 @@
 //! cargo run --release --example ecc_what_if
 //! ```
 
-use mixed_precision_reliability::arch::VoltaGpu;
-use mixed_precision_reliability::beam::{BeamCampaign, BeamSession};
-use mixed_precision_reliability::fault::Workload;
-use mixed_precision_reliability::kernels::{profiles, Gemm, Micro, MicroKernelOp};
+use mixed_precision_reliability::exp::{
+    CellKey, CellKind, ClassifierId, DeviceId, Engine, ExperimentPlan, WorkloadId,
+};
+use mixed_precision_reliability::kernels::MicroKernelOp;
 use mixed_precision_reliability::metrics::Table;
-use mixed_precision_reliability::nn::{profiles as nn_profiles, TinyYolo};
 use mixed_precision_reliability::softfloat::Precision;
 
 fn main() {
-    let bare = VoltaGpu::titan_v();
-    let ecc = VoltaGpu::tesla_v100();
+    let engine = Engine::new(99);
 
-    let micro = Micro::new(MicroKernelOp::Fma, 16, 128);
-    let gemm = Gemm::new(14);
-    let yolo = TinyYolo::new();
+    let cases: [(&str, WorkloadId); 3] = [
+        (
+            "Micro-FMA",
+            WorkloadId::Micro {
+                op: MicroKernelOp::Fma,
+                threads: 16,
+                iters: 128,
+            },
+        ),
+        ("MxM", WorkloadId::Gemm { dim: 14 }),
+        ("YOLOv3", WorkloadId::Yolo),
+    ];
+
+    // Both GPU variants of every benchmark go into one plan: the engine
+    // executes all 18 unique cells in parallel.
+    let mut plan = ExperimentPlan::new();
+    for device in [DeviceId::TitanV, DeviceId::TeslaV100] {
+        for (_, workload) in &cases {
+            for precision in Precision::ALL {
+                plan.push(CellKey {
+                    device,
+                    workload: *workload,
+                    precision,
+                    kind: CellKind::Beam {
+                        hours: 10.0,
+                        target_candidates: 900,
+                        classifier: match workload {
+                            WorkloadId::Yolo => ClassifierId::YoloDetections,
+                            _ => ClassifierId::None,
+                        },
+                    },
+                });
+            }
+        }
+    }
+    let results = engine.run(&plan);
+    let (bare, ecc) = results.split_at(9);
 
     let mut table = Table::new(vec![
         "benchmark",
@@ -37,25 +69,10 @@ fn main() {
     ])
     .with_title("Titan V vs Tesla V100 (ECC) under the same beam");
 
-    let cases: [(
-        &str,
-        &dyn Workload,
-        mixed_precision_reliability::arch::WorkloadProfile,
-    ); 3] = [
-        ("Micro-FMA", &micro, profiles::micro(MicroKernelOp::Fma)),
-        ("MxM", &gemm, profiles::mxm_gpu()),
-        ("YOLOv3", &yolo, nn_profiles::yolo_gpu()),
-    ];
-
-    for (name, workload, profile) in &cases {
-        for precision in Precision::ALL {
-            let session = BeamSession::quick(99).with_target_candidates(900);
-            let b = BeamCampaign::new(&bare, *workload, profile, precision)
-                .session(session)
-                .run();
-            let e = BeamCampaign::new(&ecc, *workload, profile, precision)
-                .session(session)
-                .run();
+    for (c, (name, _)) in cases.iter().enumerate() {
+        for (p, precision) in Precision::ALL.iter().enumerate() {
+            let b = bare[3 * c + p].beam();
+            let e = ecc[3 * c + p].beam();
             table.row(vec![
                 name.to_string(),
                 precision.to_string(),

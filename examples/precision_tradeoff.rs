@@ -7,41 +7,75 @@
 //! cargo run --release --example precision_tradeoff
 //! ```
 
-use mixed_precision_reliability::arch::{Device, Fpga, VoltaGpu, WorkloadProfile, XeonPhiKnc};
-use mixed_precision_reliability::beam::{BeamCampaign, BeamSession};
-use mixed_precision_reliability::fault::Workload;
-use mixed_precision_reliability::kernels::{profiles, Gemm, LavaMd, Lud, Micro, MicroKernelOp};
+use mixed_precision_reliability::exp::{
+    CellKey, CellKind, ClassifierId, DeviceId, Engine, ExperimentPlan, WorkloadId,
+};
+use mixed_precision_reliability::kernels::MicroKernelOp;
 use mixed_precision_reliability::metrics::Table;
 use mixed_precision_reliability::softfloat::Precision;
 
-fn survey(
-    rows: &mut Table,
-    device: &dyn Device,
-    workload: &dyn Workload,
-    profile: &WorkloadProfile,
-) {
-    let mut best: Option<(Precision, f64)> = None;
-    let mut cells = vec![device.name().to_string(), workload.name().to_string()];
-    for precision in Precision::ALL {
-        if !device.supports(precision) || !workload.supports(precision) {
-            cells.push("n/a".to_string());
-            continue;
-        }
-        let result = BeamCampaign::new(device, workload, profile, precision)
-            .session(BeamSession::quick(7).with_target_candidates(800))
-            .run();
-        let mebf = result.mebf().executions();
-        cells.push(format!("{mebf:.2e}"));
-        if best.is_none_or(|(_, b)| mebf > b) {
-            best = Some((precision, mebf));
-        }
+fn beam_cell(device: DeviceId, workload: WorkloadId, precision: Precision) -> CellKey {
+    CellKey {
+        device,
+        workload,
+        precision,
+        kind: CellKind::Beam {
+            hours: 10.0,
+            target_candidates: 800,
+            classifier: ClassifierId::None,
+        },
     }
-    let (winner, _) = best.expect("at least one supported precision");
-    cells.push(winner.to_string());
-    rows.row(cells);
 }
 
 fn main() {
+    let engine = Engine::new(7);
+
+    let gemm = WorkloadId::Gemm { dim: 14 };
+    let lavamd = WorkloadId::LavaMd {
+        boxes: 2,
+        particles: 3,
+        knc_unit: false,
+    };
+    let lavamd_knc = WorkloadId::LavaMd {
+        boxes: 2,
+        particles: 3,
+        knc_unit: true,
+    };
+    let lud = WorkloadId::Lud { dim: 16 };
+    let micro_fma = WorkloadId::Micro {
+        op: MicroKernelOp::Fma,
+        threads: 16,
+        iters: 128,
+    };
+
+    let configs: [(DeviceId, &str, WorkloadId); 7] = [
+        (DeviceId::TitanV, "Micro-FMA", micro_fma),
+        (DeviceId::TitanV, "LavaMD", lavamd),
+        (DeviceId::TitanV, "MxM", gemm),
+        (DeviceId::Knc3120a, "LavaMD", lavamd_knc),
+        (DeviceId::Knc3120a, "MxM", gemm),
+        (DeviceId::Knc3120a, "LUD", lud),
+        (DeviceId::Zynq7000, "MxM", gemm),
+    ];
+
+    // Every supported cell of the survey goes into one plan, so the
+    // whole sweep runs in parallel (note the KNC and FPGA rows reuse
+    // the same MxM workload — only the device column differs).
+    let mut plan = ExperimentPlan::new();
+    let mut requested = Vec::new();
+    for (device, _, workload) in &configs {
+        for precision in Precision::ALL {
+            let cell = beam_cell(*device, *workload, precision);
+            if cell.supported() {
+                plan.push(cell.clone());
+                requested.push(Some(cell));
+            } else {
+                requested.push(None);
+            }
+        }
+    }
+    let mut results = engine.run(&plan).into_iter();
+
     let mut table = Table::new(vec![
         "device",
         "benchmark",
@@ -52,28 +86,25 @@ fn main() {
     ])
     .with_title("Which precision completes the most executions between failures?");
 
-    let gpu = VoltaGpu::titan_v();
-    let knc = XeonPhiKnc::coprocessor_3120a();
-    let fpga = Fpga::zynq7000();
-
-    let gemm = Gemm::new(14);
-    let lavamd = LavaMd::new(2, 3);
-    let lavamd_knc = LavaMd::new(2, 3).for_knc();
-    let lud = Lud::new(16);
-    let micro_fma = Micro::new(MicroKernelOp::Fma, 16, 128);
-
-    survey(
-        &mut table,
-        &gpu,
-        &micro_fma,
-        &profiles::micro(MicroKernelOp::Fma),
-    );
-    survey(&mut table, &gpu, &lavamd, &profiles::lavamd_gpu());
-    survey(&mut table, &gpu, &gemm, &profiles::mxm_gpu());
-    survey(&mut table, &knc, &lavamd_knc, &profiles::lavamd_knc());
-    survey(&mut table, &knc, &gemm, &profiles::mxm_knc());
-    survey(&mut table, &knc, &lud, &profiles::lud_knc());
-    survey(&mut table, &fpga, &gemm, &profiles::mxm_fpga());
+    for (i, (device, name, _)) in configs.iter().enumerate() {
+        let mut cells = vec![device.token().to_string(), name.to_string()];
+        let mut best: Option<(Precision, f64)> = None;
+        for (p, precision) in Precision::ALL.iter().enumerate() {
+            if requested[3 * i + p].is_none() {
+                cells.push("n/a".to_string());
+                continue;
+            }
+            let result = results.next().expect("one result per supported cell");
+            let mebf = result.beam().mebf().executions();
+            cells.push(format!("{mebf:.2e}"));
+            if best.is_none_or(|(_, b)| mebf > b) {
+                best = Some((*precision, mebf));
+            }
+        }
+        let (winner, _) = best.expect("at least one supported precision");
+        cells.push(winner.to_string());
+        table.row(cells);
+    }
 
     println!("{table}");
     println!(

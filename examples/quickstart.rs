@@ -10,22 +10,38 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use mixed_precision_reliability::arch::{Device, VoltaGpu};
-use mixed_precision_reliability::beam::{BeamCampaign, BeamSession};
-use mixed_precision_reliability::kernels::{profiles, Gemm};
+use mixed_precision_reliability::exp::{
+    CellKey, CellKind, ClassifierId, DeviceId, Engine, ExperimentPlan, WorkloadId,
+};
 use mixed_precision_reliability::metrics::Table;
 use mixed_precision_reliability::softfloat::Precision;
 
 fn main() {
-    let gpu = VoltaGpu::titan_v();
-    let gemm = Gemm::new(16);
-    let profile = profiles::mxm_gpu();
+    let engine = Engine::new(42);
+    let gemm = WorkloadId::Gemm { dim: 16 };
 
-    println!("device: {}", gpu.name());
-    println!("workload: MxM 16x16 ({} fault sites per run)\n", {
-        use mixed_precision_reliability::fault::Workload;
-        gemm.site_count(Precision::Single)
-    });
+    println!("device: NVIDIA Titan V (model)");
+    println!(
+        "workload: MxM 16x16 ({} fault sites per run)\n",
+        gemm.build().site_count(Precision::Single)
+    );
+
+    // One experiment cell per precision; the engine runs the three
+    // campaigns in parallel and memoizes them under their cell keys.
+    let mut plan = ExperimentPlan::new();
+    for precision in Precision::ALL {
+        plan.push(CellKey {
+            device: DeviceId::TitanV,
+            workload: gemm,
+            precision,
+            kind: CellKind::Beam {
+                hours: 10.0,
+                target_candidates: 1500,
+                classifier: ClassifierId::None,
+            },
+        });
+    }
+    let results = engine.run(&plan);
 
     let mut table = Table::new(vec![
         "precision",
@@ -37,10 +53,8 @@ fn main() {
     ])
     .with_title("MxM on the Titan V model under simulated beam");
 
-    for precision in Precision::ALL {
-        let result = BeamCampaign::new(&gpu, &gemm, &profile, precision)
-            .session(BeamSession::quick(42).with_target_candidates(1500))
-            .run();
+    for (precision, cell) in Precision::ALL.iter().zip(&results) {
+        let result = cell.beam();
         table.row(vec![
             precision.to_string(),
             format!("{:.3}", result.exec_time_s),

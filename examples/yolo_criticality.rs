@@ -7,20 +7,18 @@
 //! cargo run --release --example yolo_criticality
 //! ```
 
-use mixed_precision_reliability::arch::VoltaGpu;
-use mixed_precision_reliability::beam::{BeamCampaign, BeamSession};
-use mixed_precision_reliability::fault::Workload;
+use mixed_precision_reliability::exp::{
+    CellKey, CellKind, ClassifierId, DeviceId, Engine, ExperimentPlan, WorkloadId,
+};
 use mixed_precision_reliability::metrics::Table;
-use mixed_precision_reliability::nn::{classify_detections, profiles, DetectionImpact, TinyYolo};
+use mixed_precision_reliability::nn::TinyYolo;
 use mixed_precision_reliability::softfloat::Precision;
 
 fn main() {
-    let gpu = VoltaGpu::titan_v();
-    let yolo = TinyYolo::new();
-    let profile = profiles::yolo_gpu();
+    let engine = Engine::new(3);
 
     // Show what the fault-free detector sees.
-    let golden = TinyYolo::decode(&yolo.run_golden(Precision::Single));
+    let golden = TinyYolo::decode(&WorkloadId::Yolo.build().run_golden(Precision::Single));
     println!("fault-free detections on the synthetic scene:");
     for d in &golden {
         println!(
@@ -30,13 +28,23 @@ fn main() {
     }
     println!();
 
-    let classify = |golden: &[f64], out: &[f64]| -> &'static str {
-        match classify_detections(&TinyYolo::decode(golden), &TinyYolo::decode(out)) {
-            DetectionImpact::Tolerable => "tolerable",
-            DetectionImpact::DetectionChanged => "detection changed",
-            DetectionImpact::ClassificationChanged => "classification changed",
-        }
-    };
+    // The named classifier rides inside the cell key, so these are the
+    // same cells the full study's Figures 10-13 execute — at a shared
+    // seed the results would come straight from the cache.
+    let mut plan = ExperimentPlan::new();
+    for precision in Precision::ALL {
+        plan.push(CellKey {
+            device: DeviceId::TitanV,
+            workload: WorkloadId::Yolo,
+            precision,
+            kind: CellKind::Beam {
+                hours: 10.0,
+                target_candidates: 1200,
+                classifier: ClassifierId::YoloDetections,
+            },
+        });
+    }
+    let results = engine.run(&plan);
 
     let mut table = Table::new(vec![
         "precision",
@@ -47,11 +55,8 @@ fn main() {
     ])
     .with_title("YOLO-style detector under simulated beam (Titan V model)");
 
-    for precision in Precision::ALL {
-        let result = BeamCampaign::new(&gpu, &yolo, &profile, precision)
-            .session(BeamSession::quick(3).with_target_candidates(1200))
-            .classifier(&classify)
-            .run();
+    for (precision, cell) in Precision::ALL.iter().zip(&results) {
+        let result = cell.beam();
         let fractions = result.label_fractions();
         let get = |label: &str| {
             fractions
@@ -63,8 +68,8 @@ fn main() {
             precision.to_string(),
             result.sdc.events().to_string(),
             format!("{:.1}%", get("tolerable") * 100.0),
-            format!("{:.1}%", get("detection changed") * 100.0),
-            format!("{:.1}%", get("classification changed") * 100.0),
+            format!("{:.1}%", get("detection") * 100.0),
+            format!("{:.1}%", get("classification") * 100.0),
         ]);
     }
 

@@ -6,6 +6,7 @@
 pub use mpr_arch as arch;
 pub use mpr_beam as beam;
 pub use mpr_core as core;
+pub use mpr_exp as exp;
 pub use mpr_fault as fault;
 pub use mpr_kernels as kernels;
 pub use mpr_metrics as metrics;

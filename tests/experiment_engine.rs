@@ -1,0 +1,158 @@
+//! The experiment engine's contracts, end to end through the public
+//! facade: exactly-once execution of duplicated cells, byte-identical
+//! results across cache temperature (cold / warm memory / warm disk),
+//! and invariance under the worker-thread count.
+
+use mixed_precision_reliability::core::Study;
+use mixed_precision_reliability::exp::{
+    CellKey, CellKind, ClassifierId, DeviceId, Engine, ExperimentPlan, WorkloadId,
+};
+use mixed_precision_reliability::softfloat::Precision;
+
+fn beam_cell(precision: Precision, target_candidates: u64) -> CellKey {
+    CellKey {
+        device: DeviceId::Zynq7000,
+        workload: WorkloadId::Gemm { dim: 10 },
+        precision,
+        kind: CellKind::Beam {
+            hours: 10.0,
+            target_candidates,
+            classifier: ClassifierId::None,
+        },
+    }
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mpr_engine_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A table that touches beam, injection, and accumulation cells alike.
+fn fingerprint(study: &Study) -> String {
+    format!(
+        "{}\n{}\n{}",
+        study.fig3_fpga_fit().to_table(),
+        study.fig7_knc_pvf().to_table(),
+        study.ablation_fault_accumulation().to_table()
+    )
+}
+
+#[test]
+fn duplicated_cells_execute_exactly_once() {
+    let mut plan = ExperimentPlan::new();
+    for _ in 0..4 {
+        plan.push(beam_cell(Precision::Half, 80));
+    }
+    plan.push(beam_cell(Precision::Single, 80));
+
+    let engine = Engine::new(11);
+    let results = engine.run(&plan);
+    assert_eq!(results.len(), 5, "one result per request");
+    assert_eq!(engine.store().executed(), 2, "two unique cells");
+
+    // The four duplicate requests all see the same campaign.
+    let first = results[0].beam();
+    for r in &results[1..4] {
+        assert_eq!(first.sdc.events(), r.beam().sdc.events());
+        assert_eq!(first.severities, r.beam().severities);
+    }
+}
+
+#[test]
+fn figures_share_cells_through_the_study_engine() {
+    let study = Study::quick(31);
+    study.fig3_fpga_fit();
+    let after_fig3 = study.executed_cells();
+    assert!(after_fig3 > 0);
+    // Figures 4 and 5 project the same six FPGA campaigns: nothing new
+    // executes.
+    study.fig4_fpga_tre();
+    study.fig5_fpga_mebf();
+    assert_eq!(study.executed_cells(), after_fig3);
+}
+
+#[test]
+fn thread_count_does_not_change_any_table() {
+    let baseline = {
+        let study = Study::quick(33).with_threads(1);
+        fingerprint(&study)
+    };
+    for threads in [2, 5] {
+        let study = Study::quick(33).with_threads(threads);
+        assert_eq!(fingerprint(&study), baseline, "threads={threads}");
+    }
+}
+
+#[test]
+fn disk_cache_round_trips_byte_identically_and_skips_execution() {
+    let dir = temp_dir("roundtrip");
+
+    // Cold: everything executes, results land on disk.
+    let cold_study = Study::quick(37).with_cache_dir(&dir);
+    let cold = fingerprint(&cold_study);
+    let executed_cold = cold_study.executed_cells();
+    assert!(executed_cold > 0);
+
+    // Warm memory: rebuilding the same tables executes nothing new.
+    let warm = fingerprint(&cold_study);
+    assert_eq!(cold, warm, "memory-warm rerun must be byte-identical");
+    assert_eq!(cold_study.executed_cells(), executed_cold);
+
+    // Warm disk: a fresh study (new process, simulated) replays every
+    // cell from the cache — zero executions, byte-identical tables.
+    let disk_study = Study::quick(37).with_cache_dir(&dir);
+    let disk = fingerprint(&disk_study);
+    assert_eq!(cold, disk, "disk-warm rerun must be byte-identical");
+    assert_eq!(disk_study.executed_cells(), 0, "all cells from disk");
+    assert!(disk_study.engine().store().disk_hits() > 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn disk_cache_is_seed_keyed() {
+    let dir = temp_dir("seedkey");
+
+    let a = Study::quick(5).with_cache_dir(&dir);
+    a.fig7_knc_pvf();
+    assert!(a.executed_cells() > 0);
+
+    // A different seed must not see seed 5's entries.
+    let b = Study::quick(6).with_cache_dir(&dir);
+    b.fig7_knc_pvf();
+    assert!(b.executed_cells() > 0, "different seed must re-execute");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn classified_beam_cells_survive_the_disk_round_trip() {
+    let dir = temp_dir("labels");
+    let key = CellKey {
+        device: DeviceId::TitanV,
+        workload: WorkloadId::Yolo,
+        precision: Precision::Half,
+        kind: CellKind::Beam {
+            hours: 10.0,
+            target_candidates: 120,
+            classifier: ClassifierId::YoloDetections,
+        },
+    };
+
+    let store =
+        std::sync::Arc::new(mixed_precision_reliability::exp::ResultStore::with_cache_dir(&dir));
+    let live = Engine::new(13).with_store(store).run_one(&key);
+
+    let replay_store =
+        std::sync::Arc::new(mixed_precision_reliability::exp::ResultStore::with_cache_dir(&dir));
+    let replayed = Engine::new(13)
+        .with_store(replay_store.clone())
+        .run_one(&key);
+    assert_eq!(replay_store.executed(), 0);
+    assert_eq!(replay_store.disk_hits(), 1);
+    assert_eq!(live.beam().labels, replayed.beam().labels);
+    assert_eq!(live.beam().severities, replayed.beam().severities);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -2,10 +2,15 @@
 //! public experiment API. Each test names the paper artifact it checks.
 
 use mixed_precision_reliability::core::Study;
+use std::sync::OnceLock;
 
 /// One shared quick study; every shape below must hold at this seed.
+/// The clones share one experiment engine (and thus one result store),
+/// so the many figures projecting the same campaign cells execute each
+/// cell once for the whole test binary.
 fn study() -> Study {
-    Study::quick(0xE57)
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::quick(0xE57)).clone()
 }
 
 #[test]
@@ -62,6 +67,7 @@ fn figure5_fpga_half_wins_mebf_by_about_a_third() {
 }
 
 #[test]
+#[ignore = "paper-scale statistics (tens of seconds); opt in with `cargo test -- --ignored`"]
 fn figure6_knc_single_precision_pays_in_fit() {
     // DUE events are an order of magnitude rarer than SDCs; use the
     // paper-scale session so the 2x control-bit ratio resolves.
