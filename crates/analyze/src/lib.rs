@@ -14,7 +14,7 @@
 //! |------------------|------------|------------------------------|
 //! | `precision-leak` | PL001-PL004| `crates/kernels`, `crates/nn` (generic fn bodies) |
 //! | `fault-site`     | FS001      | `crates/kernels`, `crates/nn` (generic fn bodies) |
-//! | `determinism`    | DT001-DT003| `crates/beam`, `crates/fault`, `crates/core` |
+//! | `determinism`    | DT001-DT003| `crates/beam`, `crates/fault`, `crates/core`, `crates/exp`, `crates/obs` |
 //! | `panic-hygiene`  | PH001-PH003| every library crate          |
 //! | `allow-hygiene`  | AH001-AH003| pragma bookkeeping           |
 //!
@@ -212,6 +212,7 @@ pub fn lint_applies(lint: &str, rel_path: &str) -> bool {
                 || p.starts_with("crates/fault/src")
                 || p.starts_with("crates/core/src")
                 || p.starts_with("crates/exp/src")
+                || p.starts_with("crates/obs/src")
         }
         "panic-hygiene" => true,
         _ => false,
@@ -337,6 +338,7 @@ mod tests {
         ));
         assert!(lint_applies("determinism", "crates/core/src/study.rs"));
         assert!(lint_applies("determinism", "crates/exp/src/engine.rs"));
+        assert!(lint_applies("determinism", "crates/obs/src/record.rs"));
         assert!(!lint_applies("determinism", "crates/metrics/src/fit.rs"));
         assert!(lint_applies("panic-hygiene", "crates/metrics/src/fit.rs"));
     }

@@ -4,6 +4,7 @@ use crate::BeamSession;
 use mpr_arch::{Device, WorkloadProfile};
 use mpr_fault::{FaultModel, Workload};
 use mpr_metrics::{CrossSection, FitRate, Mebf, TreCurve};
+use mpr_obs::{mix_seed, Counter, Gauge, Recorder, Timer, NULL_RECORDER};
 use mpr_softfloat::ulp::max_relative_error;
 use mpr_softfloat::Precision;
 use rand::rngs::StdRng;
@@ -26,6 +27,8 @@ pub struct BeamCampaign<'a> {
     session: BeamSession,
     classifier: Option<&'a SdcClassifier>,
     golden: Option<&'a [f64]>,
+    recorder: &'a dyn Recorder,
+    scope: String,
 }
 
 impl std::fmt::Debug for BeamCampaign<'_> {
@@ -70,6 +73,8 @@ impl<'a> BeamCampaign<'a> {
             session: BeamSession::paper(0),
             classifier: None,
             golden: None,
+            recorder: &NULL_RECORDER,
+            scope: String::new(),
         }
     }
 
@@ -95,8 +100,20 @@ impl<'a> BeamCampaign<'a> {
         self
     }
 
+    /// Attaches an observability recorder; every event this campaign
+    /// records carries `scope` (typically the canonical cell key).
+    /// Telemetry is read-only metadata — it never perturbs the
+    /// campaign's RNG streams or results.
+    pub fn telemetry(mut self, recorder: &'a dyn Recorder, scope: impl Into<String>) -> Self {
+        self.recorder = recorder;
+        self.scope = scope.into();
+        self
+    }
+
     /// Runs the campaign.
     pub fn run(&self) -> CampaignResult {
+        let rec = self.recorder;
+        let wall = Timer::start(rec, "campaign.wall", self.scope.clone());
         let exec_time = self.device.exec_time(self.profile, self.precision);
         let exposure = self.device.exposure(self.profile, self.precision);
         let seconds = self.session.hours * 3600.0;
@@ -119,7 +136,9 @@ impl<'a> BeamCampaign<'a> {
         let width = self.precision.total_bits();
         let model = FaultModel::pipeline(exposure.pipeline_fraction);
 
-        let mut rng = StdRng::seed_from_u64(self.session.seed ^ 0xBEA0_0000);
+        // Campaign-level sampling stream: a full splitmix64 avalanche
+        // of (seed, salt), not the old collision-prone `seed ^ salt`.
+        let mut rng = StdRng::seed_from_u64(mix_seed(self.session.seed, 0xBEA0_0000));
         let candidates = poisson(flux * exposure.compute * seconds, &mut rng);
         let due_events = poisson(flux * exposure.due * seconds, &mut rng);
 
@@ -129,7 +148,13 @@ impl<'a> BeamCampaign<'a> {
             n => n,
         }
         .min(candidates.max(1) as usize);
-        let mut partials: Vec<(u64, Vec<f64>, Vec<SdcLabel>)> = Vec::new();
+        // Workers take strikes in a thread stride, so each partial holds
+        // an interleaved subsequence. Every observation is tagged with
+        // its strike index and the merge sorts on it: severities and
+        // labels come out in strike order for *any* thread count.
+        // An SDC observation tagged with its strike index.
+        type Observation = (u64, f64, Option<SdcLabel>);
+        let mut partials: Vec<(Vec<Observation>, f64)> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..nthreads {
@@ -137,27 +162,26 @@ impl<'a> BeamCampaign<'a> {
                 let golden_bits = &golden_bits;
                 let campaign = &*self;
                 handles.push(scope.spawn(move || {
-                    let mut sdc = 0u64;
-                    let mut severities = Vec::new();
-                    let mut labels = Vec::new();
+                    let busy = Timer::start(rec, "beam.worker_busy", campaign.scope.clone());
+                    let mut observed = Vec::new();
                     let mut i = t as u64;
                     while i < candidates {
-                        let mut rng = StdRng::seed_from_u64(
-                            campaign.session.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i,
-                        );
+                        // Per-strike stream: derived through the shared
+                        // splitmix64 avalanche, so adjacent strikes get
+                        // unrelated seeds (the old `seed * C ^ i` gave
+                        // correlated streams).
+                        let mut rng = StdRng::seed_from_u64(mix_seed(campaign.session.seed, i));
                         let out = campaign.resolve_strike(sites, width, model, &mut rng);
                         let corrupted = out.len() != golden.len()
                             || out.iter().zip(golden_bits).any(|(v, &g)| v.to_bits() != g);
                         if corrupted {
-                            sdc += 1;
-                            severities.push(max_relative_error(&out, golden));
-                            if let Some(classify) = campaign.classifier {
-                                labels.push(classify(golden, &out));
-                            }
+                            let severity = max_relative_error(&out, golden);
+                            let label = campaign.classifier.map(|classify| classify(golden, &out));
+                            observed.push((i, severity, label));
                         }
                         i += nthreads as u64;
                     }
-                    (sdc, severities, labels)
+                    (observed, busy.stop())
                 }));
             }
             for h in handles {
@@ -166,13 +190,26 @@ impl<'a> BeamCampaign<'a> {
             }
         });
 
-        let mut sdc_events = 0;
-        let mut severities = Vec::new();
-        let mut labels = Vec::new();
-        for (s, sev, lab) in partials {
-            sdc_events += s;
-            severities.extend(sev);
-            labels.extend(lab);
+        let mut busy_total = 0.0;
+        let mut observed: Vec<Observation> = Vec::new();
+        for (obs, busy) in partials {
+            observed.extend(obs);
+            busy_total += busy;
+        }
+        observed.sort_by_key(|&(i, _, _)| i);
+        let sdc_events = observed.len() as u64;
+        let severities: Vec<f64> = observed.iter().map(|&(_, s, _)| s).collect();
+        let labels: Vec<SdcLabel> = observed.iter().filter_map(|&(_, _, l)| l).collect();
+
+        Counter::new(rec, "beam.candidates", &self.scope).add(candidates);
+        Counter::new(rec, "beam.sdc", &self.scope).add(sdc_events);
+        Counter::new(rec, "beam.due", &self.scope).add(due_events);
+        Counter::new(rec, "beam.masked", &self.scope).add(candidates - sdc_events);
+        let wall_s = wall.stop();
+        if wall_s > 0.0 {
+            Gauge::new(rec, "beam.strikes_per_s", &self.scope).set(candidates as f64 / wall_s);
+            Gauge::new(rec, "beam.utilization", &self.scope)
+                .set(busy_total / (nthreads as f64 * wall_s));
         }
 
         CampaignResult {

@@ -71,6 +71,9 @@ pub struct StudyOpts {
     pub threads: Option<usize>,
     /// `--cache-dir PATH`: on-disk experiment-cell cache.
     pub cache_dir: Option<String>,
+    /// `--profile PATH`: write a JSONL observability log of the run and
+    /// print a profile summary afterwards.
+    pub profile: Option<String>,
 }
 
 /// Device selector.
@@ -155,6 +158,8 @@ STUDY OPTS:
     --paper           paper-scale statistics (default: quick)
     --threads N       worker threads (default: MPR_THREADS, then all cores)
     --cache-dir PATH  reuse cached experiment cells across runs
+    --profile PATH    write a JSONL observability log and print a
+                      profile summary (per-cell timings, cache hits)
 
 WORKLOAD: mxm | lavamd | lavamd-knc | lud | micro-add | micro-mul |
           micro-fma | mnist | yolo
@@ -248,6 +253,13 @@ fn study_opts(rest: &[&str], allow_dir: bool) -> Result<StudyOpts, ParseError> {
                     .get(i + 1)
                     .ok_or_else(|| ParseError("`--cache-dir` expects a path".to_string()))?;
                 opts.cache_dir = Some(v.to_string());
+                i += 2;
+            }
+            "--profile" => {
+                let v = rest
+                    .get(i + 1)
+                    .ok_or_else(|| ParseError("`--profile` expects a path".to_string()))?;
+                opts.profile = Some(v.to_string());
                 i += 2;
             }
             "--dir" if allow_dir => i += 2,
@@ -394,6 +406,7 @@ mod tests {
                     scale: Scale::Quick,
                     threads: Some(4),
                     cache_dir: Some("/tmp/cells".to_string()),
+                    profile: None,
                 }
             }
         );
@@ -404,12 +417,33 @@ mod tests {
                     scale: Scale::Paper,
                     threads: Some(2),
                     cache_dir: None,
+                    profile: None,
                 }
             }
         );
         assert!(parse_err("figures --threads lots").0.contains("integer"));
         assert!(parse_err("tables --cache-dir").0.contains("path"));
         assert!(parse_err("tables --frobnicate").0.contains("unknown flag"));
+    }
+
+    #[test]
+    fn study_opts_parse_profile() {
+        assert_eq!(
+            parse_ok("report --profile /tmp/run.jsonl"),
+            Command::Report {
+                opts: StudyOpts {
+                    scale: Scale::Quick,
+                    threads: None,
+                    cache_dir: None,
+                    profile: Some("/tmp/run.jsonl".to_string()),
+                }
+            }
+        );
+        assert!(matches!(
+            parse_ok("figures --paper --profile p.jsonl"),
+            Command::Figures { opts } if opts.profile.as_deref() == Some("p.jsonl")
+        ));
+        assert!(parse_err("tables --profile").0.contains("path"));
     }
 
     #[test]

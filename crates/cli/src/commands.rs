@@ -6,7 +6,9 @@ use mpr_exp::{CellKey, CellKind, ClassifierId, DeviceId, Engine, WorkloadId};
 use mpr_fault::FaultModel;
 use mpr_kernels::MicroKernelOp;
 use mpr_metrics::{SeverityHistogram, Table};
+use mpr_obs::{JsonlRecorder, Recorder};
 use mpr_softfloat::Precision;
+use std::sync::Arc;
 
 /// Runs a parsed command, returning the process exit code.
 pub fn run(command: Command) -> i32 {
@@ -16,22 +18,22 @@ pub fn run(command: Command) -> i32 {
             0
         }
         Command::Tables { opts } => {
-            let study = study(&opts);
+            let (study, rec) = study_with_profile(&opts);
             print_tables(&study);
-            0
+            finish_profile(rec)
         }
         Command::Figures { opts } => {
-            let study = study(&opts);
+            let (study, rec) = study_with_profile(&opts);
             print_figures(&study);
-            0
+            finish_profile(rec)
         }
         Command::Ablations { opts } => {
-            let study = study(&opts);
+            let (study, rec) = study_with_profile(&opts);
             print_ablations(&study);
-            0
+            finish_profile(rec)
         }
         Command::Report { opts } => {
-            let study = study(&opts);
+            let (study, rec) = study_with_profile(&opts);
             print_tables(&study);
             print_figures(&study);
             print_ablations(&study);
@@ -42,20 +44,18 @@ pub fn run(command: Command) -> i32 {
                 store.mem_hits(),
                 store.disk_hits()
             );
-            0
+            finish_profile(rec)
         }
         Command::Validate { opts } => {
-            let report = study(&opts).validate_shapes();
+            let (study, rec) = study_with_profile(&opts);
+            let report = study.validate_shapes();
             println!("{}", report.to_table());
-            if report.all_passed() {
-                0
-            } else {
-                1
-            }
+            let code = if report.all_passed() { 0 } else { 1 };
+            code.max(finish_profile(rec))
         }
         Command::Export { dir, opts } => {
-            let study = study(&opts);
-            match study.export_csv(std::path::Path::new(&dir)) {
+            let (study, rec) = study_with_profile(&opts);
+            let code = match study.export_csv(std::path::Path::new(&dir)) {
                 Ok(paths) => {
                     println!("wrote {} artifacts to {dir}", paths.len());
                     0
@@ -64,7 +64,8 @@ pub fn run(command: Command) -> i32 {
                     eprintln!("export failed: {e}");
                     1
                 }
-            }
+            };
+            code.max(finish_profile(rec))
         }
         Command::Campaign {
             device,
@@ -156,6 +157,35 @@ fn study(opts: &StudyOpts) -> Study {
         study = study.with_cache_dir(dir);
     }
     study
+}
+
+/// Builds the study and, when `--profile` was given, attaches a JSONL
+/// recorder writing to the requested path.
+fn study_with_profile(opts: &StudyOpts) -> (Study, Option<Arc<JsonlRecorder>>) {
+    let mut study = study(opts);
+    let rec = opts
+        .profile
+        .as_ref()
+        .map(|path| Arc::new(JsonlRecorder::to_path(path)));
+    if let Some(rec) = &rec {
+        study = study.with_recorder(rec.clone() as Arc<dyn Recorder>);
+    }
+    (study, rec)
+}
+
+/// Flushes the profile log (if any) and prints its rendered summary.
+/// Returns the exit-code contribution: 0 normally, 1 if the log could
+/// not be written back or parsed.
+fn finish_profile(rec: Option<Arc<JsonlRecorder>>) -> i32 {
+    let Some(rec) = rec else { return 0 };
+    rec.flush();
+    let Some(path) = rec.path() else { return 0 };
+    println!("profile log: {}", path.display());
+    if crate::profile::print_profile(path) {
+        0
+    } else {
+        1
+    }
 }
 
 fn device_id(arg: DeviceArg) -> DeviceId {

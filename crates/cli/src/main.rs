@@ -3,6 +3,7 @@
 
 mod args;
 mod commands;
+mod profile;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();

@@ -146,6 +146,7 @@ impl AccumulationAblation {
 impl Study {
     /// Runs the accumulation ablation on the FPGA MxM circuit.
     pub fn ablation_fault_accumulation(&self) -> AccumulationAblation {
+        let _phase = self.phase("ablation_fault_accumulation");
         let fault_counts = vec![1usize, 2, 4, 8, 16];
         let mut cells = Vec::with_capacity(fault_counts.len() * 3);
         for &k in &fault_counts {
@@ -178,6 +179,7 @@ impl Study {
     /// reuses the Figure 10/13 cells for Micro-FMA and MxM; only the
     /// ECC arm adds new campaigns.
     pub fn ablation_gpu_ecc(&self) -> EccAblation {
+        let _phase = self.phase("ablation_gpu_ecc");
         let workloads = [self.micro_id(MicroKernelOp::Fma), self.gemm_id()];
         let mut cells = Vec::with_capacity(12);
         for device in [DeviceId::TitanV, DeviceId::TeslaV100] {
@@ -210,6 +212,7 @@ impl Study {
 
     /// Runs the fault-model ablation on the MxM kernel.
     pub fn ablation_fault_models(&self) -> FaultModelAblation {
+        let _phase = self.phase("ablation_fault_models");
         let models: [(&'static str, FaultModel); 3] = [
             ("single bit flip", FaultModel::SingleBit),
             ("double bit flip", FaultModel::DoubleBit),

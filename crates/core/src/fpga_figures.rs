@@ -174,6 +174,7 @@ impl Fig5 {
 impl Study {
     /// Figure 2: synthesis resource utilization.
     pub fn fig2_fpga_resources(&self) -> Fig2 {
+        let _phase = self.phase("fig2_fpga_resources");
         let fpga = self.fpga();
         let mut rows = Vec::new();
         for design in ["MxM", "MNIST"] {
@@ -208,6 +209,7 @@ impl Study {
 
     /// Figure 3: beam campaigns on the FPGA MxM and MNIST circuits.
     pub fn fig3_fpga_fit(&self) -> Fig3 {
+        let _phase = self.phase("fig3_fpga_fit");
         let fpga = self.fpga();
         let results = self.run_cells(self.fpga_cells());
 
@@ -239,6 +241,7 @@ impl Study {
 
     /// Figure 4: TRE analysis of the FPGA MxM campaigns.
     pub fn fig4_fpga_tre(&self) -> Fig4 {
+        let _phase = self.phase("fig4_fpga_tre");
         let results = self.run_cells(self.fpga_cells());
         Fig4 {
             base_fit: [0, 1, 2].map(|i| results[i].beam().fit_sdc().au()),
@@ -248,6 +251,7 @@ impl Study {
 
     /// Figure 5: FPGA MEBF for MxM and MNIST.
     pub fn fig5_fpga_mebf(&self) -> Fig5 {
+        let _phase = self.phase("fig5_fpga_mebf");
         let results = self.run_cells(self.fpga_cells());
         Fig5 {
             mxm_mebf: [0, 1, 2].map(|i| results[i].beam().mebf().executions()),

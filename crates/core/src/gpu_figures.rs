@@ -208,6 +208,7 @@ impl Study {
 
     /// Figure 10: GPU beam campaigns for micros, apps, and YOLOv3.
     pub fn fig10_gpu_fit(&self) -> Fig10 {
+        let _phase = self.phase("fig10_gpu_fit");
         let rows = self.gpu_results();
         let micro = &rows[..3];
         let apps = &rows[3..5];
@@ -237,6 +238,7 @@ impl Study {
 
     /// Figure 11: TRE curves and YOLOv3 criticality.
     pub fn fig11_gpu_tre(&self) -> Fig11 {
+        let _phase = self.phase("fig11_gpu_tre");
         let rows = self.gpu_results();
 
         let curves3 = |rs: &[CellResult; 3]| rs.each_ref().map(|r| r.beam().tre_curve());
@@ -258,6 +260,7 @@ impl Study {
     /// (double cores are more complex; single and half share the FP32
     /// core — Section 6.2).
     pub fn fig12_gpu_avf(&self) -> Fig12 {
+        let _phase = self.phase("fig12_gpu_avf");
         let gpu = self.gpu();
         let mut cells = Vec::with_capacity(9);
         for op in MicroKernelOp::ALL {
@@ -279,6 +282,7 @@ impl Study {
 
     /// Figure 13: GPU MEBF for every benchmark.
     pub fn fig13_gpu_mebf(&self) -> Fig13 {
+        let _phase = self.phase("fig13_gpu_mebf");
         let rows = self.gpu_results();
         Fig13 {
             mebf: rows.map(|rs| [0, 1, 2].map(|i| rs[i].beam().mebf().executions())),
@@ -292,7 +296,7 @@ mod tests {
 
     #[test]
     fn fig10_micro_orderings() {
-        let fig = Study::quick(27).fig10_gpu_fit();
+        let fig = Study::quick(28).fig10_gpu_fit();
         // Order within Fig10 rows: [ADD, MUL, FMA] x [d, s, h].
         let add = fig.micro_sdc[0];
         let mul = fig.micro_sdc[1];

@@ -167,6 +167,7 @@ impl Study {
 
     /// Figure 6: KNC beam campaigns.
     pub fn fig6_knc_fit(&self) -> Fig6 {
+        let _phase = self.phase("fig6_knc_fit");
         let campaigns = self.knc_results();
         let mut sdc = [[0.0; 2]; 3];
         let mut due = [[0.0; 2]; 3];
@@ -185,6 +186,7 @@ impl Study {
     /// Figure 7: variable-level single-bit injection (CAROL-FI on the
     /// KNC injects program variables — Section 5.2).
     pub fn fig7_knc_pvf(&self) -> Fig7 {
+        let _phase = self.phase("fig7_knc_pvf");
         let workloads = [self.lavamd_knc_id(), self.gemm_id(), self.lud_id()];
         let mut cells = Vec::with_capacity(6);
         for w in workloads {
@@ -204,6 +206,7 @@ impl Study {
 
     /// Figure 8: TRE curves from the KNC beam campaigns.
     pub fn fig8_knc_tre(&self) -> Fig8 {
+        let _phase = self.phase("fig8_knc_tre");
         let campaigns = self.knc_results();
         Fig8 {
             curves: campaigns.map(|pair| [pair[0].beam().tre_curve(), pair[1].beam().tre_curve()]),
@@ -212,6 +215,7 @@ impl Study {
 
     /// Figure 9: KNC MEBF.
     pub fn fig9_knc_mebf(&self) -> Fig9 {
+        let _phase = self.phase("fig9_knc_mebf");
         let campaigns = self.knc_results();
         let mut mebf = [[0.0; 2]; 3];
         for (i, pair) in campaigns.iter().enumerate() {

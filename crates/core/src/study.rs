@@ -8,6 +8,7 @@ use mpr_exp::{
 use mpr_fault::FaultModel;
 use mpr_kernels::{profiles as kprofiles, MicroKernelOp};
 use mpr_nn::profiles as nprofiles;
+use mpr_obs::{Recorder, Timer};
 use mpr_softfloat::Precision;
 use std::path::Path;
 use std::sync::Arc;
@@ -75,6 +76,20 @@ impl Study {
             .engine
             .with_store(Arc::new(ResultStore::with_cache_dir(dir.as_ref())));
         self
+    }
+
+    /// Attaches an observability recorder: every figure runner times
+    /// its phase, and the engine/campaign layers below record plan,
+    /// cache, and throughput events. Telemetry never perturbs results.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Study {
+        self.engine = self.engine.with_recorder(recorder);
+        self
+    }
+
+    /// A guard timing one report phase (a figure, table, or ablation);
+    /// records a `phase` event scoped by `name` when dropped.
+    pub(crate) fn phase(&self, name: &str) -> Timer<'_> {
+        Timer::start(&**self.engine.recorder(), "phase", name)
     }
 
     /// The study's RNG seed.

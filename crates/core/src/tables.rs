@@ -10,6 +10,7 @@ use mpr_softfloat::Precision;
 impl Study {
     /// Table 1: benchmark execution times on the Zynq-7000.
     pub fn table1_fpga_times(&self) -> Table {
+        let _phase = self.phase("table1_fpga_times");
         let fpga = self.fpga();
         let mut t = Table::new(vec!["benchmark", "double [s]", "single [s]", "half [s]"])
             .with_title("Table 1: execution time on the Zynq-7000");
@@ -30,6 +31,7 @@ impl Study {
 
     /// Table 2: benchmark execution times on the Xeon Phi.
     pub fn table2_knc_times(&self) -> Table {
+        let _phase = self.phase("table2_knc_times");
         let knc = self.knc();
         let mut t = Table::new(vec!["benchmark", "double [s]", "single [s]"])
             .with_title("Table 2: execution time on the Xeon Phi 3120A");
@@ -49,6 +51,7 @@ impl Study {
 
     /// Table 3: benchmark execution times on the Titan V.
     pub fn table3_gpu_times(&self) -> Table {
+        let _phase = self.phase("table3_gpu_times");
         let gpu = self.gpu();
         let mut t = Table::new(vec!["benchmark", "double [s]", "single [s]", "half [s]"])
             .with_title("Table 3: execution time on the Titan V");

@@ -10,11 +10,11 @@
 //! (which is part of every store key) to invalidate all entries when
 //! execution semantics change.
 
-use crate::seed::fnv1a64;
 use crate::store::{AccumulateOutcome, CellResult};
 use mpr_beam::{CampaignResult, SdcLabel};
 use mpr_fault::InjectionReport;
 use mpr_metrics::{CrossSection, OutcomeCounts};
+use mpr_obs::fnv1a64;
 use mpr_softfloat::Precision;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};

@@ -7,18 +7,21 @@
 //! FNV-1a hash doubles as the cache file name and the salt from which
 //! the cell's RNG seed is derived.
 
-use crate::seed::{fnv1a64, mix_seed};
 use mpr_arch::{Device, Fpga, VoltaGpu, WorkloadProfile, XeonPhiKnc};
 use mpr_beam::SdcClassifier;
 use mpr_fault::{FaultModel, Workload};
 use mpr_kernels::{profiles as kprofiles, Gemm, LavaMd, Lud, Micro, MicroKernelOp};
 use mpr_nn::{profiles as nprofiles, ClassificationImpact, DetectionImpact, Mnist, TinyYolo};
+use mpr_obs::{fnv1a64, mix_seed};
 use mpr_softfloat::Precision;
 use std::fmt;
 
 /// Version tag prefixed to every canonical key; bump it to invalidate
 /// every existing cache entry when the execution semantics change.
-pub const KEY_VERSION: &str = "v1";
+/// v2: per-strike seed derivation moved to the splitmix64 avalanche and
+/// campaign observation order became thread-invariant, so v1 cache
+/// entries no longer reproduce what an execution would produce.
+pub const KEY_VERSION: &str = "v2";
 
 /// One of the study's device models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -397,7 +400,7 @@ mod tests {
         // must be a deliberate KEY_VERSION bump.
         assert_eq!(
             beam_key().canonical(),
-            "v1;dev=titan-v;wl=gemm:12;p=single;k=beam:h=4024000000000000,n=400,c=none"
+            "v2;dev=titan-v;wl=gemm:12;p=single;k=beam:h=4024000000000000,n=400,c=none"
         );
     }
 

@@ -2,13 +2,13 @@
 //! work pool.
 
 use crate::cell::{CellKey, CellKind};
-use crate::seed::SplitMix;
-use crate::store::{AccumulateOutcome, CellResult, ResultStore};
+use crate::store::{AccumulateOutcome, CellResult, LookupSource, ResultStore};
 use mpr_beam::{BeamCampaign, BeamSession};
 use mpr_fault::hook::MultiStrikeHook;
 use mpr_fault::{InjectionCampaign, ValueFault};
+use mpr_obs::{Counter, Metric, NullRecorder, Recorder, SplitMix, Timer};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// An ordered list of requested cells.
@@ -64,11 +64,22 @@ impl ExperimentPlan {
 /// derives its RNG stream from `(base seed, cell key)` alone, and the
 /// campaign layers are thread-count invariant, so results are
 /// bit-identical for any thread count and any request order.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Engine {
     seed: u64,
     threads: usize,
     store: Arc<ResultStore>,
+    recorder: Arc<dyn Recorder>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("seed", &self.seed)
+            .field("threads", &self.threads)
+            .field("store", &self.store)
+            .finish()
+    }
 }
 
 impl Engine {
@@ -78,6 +89,7 @@ impl Engine {
             seed,
             threads: 0,
             store: Arc::new(ResultStore::in_memory()),
+            recorder: Arc::new(NullRecorder),
         }
     }
 
@@ -91,6 +103,19 @@ impl Engine {
     pub fn with_store(mut self, store: Arc<ResultStore>) -> Engine {
         self.store = store;
         self
+    }
+
+    /// Attaches an observability recorder; the engine and the campaigns
+    /// it runs record plan, cache, timing, and throughput events into
+    /// it. Telemetry never perturbs RNG streams or results.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Engine {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The attached observability recorder.
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder
     }
 
     /// The engine's base seed.
@@ -115,23 +140,42 @@ impl Engine {
     /// misses in parallel across cells, and returns one result per
     /// request, in request order.
     pub fn run(&self, plan: &ExperimentPlan) -> Vec<CellResult> {
+        let rec = &*self.recorder;
+        let wall = Timer::start(rec, "plan.wall", "");
         // Dedup while preserving first-seen order.
         let mut unique: Vec<&CellKey> = Vec::new();
+        let mut canonicals: Vec<String> = Vec::new();
         let mut index_of: BTreeMap<String, usize> = BTreeMap::new();
         let mut request_to_unique = Vec::with_capacity(plan.len());
         for key in plan.cells() {
             let canonical = key.canonical();
-            let idx = *index_of.entry(canonical).or_insert_with(|| {
+            let idx = *index_of.entry(canonical.clone()).or_insert_with(|| {
                 unique.push(key);
+                canonicals.push(canonical);
                 unique.len() - 1
             });
             request_to_unique.push(idx);
         }
+        Counter::new(rec, "plan.requests", "").add(plan.len() as u64);
+        Counter::new(rec, "plan.unique", "").add(unique.len() as u64);
+        Counter::new(rec, "plan.dedup_saved", "").add((plan.len() - unique.len()) as u64);
 
         // Resolve what the store already knows.
         let mut slots: Vec<Option<CellResult>> = unique
             .iter()
-            .map(|key| self.store.lookup(&ResultStore::store_key(self.seed, key)))
+            .enumerate()
+            .map(|(i, key)| {
+                let (hit, source) = self
+                    .store
+                    .lookup_traced(&ResultStore::store_key(self.seed, key));
+                let counter = match source {
+                    LookupSource::Memory => "cache.mem_hit",
+                    LookupSource::Disk => "cache.disk_hit",
+                    LookupSource::Miss => "cache.miss",
+                };
+                Counter::new(rec, counter, &canonicals[i]).incr();
+                hit
+            })
             .collect();
         let pending: Vec<usize> = (0..unique.len()).filter(|&i| slots[i].is_none()).collect();
 
@@ -152,7 +196,19 @@ impl Engine {
                             break;
                         }
                         let key = unique[pending[j]];
-                        let result = self.execute(key, inner);
+                        let canonical = canonicals[pending[j]].as_str();
+                        // Queue time: how long the cell waited from plan
+                        // start until a worker picked it up.
+                        let queued_s = wall.elapsed_s();
+                        if rec.enabled() {
+                            rec.record("cell.queue", canonical, Metric::Time(queued_s));
+                        }
+                        let exec = Timer::start(rec, "cell.exec", canonical);
+                        let result = self.execute(key, inner, canonical);
+                        let exec_s = exec.stop();
+                        if rec.enabled() {
+                            rec.record("cell.total", canonical, Metric::Time(queued_s + exec_s));
+                        }
                         self.store
                             .insert(&ResultStore::store_key(self.seed, key), result.clone());
                         // mpr-allow: panic-hygiene -- a poisoned slot lock means a sibling worker already panicked
@@ -185,10 +241,25 @@ impl Engine {
 
     /// Executes one cell with `inner` worker threads inside the
     /// campaign. This is the only place campaigns are constructed.
-    fn execute(&self, key: &CellKey, inner: usize) -> CellResult {
+    fn execute(&self, key: &CellKey, inner: usize, canonical: &str) -> CellResult {
+        let rec = &*self.recorder;
         let seed = key.cell_seed(self.seed);
         let workload = key.workload.build();
         let golden_key = key.workload.golden_key(key.precision);
+        let memoized_golden = |store: &ResultStore| {
+            let computed = AtomicBool::new(false);
+            let golden = store.golden(&golden_key, || {
+                computed.store(true, Ordering::Relaxed);
+                workload.run_golden(key.precision)
+            });
+            let counter = if computed.load(Ordering::Relaxed) {
+                "golden.compute"
+            } else {
+                "golden.reuse"
+            };
+            Counter::new(rec, counter, &golden_key).incr();
+            golden
+        };
         match key.kind {
             CellKind::Beam {
                 hours,
@@ -197,9 +268,7 @@ impl Engine {
             } => {
                 let device = key.device.build();
                 let profile = key.workload.profile(key.device);
-                let golden = self
-                    .store
-                    .golden(&golden_key, || workload.run_golden(key.precision));
+                let golden = memoized_golden(&self.store);
                 let session = BeamSession {
                     hours,
                     target_candidates,
@@ -209,7 +278,8 @@ impl Engine {
                 let mut campaign =
                     BeamCampaign::new(device.as_ref(), workload.as_ref(), &profile, key.precision)
                         .session(session)
-                        .golden(&golden);
+                        .golden(&golden)
+                        .telemetry(rec, canonical);
                 if let Some(classify) = classifier.classifier() {
                     campaign = campaign.classifier(classify);
                 }
@@ -220,9 +290,7 @@ impl Engine {
                 model,
                 live_fraction,
             } => {
-                let golden = self
-                    .store
-                    .golden(&golden_key, || workload.run_golden(key.precision));
+                let golden = memoized_golden(&self.store);
                 CellResult::Inject(
                     InjectionCampaign::new(workload.as_ref(), key.precision)
                         .injections(injections)
@@ -231,13 +299,12 @@ impl Engine {
                         .live_fraction(live_fraction)
                         .threads(inner)
                         .golden(&golden)
+                        .telemetry(rec, canonical)
                         .run(),
                 )
             }
             CellKind::Accumulate { faults, trials } => {
-                let golden = self
-                    .store
-                    .golden(&golden_key, || workload.run_golden(key.precision));
+                let golden = memoized_golden(&self.store);
                 let sites = workload.site_count(key.precision);
                 let width = key.precision.total_bits();
                 let mut rng = SplitMix::new(seed);

@@ -44,10 +44,11 @@
 mod cache;
 mod cell;
 mod engine;
-mod seed;
 mod store;
 
 pub use cell::{CellKey, CellKind, ClassifierId, DeviceId, WorkloadId, KEY_VERSION};
 pub use engine::{Engine, ExperimentPlan};
-pub use seed::{fnv1a64, mix_seed, splitmix64, SplitMix};
-pub use store::{AccumulateOutcome, CellResult, ResultStore};
+/// Re-exported from [`mpr_obs::seed`], the workspace's shared
+/// seed-derivation scheme (kept here for backwards compatibility).
+pub use mpr_obs::{fnv1a64, mix_seed, splitmix64, SplitMix};
+pub use store::{AccumulateOutcome, CellResult, LookupSource, ResultStore};

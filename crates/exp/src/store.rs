@@ -71,6 +71,17 @@ impl CellResult {
     }
 }
 
+/// Where a [`ResultStore::lookup_traced`] answer came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupSource {
+    /// Served by the in-memory memo table.
+    Memory,
+    /// Served by the on-disk cache (and promoted to memory).
+    Disk,
+    /// Not cached anywhere; the cell must execute.
+    Miss,
+}
+
 /// Memoized results and golden outputs for one study.
 ///
 /// The store is keyed by the *store key* — the base seed plus the
@@ -143,18 +154,28 @@ impl ResultStore {
     /// against it on load; a mismatch (hash collision or stale format)
     /// is a miss, never a wrong answer.
     pub fn lookup(&self, store_key: &str) -> Option<CellResult> {
+        self.lookup_traced(store_key).0
+    }
+
+    /// [`ResultStore::lookup`], additionally reporting where the answer
+    /// came from so callers can record cache telemetry.
+    pub fn lookup_traced(&self, store_key: &str) -> (Option<CellResult>, LookupSource) {
         // mpr-allow: panic-hygiene -- a poisoned store lock means a worker already panicked; propagating is the only sound option
         if let Some(hit) = self.results.lock().expect("store lock").get(store_key) {
             self.mem_hits.fetch_add(1, Ordering::Relaxed);
-            return Some(hit.clone());
+            return (Some(hit.clone()), LookupSource::Memory);
         }
-        let dir = self.cache_dir.as_ref()?;
-        let loaded = cache::load(&cache::entry_path(dir, store_key), store_key)?;
+        let Some(dir) = self.cache_dir.as_ref() else {
+            return (None, LookupSource::Miss);
+        };
+        let Some(loaded) = cache::load(&cache::entry_path(dir, store_key), store_key) else {
+            return (None, LookupSource::Miss);
+        };
         self.disk_hits.fetch_add(1, Ordering::Relaxed);
         // mpr-allow: panic-hygiene -- a poisoned store lock means a worker already panicked; propagating is the only sound option
         let mut results = self.results.lock().expect("store lock");
         results.insert(store_key.to_string(), loaded.clone());
-        Some(loaded)
+        (Some(loaded), LookupSource::Disk)
     }
 
     /// Records a freshly executed result, writing it through to the

@@ -2,6 +2,7 @@
 
 use crate::{FaultModel, Workload};
 use mpr_metrics::{Outcome, OutcomeCounts, TreCurve, Vulnerability};
+use mpr_obs::{mix_seed, Counter, Gauge, Recorder, Timer, NULL_RECORDER};
 use mpr_softfloat::ulp::max_relative_error;
 use mpr_softfloat::Precision;
 use rand::rngs::StdRng;
@@ -50,6 +51,8 @@ pub struct InjectionCampaign<'a> {
     live_fraction: f64,
     threads: usize,
     golden: Option<&'a [f64]>,
+    recorder: &'a dyn Recorder,
+    scope: String,
 }
 
 impl std::fmt::Debug for InjectionCampaign<'_> {
@@ -89,6 +92,8 @@ impl<'a> InjectionCampaign<'a> {
             live_fraction: 1.0,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             golden: None,
+            recorder: &NULL_RECORDER,
+            scope: String::new(),
         }
     }
 
@@ -149,8 +154,20 @@ impl<'a> InjectionCampaign<'a> {
         self
     }
 
+    /// Attaches an observability recorder; every event this campaign
+    /// records carries `scope` (typically the canonical cell key).
+    /// Telemetry is read-only metadata — it never perturbs the
+    /// campaign's RNG streams or results.
+    pub fn telemetry(mut self, recorder: &'a dyn Recorder, scope: impl Into<String>) -> Self {
+        self.recorder = recorder;
+        self.scope = scope.into();
+        self
+    }
+
     /// Runs the campaign and collects the report.
     pub fn run(&self) -> InjectionReport {
+        let rec = self.recorder;
+        let wall = Timer::start(rec, "campaign.wall", self.scope.clone());
         let golden_owned;
         let golden: &[f64] = match self.golden {
             Some(g) => g,
@@ -168,7 +185,14 @@ impl<'a> InjectionCampaign<'a> {
         // injection derives its own RNG from (seed, index) so the result
         // is independent of the thread count.
         let nthreads = self.threads.min(self.injections.max(1) as usize);
-        let mut partials: Vec<(OutcomeCounts, Vec<f64>)> = Vec::new();
+        // Workers take injections in a thread stride; each SDC severity
+        // is tagged with its injection index and the merge sorts on it,
+        // so the severity vector is in injection order for *any* thread
+        // count.
+        // One worker's result: outcome tallies, index-tagged SDC
+        // severities, and busy seconds.
+        type WorkerPartial = (OutcomeCounts, Vec<(u64, f64)>, f64);
+        let mut partials: Vec<WorkerPartial> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..nthreads {
@@ -176,13 +200,16 @@ impl<'a> InjectionCampaign<'a> {
                 let golden_bits = &golden_bits;
                 let campaign = &*self;
                 handles.push(scope.spawn(move || {
+                    let busy = Timer::start(rec, "inject.worker_busy", campaign.scope.clone());
                     let mut counts = OutcomeCounts::default();
                     let mut severities = Vec::new();
                     let mut i = t as u64;
                     while i < campaign.injections {
-                        let mut rng = StdRng::seed_from_u64(
-                            campaign.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i,
-                        );
+                        // Per-injection stream: derived through the
+                        // shared splitmix64 avalanche, so adjacent
+                        // injections get unrelated seeds (the old
+                        // `seed * C ^ i` gave correlated streams).
+                        let mut rng = StdRng::seed_from_u64(mix_seed(campaign.seed, i));
                         let site = rng.gen_range(0..sites);
                         let fault = campaign.model.sample(width, &mut rng);
                         let dead = matches!(fault, crate::ValueFault::BitFlip(_))
@@ -200,13 +227,13 @@ impl<'a> InjectionCampaign<'a> {
                             || out.iter().zip(golden_bits).any(|(v, &g)| v.to_bits() != g);
                         if corrupted {
                             counts.record(Outcome::Sdc);
-                            severities.push(max_relative_error(&out, golden));
+                            severities.push((i, max_relative_error(&out, golden)));
                         } else {
                             counts.record(Outcome::Masked);
                         }
                         i += nthreads as u64;
                     }
-                    (counts, severities)
+                    (counts, severities, busy.stop())
                 }));
             }
             for h in handles {
@@ -216,11 +243,28 @@ impl<'a> InjectionCampaign<'a> {
         });
 
         let mut counts = OutcomeCounts::default();
-        let mut severities = Vec::new();
-        for (c, s) in partials {
+        let mut busy_total = 0.0;
+        let mut tagged: Vec<(u64, f64)> = Vec::new();
+        for (c, s, busy) in partials {
             counts.merge(c);
-            severities.extend(s);
+            tagged.extend(s);
+            busy_total += busy;
         }
+        tagged.sort_by_key(|&(i, _)| i);
+        let severities: Vec<f64> = tagged.into_iter().map(|(_, s)| s).collect();
+
+        Counter::new(rec, "inject.injections", &self.scope).add(self.injections);
+        Counter::new(rec, "inject.sdc", &self.scope).add(counts.sdc);
+        Counter::new(rec, "inject.due", &self.scope).add(counts.due);
+        Counter::new(rec, "inject.masked", &self.scope).add(counts.masked);
+        let wall_s = wall.stop();
+        if wall_s > 0.0 {
+            Gauge::new(rec, "inject.strikes_per_s", &self.scope)
+                .set(self.injections as f64 / wall_s);
+            Gauge::new(rec, "inject.utilization", &self.scope)
+                .set(busy_total / (nthreads as f64 * wall_s));
+        }
+
         InjectionReport {
             workload: self.workload.name().to_string(),
             precision: self.precision,
@@ -275,11 +319,10 @@ mod tests {
             .threads(7)
             .run();
         assert_eq!(one.counts, many.counts);
-        // Severity multisets agree (order differs by thread interleaving).
-        let mut a = one.severities.clone();
-        let mut b = many.severities.clone();
-        a.sort_by(f64::total_cmp);
-        b.sort_by(f64::total_cmp);
+        // Severities come out in injection order regardless of the
+        // thread interleaving, so the raw vectors match bit for bit.
+        let a: Vec<u64> = one.severities.iter().map(|s| s.to_bits()).collect();
+        let b: Vec<u64> = many.severities.iter().map(|s| s.to_bits()).collect();
         assert_eq!(a, b);
     }
 

@@ -1,6 +1,6 @@
 //! Cross sections and Failures-In-Time rates.
 
-use crate::stats::poisson_ci95;
+use crate::stats::poisson_ci95_counts;
 use crate::TERRESTRIAL_FLUX_N_CM2_H;
 use std::fmt;
 
@@ -57,10 +57,18 @@ impl CrossSection {
 
     /// 95% confidence interval on the FIT estimate (Poisson counting
     /// statistics), in the same arbitrary units.
+    ///
+    /// Derived from absolute event-count bounds over the fluence, so a
+    /// campaign that observed *zero* events still reports a positive
+    /// upper bound (the exact 3.7-count limit) instead of a degenerate
+    /// `(0, 0)` interval.
     pub fn fit_ci95(&self) -> (FitRate, FitRate) {
-        let (lo, hi) = poisson_ci95(self.events);
-        let point = self.fit_au().au();
-        (FitRate::from_au(point * lo), FitRate::from_au(point * hi))
+        let (lo, hi) = poisson_ci95_counts(self.events);
+        let per_count = TERRESTRIAL_FLUX_N_CM2_H * 1e9 / self.fluence;
+        (
+            FitRate::from_au(lo * per_count),
+            FitRate::from_au(hi * per_count),
+        )
     }
 
     /// Pools two campaigns over the same configuration.
@@ -145,6 +153,20 @@ mod tests {
         let (lo, hi) = xs.fit_ci95();
         let point = xs.fit_au();
         assert!(lo.au() < point.au() && point.au() < hi.au());
+    }
+
+    #[test]
+    fn zero_event_campaign_bounds_fit_from_above() {
+        // Regression: the multiplier form of the interval collapsed a
+        // zero-count campaign to (0, 0), claiming an exactly-zero FIT
+        // with certainty. The count form keeps the 3.7-event limit.
+        let xs = CrossSection::new(0, 5e9);
+        assert_eq!(xs.fit_au().au(), 0.0);
+        let (lo, hi) = xs.fit_ci95();
+        assert_eq!(lo.au(), 0.0);
+        assert!(hi.au() > 0.0, "zero events must still bound the rate");
+        let expected = 3.7 / 5e9 * TERRESTRIAL_FLUX_N_CM2_H * 1e9;
+        assert!((hi.au() - expected).abs() < 1e-12 * expected.max(1.0));
     }
 
     #[test]

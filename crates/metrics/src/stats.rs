@@ -32,7 +32,13 @@ pub fn wilson_ci95(successes: u64, trials: u64) -> (f64, f64) {
 ///
 /// Uses the normal approximation on the square-root scale, which is
 /// accurate for the tens-to-thousands of events the campaigns produce.
-/// Zero events yield `(0.0, 3.7)` (the exact upper bound for zero counts).
+///
+/// **Zero events are a hazard for this parameterization**: the point
+/// estimate is zero, so *any* multiplier pair collapses the interval to
+/// `(0, 0)` when applied. Callers with a possibly-zero count must use
+/// [`poisson_ci95_counts`], which returns absolute event-count bounds
+/// instead. For zero events this function returns `(0.0, 3.7)` — the
+/// exact bounds *in counts*, which are **not** usable as multipliers.
 pub fn poisson_ci95(events: u64) -> (f64, f64) {
     if events == 0 {
         return (0.0, 3.7);
@@ -43,6 +49,30 @@ pub fn poisson_ci95(events: u64) -> (f64, f64) {
     let lo = (k.sqrt() - z / 2.0).max(0.0).powi(2) / k;
     let hi = (k.sqrt() + z / 2.0).powi(2) / k;
     (lo, hi)
+}
+
+/// Approximate 95% confidence interval for a Poisson count, in absolute
+/// event counts rather than multipliers on the point estimate.
+///
+/// Divides cleanly by an exposure (fluence, time) to bound a rate, and —
+/// unlike [`poisson_ci95`] — stays meaningful at zero observed events:
+/// the upper bound is the exact `3.7` events of a zero count (the
+/// classic rule-of-three-style limit), so a clean campaign still yields
+/// a positive upper FIT bound.
+///
+/// ```rust
+/// use mpr_metrics::stats::poisson_ci95_counts;
+/// let (lo, hi) = poisson_ci95_counts(0);
+/// assert_eq!(lo, 0.0);
+/// assert!(hi > 3.0); // zero observed events still bound the rate
+/// ```
+pub fn poisson_ci95_counts(events: u64) -> (f64, f64) {
+    if events == 0 {
+        return (0.0, 3.7);
+    }
+    let (lo, hi) = poisson_ci95(events);
+    let k = events as f64;
+    (k * lo, k * hi)
 }
 
 /// Arithmetic mean. Empty input yields NaN.

@@ -1,0 +1,417 @@
+//! The JSONL profile log: an append-only event file, one JSON object
+//! per line, with monotonic-relative timestamps.
+//!
+//! The serializer is hand rolled in the same discipline as
+//! `mpr-exp`'s disk cache: a fixed flat shape, explicit escaping, and
+//! an atomic tmp+rename flush so readers never observe a torn file.
+//! Counter values travel as integers; gauge and timer values as
+//! decimal numbers (Rust's shortest round-trip formatting).
+//!
+//! ```text
+//! {"t_us":1042,"name":"cell.exec","scope":"v2;dev=titan-v;...","kind":"time","value":0.0123}
+//! ```
+// mpr-allow-file: determinism -- the log's monotonic-relative origin is observability metadata; it never feeds campaign RNG streams or results
+
+use crate::record::{Event, Metric, Recorder};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A buffering recorder that flushes its events as one JSONL file.
+///
+/// Events are stamped with microseconds since the recorder's
+/// construction. [`Recorder::flush`] (also invoked on drop) writes the
+/// whole log write-then-rename, so a crashed run leaves either the
+/// previous complete log or none.
+#[derive(Debug)]
+pub struct JsonlRecorder {
+    origin: Instant,
+    path: Option<PathBuf>,
+    events: Mutex<Vec<Event>>,
+}
+
+impl Default for JsonlRecorder {
+    fn default() -> Self {
+        JsonlRecorder::new()
+    }
+}
+
+impl JsonlRecorder {
+    /// An in-memory recorder (no file; useful for tests and for
+    /// rendering a summary without touching disk).
+    pub fn new() -> JsonlRecorder {
+        JsonlRecorder {
+            origin: Instant::now(),
+            path: None,
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A recorder that flushes to `path`.
+    pub fn to_path(path: impl Into<PathBuf>) -> JsonlRecorder {
+        JsonlRecorder {
+            origin: Instant::now(),
+            path: Some(path.into()),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The flush destination, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// A snapshot of the buffered events, in record order.
+    pub fn events(&self) -> Vec<Event> {
+        // mpr-allow: panic-hygiene -- a poisoned event buffer means a recording thread already panicked; propagating is the only sound option
+        self.events.lock().expect("event buffer").clone()
+    }
+
+    /// Serializes the buffered events as JSONL text.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        // mpr-allow: panic-hygiene -- a poisoned event buffer means a recording thread already panicked; propagating is the only sound option
+        for ev in self.events.lock().expect("event buffer").iter() {
+            serialize_line(&mut out, ev);
+        }
+        out
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn record(&self, name: &str, scope: &str, metric: Metric) {
+        let t_us = self.origin.elapsed().as_micros() as u64;
+        // mpr-allow: panic-hygiene -- a poisoned event buffer means a recording thread already panicked; propagating is the only sound option
+        self.events.lock().expect("event buffer").push(Event {
+            t_us,
+            name: name.to_string(),
+            scope: scope.to_string(),
+            metric,
+        });
+    }
+
+    /// Best effort, like the experiment disk cache: an unwritable
+    /// profile path degrades to in-memory telemetry, it never fails
+    /// the run.
+    fn flush(&self) {
+        let Some(path) = &self.path else {
+            return;
+        };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() && std::fs::create_dir_all(parent).is_err() {
+                return;
+            }
+        }
+        let tmp = path.with_extension("jsonl.tmp");
+        if std::fs::write(&tmp, self.to_jsonl()).is_ok() {
+            let _ = std::fs::rename(&tmp, path);
+        }
+    }
+}
+
+impl Drop for JsonlRecorder {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+// --- serialization ---------------------------------------------------------
+
+fn serialize_line(out: &mut String, ev: &Event) {
+    let (kind, value) = match ev.metric {
+        Metric::Count(n) => ("count", n.to_string()),
+        Metric::Gauge(v) => ("gauge", num_json(v)),
+        Metric::Time(v) => ("time", num_json(v)),
+    };
+    out.push_str(&format!(
+        "{{\"t_us\":{},\"name\":{},\"scope\":{},\"kind\":\"{kind}\",\"value\":{value}}}\n",
+        ev.t_us,
+        str_json(&ev.name),
+        str_json(&ev.scope),
+    ));
+}
+
+/// Telemetry values are finite by construction (durations, rates);
+/// a non-finite stray is clamped to zero rather than emitting invalid
+/// JSON.
+fn num_json(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn str_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// --- parsing ---------------------------------------------------------------
+
+/// Parses one JSONL event line; `None` on any malformed input.
+pub fn parse_line(line: &str) -> Option<Event> {
+    let bytes = line.trim().as_bytes();
+    let mut pos = 0;
+    if bytes.get(pos) != Some(&b'{') {
+        return None;
+    }
+    pos += 1;
+    let mut t_us: Option<u64> = None;
+    let mut name: Option<String> = None;
+    let mut scope: Option<String> = None;
+    let mut kind: Option<String> = None;
+    let mut value_num: Option<String> = None;
+    let mut value_str: Option<String> = None;
+    loop {
+        skip_ws(bytes, &mut pos);
+        let key = parse_str(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if bytes.get(pos) != Some(&b':') {
+            return None;
+        }
+        pos += 1;
+        skip_ws(bytes, &mut pos);
+        match bytes.get(pos)? {
+            b'"' => {
+                let s = parse_str(bytes, &mut pos)?;
+                match key.as_str() {
+                    "name" => name = Some(s),
+                    "scope" => scope = Some(s),
+                    "kind" => kind = Some(s),
+                    "value" => value_str = Some(s),
+                    _ => return None,
+                }
+            }
+            _ => {
+                let n = parse_num(bytes, &mut pos)?;
+                match key.as_str() {
+                    "t_us" => t_us = n.parse().ok(),
+                    "value" => value_num = Some(n),
+                    _ => return None,
+                }
+            }
+        }
+        skip_ws(bytes, &mut pos);
+        match bytes.get(pos)? {
+            b',' => pos += 1,
+            b'}' => {
+                pos += 1;
+                break;
+            }
+            _ => return None,
+        }
+    }
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return None;
+    }
+    let _ = value_str; // strings are not valid metric values
+    let raw = value_num?;
+    let metric = match kind?.as_str() {
+        "count" => Metric::Count(raw.parse().ok()?),
+        "gauge" => Metric::Gauge(raw.parse().ok()?),
+        "time" => Metric::Time(raw.parse().ok()?),
+        _ => return None,
+    };
+    Some(Event {
+        t_us: t_us?,
+        name: name?,
+        scope: scope?,
+        metric,
+    })
+}
+
+/// Reads a JSONL profile log, skipping blank lines.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error, or `InvalidData` naming the first
+/// malformed line.
+pub fn read_log(path: &Path) -> io::Result<Vec<Event>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Some(ev) => events.push(ev),
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}:{}: malformed profile event", path.display(), i + 1),
+                ))
+            }
+        }
+    }
+    Ok(events)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t') {
+        *pos += 1;
+    }
+}
+
+fn parse_str(b: &[u8], pos: &mut usize) -> Option<String> {
+    if b.get(*pos) != Some(&b'"') {
+        return None;
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'u' => {
+                        let hex = b.get(*pos + 1..*pos + 5)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            &c if c < 0x80 => {
+                out.push(c as char);
+                *pos += 1;
+            }
+            _ => {
+                // Multi-byte UTF-8: consume the full scalar.
+                let s = std::str::from_utf8(&b[*pos..]).ok()?;
+                let c = s.chars().next()?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Option<String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    (*pos > start).then(|| String::from_utf8_lossy(&b[start..*pos]).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::NULL_RECORDER;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mpr_obs_{tag}_{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn events_round_trip_through_jsonl_text() {
+        let rec = JsonlRecorder::new();
+        rec.record("cache.mem_hit", "v2;dev=titan-v", Metric::Count(3));
+        rec.record("cell.exec", "v2;dev=titan-v", Metric::Time(0.015625));
+        rec.record("beam.strikes_per_s", "", Metric::Gauge(1234.5));
+        let text = rec.to_jsonl();
+        assert_eq!(text.lines().count(), 3);
+        let parsed: Vec<Event> = text.lines().map(|l| parse_line(l).expect(l)).collect();
+        assert_eq!(parsed, rec.events());
+        assert_eq!(parsed[1].metric, Metric::Time(0.015625));
+    }
+
+    #[test]
+    fn timestamps_are_monotonic_relative() {
+        let rec = JsonlRecorder::new();
+        rec.record("a", "", Metric::Count(1));
+        rec.record("b", "", Metric::Count(1));
+        let events = rec.events();
+        assert!(events[0].t_us <= events[1].t_us);
+    }
+
+    #[test]
+    fn flush_writes_atomically_and_read_log_round_trips() {
+        let path = temp_path("flush");
+        {
+            let rec = JsonlRecorder::to_path(&path);
+            rec.record("cell.total", "scope \"quoted\"", Metric::Time(1.5));
+            rec.record("plan.requests", "", Metric::Count(42));
+            rec.flush();
+            assert!(!path.with_extension("jsonl.tmp").exists());
+        } // drop flushes again; idempotent
+        let events = read_log(&path).expect("read log");
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].scope, "scope \"quoted\"");
+        assert_eq!(events[1].metric, Metric::Count(42));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse_line("").is_none());
+        assert!(parse_line("{").is_none());
+        assert!(parse_line("{\"t_us\":1}").is_none());
+        assert!(parse_line(
+            "{\"t_us\":1,\"name\":\"x\",\"scope\":\"\",\"kind\":\"bogus\",\"value\":1}"
+        )
+        .is_none());
+        assert!(parse_line(
+            "{\"t_us\":1,\"name\":\"x\",\"scope\":\"\",\"kind\":\"count\",\"value\":1} extra"
+        )
+        .is_none());
+        let ok = "{\"t_us\":1,\"name\":\"x\",\"scope\":\"\",\"kind\":\"count\",\"value\":1}";
+        assert!(parse_line(ok).is_some());
+
+        let path = temp_path("bad");
+        std::fs::write(&path, format!("{ok}\nnot json\n")).expect("write");
+        let err = read_log(&path).expect_err("malformed line must error");
+        assert!(err.to_string().contains(":2:"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_finite_values_are_clamped_not_invalid() {
+        let rec = JsonlRecorder::new();
+        rec.record("g", "", Metric::Gauge(f64::INFINITY));
+        let text = rec.to_jsonl();
+        let ev = parse_line(text.trim()).expect("clamped line parses");
+        assert_eq!(ev.metric, Metric::Gauge(0.0));
+    }
+
+    #[test]
+    fn null_recorder_interops() {
+        // The static default is usable wherever a &dyn Recorder goes.
+        let rec: &dyn Recorder = &NULL_RECORDER;
+        rec.record("x", "", Metric::Count(1));
+        rec.flush();
+        assert!(!rec.enabled());
+    }
+}

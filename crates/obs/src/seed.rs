@@ -1,9 +1,14 @@
 //! Seed derivation: splitmix64 mixing and FNV-1a canonical hashing.
 //!
-//! The study's previous `seed ^ salt` derivation collides trivially
-//! (`seed == salt` yields 0 for every figure); every seed handed to a
-//! campaign now goes through a full splitmix64 avalanche, so related
-//! base seeds and salts produce unrelated streams.
+//! This is the workspace's single audited seed-derivation scheme. The
+//! study's previous `seed ^ salt` derivation collides trivially
+//! (`seed == salt` yields 0 for every figure), and the campaigns'
+//! previous per-strike `seed * C ^ i` derivation gave adjacent strikes
+//! near-identical seed bits (correlated streams). Every seed handed to
+//! a campaign — per cell, per strike, per injection — now goes through
+//! a full splitmix64 avalanche, so related base seeds and salts produce
+//! unrelated streams. `mpr-exp`, `mpr-beam`, and `mpr-fault` all
+//! derive through these functions.
 
 /// One splitmix64 step: a full-avalanche 64-bit mix of the input.
 ///
@@ -20,7 +25,10 @@ pub fn splitmix64(x: u64) -> u64 {
 /// Derives a campaign seed from a base seed and a salt.
 ///
 /// Both inputs are avalanched before combining, so neither
-/// `mix_seed(s, s)` nor nearby salts collapse the stream.
+/// `mix_seed(s, s)` nor nearby salts collapse the stream. This is also
+/// the per-strike derivation: `mix_seed(session_seed, strike_index)`
+/// gives every strike an unrelated RNG stream even for adjacent
+/// indices.
 pub fn mix_seed(seed: u64, salt: u64) -> u64 {
     splitmix64(seed ^ splitmix64(salt))
 }
@@ -46,7 +54,7 @@ impl SplitMix {
     }
 }
 
-/// FNV-1a hash of a byte string; the canonical [`crate::CellKey`] hash.
+/// FNV-1a hash of a byte string; the canonical experiment-cell hash.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     for &b in bytes {
@@ -66,6 +74,19 @@ mod tests {
         assert_ne!(mix_seed(7, 7), 0);
         assert_ne!(mix_seed(7, 7), mix_seed(8, 8));
         assert_ne!(mix_seed(1, 2), mix_seed(2, 1));
+    }
+
+    #[test]
+    fn adjacent_salts_produce_unrelated_streams() {
+        // The per-strike derivation must not hand adjacent strikes
+        // correlated seed bits (the old `seed * C ^ i` scheme differed
+        // in only the low bits for adjacent `i`).
+        for i in 0..64u64 {
+            let a = mix_seed(42, i);
+            let b = mix_seed(42, i + 1);
+            let differing = (a ^ b).count_ones();
+            assert!(differing > 16, "i={i}: {a:016x} vs {b:016x}");
+        }
     }
 
     #[test]

@@ -11,4 +11,5 @@ pub use mpr_fault as fault;
 pub use mpr_kernels as kernels;
 pub use mpr_metrics as metrics;
 pub use mpr_nn as nn;
+pub use mpr_obs as obs;
 pub use mpr_softfloat as softfloat;
