@@ -2,13 +2,16 @@
 
 use crate::BeamSession;
 use mpr_arch::{Device, WorkloadProfile};
-use mpr_fault::{FaultModel, Workload};
+use mpr_fault::{CampaignError, FaultModel, Workload};
 use mpr_metrics::{CrossSection, FitRate, Mebf, TreCurve};
-use mpr_obs::{mix_seed, Counter, Gauge, Recorder, Timer, NULL_RECORDER};
+use mpr_obs::{
+    mix_seed, panic_message, CancelToken, Counter, Gauge, Recorder, Timer, NULL_RECORDER,
+};
 use mpr_softfloat::ulp::max_relative_error;
 use mpr_softfloat::Precision;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A classification of one SDC's end-user impact, attached by an
 /// optional domain classifier (MNIST: tolerable/critical; YOLOv3:
@@ -29,6 +32,7 @@ pub struct BeamCampaign<'a> {
     golden: Option<&'a [f64]>,
     recorder: &'a dyn Recorder,
     scope: String,
+    cancel: CancelToken,
 }
 
 impl std::fmt::Debug for BeamCampaign<'_> {
@@ -75,6 +79,7 @@ impl<'a> BeamCampaign<'a> {
             golden: None,
             recorder: &NULL_RECORDER,
             scope: String::new(),
+            cancel: CancelToken::unlimited(),
         }
     }
 
@@ -110,8 +115,35 @@ impl<'a> BeamCampaign<'a> {
         self
     }
 
+    /// Attaches a watchdog token (defaults to unlimited). Workers poll
+    /// it once per strike — each strike is a full workload run, so that
+    /// is strike-batch granularity — and bail out cooperatively when it
+    /// fires; [`BeamCampaign::try_run`] then reports
+    /// [`CampaignError::Cancelled`]. No thread is ever detached.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
     /// Runs the campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the campaign is cancelled by its watchdog token or a
+    /// worker panics; callers that need to survive either use
+    /// [`BeamCampaign::try_run`].
     pub fn run(&self) -> CampaignResult {
+        match self.try_run() {
+            Ok(result) => result,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs the campaign, reporting watchdog cancellation and worker
+    /// panics as structured errors instead of unwinding. On `Err` all
+    /// partial work is discarded; a retried campaign with the same seed
+    /// is byte-identical to an untroubled first run.
+    pub fn try_run(&self) -> Result<CampaignResult, CampaignError> {
         let rec = self.recorder;
         let wall = Timer::start(rec, "campaign.wall", self.scope.clone());
         let exec_time = self.device.exec_time(self.profile, self.precision);
@@ -155,17 +187,29 @@ impl<'a> BeamCampaign<'a> {
         // An SDC observation tagged with its strike index.
         type Observation = (u64, f64, Option<SdcLabel>);
         let mut partials: Vec<(Vec<Observation>, f64)> = Vec::new();
+        // Set by a worker only when it actually bailed out early, so a
+        // deadline that expires just after the last strike completes
+        // does not spuriously cancel a finished campaign.
+        let aborted = AtomicBool::new(false);
+        let mut worker_panic: Option<String> = None;
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..nthreads {
                 let golden = &golden;
                 let golden_bits = &golden_bits;
                 let campaign = &*self;
+                let aborted = &aborted;
                 handles.push(scope.spawn(move || {
                     let busy = Timer::start(rec, "beam.worker_busy", campaign.scope.clone());
                     let mut observed = Vec::new();
                     let mut i = t as u64;
                     while i < candidates {
+                        // Watchdog poll: one strike is a full workload
+                        // run, so this is strike-batch granularity.
+                        if campaign.cancel.is_cancelled() {
+                            aborted.store(true, Ordering::Relaxed);
+                            break;
+                        }
                         // Per-strike stream: derived through the shared
                         // splitmix64 avalanche, so adjacent strikes get
                         // unrelated seeds (the old `seed * C ^ i` gave
@@ -185,10 +229,24 @@ impl<'a> BeamCampaign<'a> {
                 }));
             }
             for h in handles {
-                // mpr-allow: panic-hygiene -- a panicking worker already aborted the campaign; propagating is the only sound option
-                partials.push(h.join().expect("beam worker panicked"));
+                // Every handle is joined even after a panic or abort —
+                // the scope never re-raises, and the payload feeds the
+                // structured failure path instead of a backtrace.
+                match h.join() {
+                    Ok(p) => partials.push(p),
+                    Err(payload) => worker_panic = Some(panic_message(payload)),
+                }
             }
         });
+
+        if let Some(msg) = worker_panic {
+            wall.cancel();
+            return Err(CampaignError::WorkerPanic(msg));
+        }
+        if aborted.load(Ordering::Relaxed) {
+            wall.cancel();
+            return Err(CampaignError::Cancelled);
+        }
 
         let mut busy_total = 0.0;
         let mut observed: Vec<Observation> = Vec::new();
@@ -212,7 +270,7 @@ impl<'a> BeamCampaign<'a> {
                 .set(busy_total / (nthreads as f64 * wall_s));
         }
 
-        CampaignResult {
+        Ok(CampaignResult {
             device: self.device.name().to_string(),
             workload: self.workload.name().to_string(),
             precision: self.precision,
@@ -224,7 +282,7 @@ impl<'a> BeamCampaign<'a> {
             due: CrossSection::new(due_events, fluence),
             severities,
             labels,
-        }
+        })
     }
 
     /// Resolves one compute strike into a (possibly corrupted) output.
@@ -483,6 +541,21 @@ mod tests {
         let fractions = r.label_fractions();
         let total: f64 = fractions.iter().map(|(_, f)| f).sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pre_fired_token_cancels_without_panicking() {
+        let gpu = VoltaGpu::titan_v();
+        let micro = Micro::new(MicroKernelOp::Add, 16, 64);
+        let profile = profiles::micro(MicroKernelOp::Add);
+        let token = CancelToken::unlimited();
+        token.cancel();
+        let err = BeamCampaign::new(&gpu, &micro, &profile, Precision::Single)
+            .session(BeamSession::quick(5).with_target_candidates(120))
+            .cancel_token(token)
+            .try_run()
+            .expect_err("campaign must report cancellation");
+        assert_eq!(err, CampaignError::Cancelled);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use mpr_softfloat::Precision;
 use std::fmt;
+use std::time::Duration;
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +30,8 @@ pub enum Command {
         hours: f64,
         seed: u64,
         threads: Option<usize>,
+        retries: u32,
+        cell_timeout: Option<Duration>,
     },
     /// Run one injection campaign.
     Inject {
@@ -38,6 +41,8 @@ pub enum Command {
         model: ModelArg,
         seed: u64,
         threads: Option<usize>,
+        retries: u32,
+        cell_timeout: Option<Duration>,
     },
     /// Run the workspace static-analysis lints.
     Analyze {
@@ -48,6 +53,21 @@ pub enum Command {
     },
     /// Print usage.
     Help,
+}
+
+impl Command {
+    /// The shared study options, for commands that carry them.
+    pub fn study_opts(&self) -> Option<&StudyOpts> {
+        match self {
+            Command::Tables { opts }
+            | Command::Figures { opts }
+            | Command::Ablations { opts }
+            | Command::Report { opts }
+            | Command::Validate { opts }
+            | Command::Export { opts, .. } => Some(opts),
+            _ => None,
+        }
+    }
 }
 
 /// Statistical scale of a study command.
@@ -74,6 +94,17 @@ pub struct StudyOpts {
     /// `--profile PATH`: write a JSONL observability log of the run and
     /// print a profile summary afterwards.
     pub profile: Option<String>,
+    /// `--retries N`: re-attempt a failed or hung cell up to N times
+    /// with its seed unchanged.
+    pub retries: u32,
+    /// `--cell-timeout DUR`: per-cell watchdog deadline; `None` falls
+    /// back to the `MPR_CELL_TIMEOUT` environment variable, then to no
+    /// deadline.
+    pub cell_timeout: Option<Duration>,
+    /// `--resume`: re-execute only the cells the cache directory's
+    /// manifest records as failed, hung, or missing. Requires
+    /// `--cache-dir`.
+    pub resume: bool,
 }
 
 /// Device selector.
@@ -149,17 +180,26 @@ USAGE:
     mpr campaign  --device <gpu|gpu-ecc|knc|fpga> --workload <WORKLOAD>
                   --precision <double|single|half>
                   [--strikes N] [--hours H] [--seed S] [--threads N]
+                  [--retries N] [--cell-timeout DUR]
     mpr inject    --workload <WORKLOAD> --precision <double|single|half>
                   [--n N] [--model single|double|byte] [--seed S] [--threads N]
+                  [--retries N] [--cell-timeout DUR]
     mpr analyze   [--json] [--root <PATH>]
     mpr help
 
 STUDY OPTS:
-    --paper           paper-scale statistics (default: quick)
-    --threads N       worker threads (default: MPR_THREADS, then all cores)
-    --cache-dir PATH  reuse cached experiment cells across runs
-    --profile PATH    write a JSONL observability log and print a
-                      profile summary (per-cell timings, cache hits)
+    --paper            paper-scale statistics (default: quick)
+    --threads N        worker threads (default: MPR_THREADS, then all cores)
+    --cache-dir PATH   reuse cached experiment cells across runs
+    --profile PATH     write a JSONL observability log and print a
+                       profile summary (per-cell timings, cache hits)
+    --retries N        re-attempt a failed or hung cell up to N times
+                       (same seed; a recovered cell is byte-identical)
+    --cell-timeout DUR per-cell watchdog deadline, e.g. 5s, 500ms, 2.5
+                       (bare numbers are seconds; default:
+                       MPR_CELL_TIMEOUT, then no deadline)
+    --resume           re-execute only the cells the cache manifest
+                       records as failed/hung/missing (needs --cache-dir)
 
 WORKLOAD: mxm | lavamd | lavamd-knc | lud | micro-add | micro-mul |
           micro-fma | mnist | yolo
@@ -203,6 +243,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             hours: float(&rest, "--hours", 100.0)?,
             seed: numeric(&rest, "--seed", 0)?,
             threads: threads_of(&rest)?,
+            retries: retries_of(&rest)?,
+            cell_timeout: cell_timeout_of(&rest)?,
         }),
         "inject" => Ok(Command::Inject {
             workload: workload_of(required(&rest, "--workload")?)?,
@@ -211,6 +253,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             model: model_of(optional(&rest, "--model").unwrap_or("single"))?,
             seed: numeric(&rest, "--seed", 0)?,
             threads: threads_of(&rest)?,
+            retries: retries_of(&rest)?,
+            cell_timeout: cell_timeout_of(&rest)?,
         }),
         "analyze" => {
             if let Some(&bad) = rest
@@ -262,9 +306,34 @@ fn study_opts(rest: &[&str], allow_dir: bool) -> Result<StudyOpts, ParseError> {
                 opts.profile = Some(v.to_string());
                 i += 2;
             }
+            "--retries" => {
+                let v = rest
+                    .get(i + 1)
+                    .ok_or_else(|| ParseError("`--retries` expects a count".to_string()))?;
+                opts.retries = v.parse().map_err(|_| {
+                    ParseError(format!("`--retries` expects an integer, got `{v}`"))
+                })?;
+                i += 2;
+            }
+            "--cell-timeout" => {
+                let v = rest
+                    .get(i + 1)
+                    .ok_or_else(|| ParseError("`--cell-timeout` expects a duration".to_string()))?;
+                opts.cell_timeout = Some(duration_of(v)?);
+                i += 2;
+            }
+            "--resume" => {
+                opts.resume = true;
+                i += 1;
+            }
             "--dir" if allow_dir => i += 2,
             other => return Err(ParseError(format!("unknown flag `{other}`\n\n{USAGE}"))),
         }
+    }
+    if opts.resume && opts.cache_dir.is_none() {
+        return Err(ParseError(
+            "`--resume` needs `--cache-dir` (the manifest lives there)".to_string(),
+        ));
     }
     Ok(opts)
 }
@@ -278,6 +347,49 @@ fn threads_of(rest: &[&str]) -> Result<Option<usize>, ParseError> {
             .map(Some)
             .map_err(|_| ParseError(format!("`--threads` expects an integer, got `{v}`"))),
     }
+}
+
+/// Parses an optional `--retries N` flag (campaign/inject).
+fn retries_of(rest: &[&str]) -> Result<u32, ParseError> {
+    match optional(rest, "--retries") {
+        None => Ok(0),
+        Some(v) => v
+            .parse()
+            .map_err(|_| ParseError(format!("`--retries` expects an integer, got `{v}`"))),
+    }
+}
+
+/// Parses an optional `--cell-timeout DUR` flag (campaign/inject).
+fn cell_timeout_of(rest: &[&str]) -> Result<Option<Duration>, ParseError> {
+    optional(rest, "--cell-timeout")
+        .map(duration_of)
+        .transpose()
+}
+
+/// Parses a watchdog duration: `500ms`, `5s`, or bare seconds (`2.5`).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] unless the value is a positive, finite,
+/// reasonable duration.
+pub fn duration_of(s: &str) -> Result<Duration, ParseError> {
+    let (num, unit_s) = if let Some(v) = s.strip_suffix("ms") {
+        (v, 0.001)
+    } else if let Some(v) = s.strip_suffix('s') {
+        (v, 1.0)
+    } else {
+        (s, 1.0)
+    };
+    num.parse::<f64>()
+        .ok()
+        .map(|x| x * unit_s)
+        .filter(|x| x.is_finite() && *x > 0.0 && *x <= 1.0e9)
+        .map(Duration::from_secs_f64)
+        .ok_or_else(|| {
+            ParseError(format!(
+                "expected a positive duration like `5s`, `500ms`, or `2.5`, got `{s}`"
+            ))
+        })
 }
 
 fn optional<'a>(rest: &[&'a str], flag: &str) -> Option<&'a str> {
@@ -406,7 +518,7 @@ mod tests {
                     scale: Scale::Quick,
                     threads: Some(4),
                     cache_dir: Some("/tmp/cells".to_string()),
-                    profile: None,
+                    ..StudyOpts::default()
                 }
             }
         );
@@ -416,8 +528,7 @@ mod tests {
                 opts: StudyOpts {
                     scale: Scale::Paper,
                     threads: Some(2),
-                    cache_dir: None,
-                    profile: None,
+                    ..StudyOpts::default()
                 }
             }
         );
@@ -432,10 +543,8 @@ mod tests {
             parse_ok("report --profile /tmp/run.jsonl"),
             Command::Report {
                 opts: StudyOpts {
-                    scale: Scale::Quick,
-                    threads: None,
-                    cache_dir: None,
                     profile: Some("/tmp/run.jsonl".to_string()),
+                    ..StudyOpts::default()
                 }
             }
         );
@@ -459,6 +568,8 @@ mod tests {
                 hours: 100.0,
                 seed: 0,
                 threads: None,
+                retries: 0,
+                cell_timeout: None,
             }
         );
         let c = parse_ok(
@@ -515,8 +626,53 @@ mod tests {
                 model: ModelArg::Byte,
                 seed: 0,
                 threads: None,
+                retries: 0,
+                cell_timeout: None,
             }
         );
+    }
+
+    #[test]
+    fn fault_tolerance_flags_parse() {
+        assert_eq!(
+            parse_ok("report --retries 2 --cell-timeout 5s --cache-dir /tmp/c --resume"),
+            Command::Report {
+                opts: StudyOpts {
+                    retries: 2,
+                    cell_timeout: Some(Duration::from_secs(5)),
+                    cache_dir: Some("/tmp/c".to_string()),
+                    resume: true,
+                    ..StudyOpts::default()
+                }
+            }
+        );
+        assert!(matches!(
+            parse_ok(
+                "campaign --device gpu --workload mxm --precision half \
+                 --retries 3 --cell-timeout 500ms"
+            ),
+            Command::Campaign {
+                retries: 3,
+                cell_timeout: Some(t),
+                ..
+            } if t == Duration::from_millis(500)
+        ));
+        assert!(parse_err("report --resume").0.contains("--cache-dir"));
+        assert!(parse_err("report --retries lots").0.contains("integer"));
+        assert!(parse_err("report --cell-timeout -4s")
+            .0
+            .contains("positive"));
+    }
+
+    #[test]
+    fn durations_parse() {
+        assert_eq!(duration_of("5s"), Ok(Duration::from_secs(5)));
+        assert_eq!(duration_of("500ms"), Ok(Duration::from_millis(500)));
+        assert_eq!(duration_of("2.5"), Ok(Duration::from_millis(2500)));
+        assert_eq!(duration_of("0.25s"), Ok(Duration::from_millis(250)));
+        assert!(duration_of("0").is_err());
+        assert!(duration_of("fast").is_err());
+        assert!(duration_of("inf").is_err());
     }
 
     #[test]

@@ -1,17 +1,23 @@
 //! Command execution.
 
-use crate::args::{Command, DeviceArg, ModelArg, Scale, StudyOpts, WorkloadArg};
+use crate::args::{duration_of, Command, DeviceArg, ModelArg, Scale, StudyOpts, WorkloadArg};
 use mpr_core::Study;
-use mpr_exp::{CellKey, CellKind, ClassifierId, DeviceId, Engine, WorkloadId};
+use mpr_exp::{failure_table, CellKey, CellKind, ClassifierId, DeviceId, Engine, WorkloadId};
 use mpr_fault::FaultModel;
 use mpr_kernels::MicroKernelOp;
 use mpr_metrics::{SeverityHistogram, Table};
 use mpr_obs::{JsonlRecorder, Recorder};
 use mpr_softfloat::Precision;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Runs a parsed command, returning the process exit code.
 pub fn run(command: Command) -> i32 {
+    if let Some(opts) = command.study_opts() {
+        if let Some(code) = resume_preflight(opts) {
+            return code;
+        }
+    }
     match command {
         Command::Help => {
             println!("{}", crate::args::USAGE);
@@ -39,10 +45,11 @@ pub fn run(command: Command) -> i32 {
             print_ablations(&study);
             let store = study.engine().store();
             println!(
-                "experiment cells: {} executed, {} memory hits, {} disk hits",
+                "experiment cells: {} executed, {} memory hits, {} disk hits, {} quarantined",
                 store.executed(),
                 store.mem_hits(),
-                store.disk_hits()
+                store.disk_hits(),
+                store.quarantined()
             );
             finish_profile(rec)
         }
@@ -75,7 +82,16 @@ pub fn run(command: Command) -> i32 {
             hours,
             seed,
             threads,
-        } => run_campaign(device, workload, precision, strikes, hours, seed, threads),
+            retries,
+            cell_timeout,
+        } => run_campaign(
+            device,
+            workload,
+            precision,
+            strikes,
+            hours,
+            engine_of(seed, threads, retries, cell_timeout),
+        ),
         Command::Inject {
             workload,
             precision,
@@ -83,7 +99,15 @@ pub fn run(command: Command) -> i32 {
             model,
             seed,
             threads,
-        } => run_inject(workload, precision, injections, model, seed, threads),
+            retries,
+            cell_timeout,
+        } => run_inject(
+            workload,
+            precision,
+            injections,
+            model,
+            engine_of(seed, threads, retries, cell_timeout),
+        ),
         Command::Analyze { json, root } => run_analyze(json, &root),
     }
 }
@@ -147,12 +171,86 @@ fn threads_from_env(flag: Option<usize>) -> usize {
     resolve_threads(flag, std::env::var("MPR_THREADS").ok().as_deref())
 }
 
+/// Resolves the watchdog deadline: the `--cell-timeout` flag wins, then
+/// the `MPR_CELL_TIMEOUT` environment variable (same grammar), then no
+/// deadline. An unparsable environment value is reported and ignored.
+fn resolve_cell_timeout(flag: Option<Duration>, env: Option<&str>) -> Option<Duration> {
+    flag.or_else(|| {
+        let v = env?.trim();
+        match duration_of(v) {
+            Ok(d) => Some(d),
+            Err(e) => {
+                eprintln!("ignoring MPR_CELL_TIMEOUT: {e}");
+                None
+            }
+        }
+    })
+}
+
+fn cell_timeout_from_env(flag: Option<Duration>) -> Option<Duration> {
+    resolve_cell_timeout(flag, std::env::var("MPR_CELL_TIMEOUT").ok().as_deref())
+}
+
+/// The engine behind the single-campaign commands, with the
+/// fault-tolerance knobs applied.
+fn engine_of(
+    seed: u64,
+    threads: Option<usize>,
+    retries: u32,
+    cell_timeout: Option<Duration>,
+) -> Engine {
+    Engine::new(seed)
+        .with_threads(threads_from_env(threads))
+        .with_retries(retries)
+        .with_cell_timeout(cell_timeout_from_env(cell_timeout))
+}
+
+/// Handles `--resume` before any cells run: names the subset the run
+/// will re-execute, or exits 2 when the cache has no manifest yet.
+fn resume_preflight(opts: &StudyOpts) -> Option<i32> {
+    if !opts.resume {
+        return None;
+    }
+    // The parser guarantees `--resume` comes with `--cache-dir`.
+    let dir = std::path::Path::new(opts.cache_dir.as_deref()?);
+    let Some(manifest) = mpr_exp::Manifest::load(dir) else {
+        eprintln!(
+            "nothing to resume: no campaign manifest in {} (run once with --cache-dir first)",
+            dir.display()
+        );
+        return Some(2);
+    };
+    let unfinished = manifest.unfinished().len();
+    if unfinished == 0 {
+        println!(
+            "resume: all {} recorded cells completed; cached results will be reused",
+            manifest.cells.len()
+        );
+    } else {
+        println!(
+            "resume: re-executing {} unfinished of {} recorded cells:",
+            unfinished,
+            manifest.cells.len()
+        );
+        for (key, status) in manifest
+            .cells
+            .iter()
+            .filter(|(_, s)| s.state != mpr_exp::CellState::Ok)
+        {
+            println!("  [{}] {key} ({} attempts)", status.state, status.attempts);
+        }
+    }
+    None
+}
+
 fn study(opts: &StudyOpts) -> Study {
     let mut study = match opts.scale {
         Scale::Quick => Study::quick(2019),
         Scale::Paper => Study::paper(2019),
     }
-    .with_threads(threads_from_env(opts.threads));
+    .with_threads(threads_from_env(opts.threads))
+    .with_retries(opts.retries)
+    .with_cell_timeout(cell_timeout_from_env(opts.cell_timeout));
     if let Some(dir) = &opts.cache_dir {
         study = study.with_cache_dir(dir);
     }
@@ -267,8 +365,7 @@ fn run_campaign(
     precision: Precision,
     strikes: u64,
     hours: f64,
-    seed: u64,
-    threads: Option<usize>,
+    engine: Engine,
 ) -> i32 {
     let key = CellKey {
         device: device_id(device_arg),
@@ -283,8 +380,10 @@ fn run_campaign(
     if let Some(code) = check_supported(&key) {
         return code;
     }
-    let engine = Engine::new(seed).with_threads(threads_from_env(threads));
-    let cell = engine.run_one(&key);
+    let cell = match engine.try_run_one(&key) {
+        Ok(cell) => cell,
+        Err(failure) => return report_failure(failure),
+    };
     let result = cell.beam();
 
     let mut t = Table::new(vec!["quantity", "value"]).with_title(format!(
@@ -329,13 +428,20 @@ fn run_campaign(
     0
 }
 
+/// Renders a structured failure table on stderr instead of letting a
+/// panic backtrace through; exit code 3 distinguishes "the cell failed"
+/// from usage (1) and unsupported-configuration (2) errors.
+fn report_failure(failure: mpr_exp::CellFailure) -> i32 {
+    eprintln!("{}", failure_table(&[failure]));
+    3
+}
+
 fn run_inject(
     workload_arg: WorkloadArg,
     precision: Precision,
     injections: u64,
     model: ModelArg,
-    seed: u64,
-    threads: Option<usize>,
+    engine: Engine,
 ) -> i32 {
     let workload = workload_id(workload_arg);
     let model = match model {
@@ -362,8 +468,10 @@ fn run_inject(
     if let Some(code) = check_supported(&key) {
         return code;
     }
-    let engine = Engine::new(seed).with_threads(threads_from_env(threads));
-    let cell = engine.run_one(&key);
+    let cell = match engine.try_run_one(&key) {
+        Ok(cell) => cell,
+        Err(failure) => return report_failure(failure),
+    };
     let report = cell.inject();
 
     let v = report.vulnerability();
@@ -419,5 +527,37 @@ mod tests {
         assert_eq!(resolve_threads(None, Some(" 2 ")), 2);
         assert_eq!(resolve_threads(None, Some("many")), 0);
         assert_eq!(resolve_threads(None, None), 0);
+    }
+
+    #[test]
+    fn cell_timeout_resolution_order() {
+        use super::resolve_cell_timeout;
+        use std::time::Duration;
+        let flag = Some(Duration::from_secs(9));
+        assert_eq!(resolve_cell_timeout(flag, Some("5s")), flag);
+        assert_eq!(
+            resolve_cell_timeout(None, Some("250ms")),
+            Some(Duration::from_millis(250))
+        );
+        assert_eq!(resolve_cell_timeout(None, Some("forever")), None);
+        assert_eq!(resolve_cell_timeout(None, None), None);
+    }
+
+    #[test]
+    fn resume_without_manifest_exits_two() {
+        use super::resume_preflight;
+        use crate::args::StudyOpts;
+        let dir = std::env::temp_dir().join(format!("mpr_cli_resume_{}", std::process::id()));
+        let opts = StudyOpts {
+            cache_dir: Some(dir.to_string_lossy().into_owned()),
+            resume: true,
+            ..StudyOpts::default()
+        };
+        assert_eq!(resume_preflight(&opts), Some(2));
+        assert_eq!(
+            resume_preflight(&StudyOpts::default()),
+            None,
+            "no --resume, no preflight"
+        );
     }
 }

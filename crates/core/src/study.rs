@@ -68,6 +68,22 @@ impl Study {
         self
     }
 
+    /// Grants every cell a retry budget: a panicking or hung cell is
+    /// re-attempted up to `retries` times with its seed unchanged, so
+    /// a recovered cell is byte-identical to an untroubled run.
+    pub fn with_retries(mut self, retries: u32) -> Study {
+        self.engine = self.engine.with_retries(retries);
+        self
+    }
+
+    /// Arms a per-cell watchdog deadline (`None` disarms it). A cell
+    /// attempt exceeding the deadline is cancelled cooperatively and
+    /// recorded as hung rather than stalling the whole study.
+    pub fn with_cell_timeout(mut self, timeout: Option<std::time::Duration>) -> Study {
+        self.engine = self.engine.with_cell_timeout(timeout);
+        self
+    }
+
     /// Attaches an on-disk result cache: cells already present in
     /// `dir` (from any earlier run at the same seed and scale) are
     /// loaded instead of executed, and fresh results are written back.

@@ -27,31 +27,70 @@ pub fn entry_path(dir: &Path, store_key: &str) -> PathBuf {
     dir.join(format!("{:016x}.json", fnv1a64(store_key.as_bytes())))
 }
 
-/// Serializes and writes one entry; best effort (IO errors degrade the
-/// cache to memoization, they never fail the run).
-pub fn save(dir: &Path, store_key: &str, result: &CellResult) {
-    if std::fs::create_dir_all(dir).is_err() {
-        return;
-    }
+/// Serializes and writes one entry. The caller decides what an I/O
+/// failure means — the engine degrades to memoization but *counts* the
+/// lost warm-start bytes (`engine.cache_write_failed`) instead of
+/// silently swallowing them.
+pub fn save(dir: &Path, store_key: &str, result: &CellResult) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
     let path = entry_path(dir, store_key);
     let body = serialize(store_key, result);
     // Write-then-rename so readers never observe a torn file.
     let tmp = path.with_extension("json.tmp");
-    if std::fs::write(&tmp, body).is_ok() {
-        let _ = std::fs::rename(&tmp, &path);
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, &path)
+}
+
+/// The result of reading one cache entry.
+#[derive(Debug)]
+pub enum LoadOutcome {
+    /// A verified entry for the requested key.
+    Hit(CellResult),
+    /// No usable entry: the file is absent, or it is a *valid* entry
+    /// that simply is not ours — another format version, or another
+    /// store key behind the same file-name hash. Valid foreign files
+    /// are left alone.
+    Miss,
+    /// The file exists but cannot be decoded: a truncated write, bit
+    /// rot, or hand edits. The store quarantines it so a damaged entry
+    /// is inspected once, not re-parsed on every lookup.
+    Corrupt,
+}
+
+/// Loads one entry, classifying the answer as a hit, an honest miss,
+/// or a corrupt file (see [`LoadOutcome`]).
+pub fn load(path: &Path, store_key: &str) -> LoadOutcome {
+    let Ok(body) = std::fs::read_to_string(path) else {
+        return LoadOutcome::Miss;
+    };
+    let Some(value) = parse(&body) else {
+        return LoadOutcome::Corrupt;
+    };
+    let Some(obj) = value.as_obj() else {
+        return LoadOutcome::Corrupt;
+    };
+    match (
+        obj.get("format").and_then(Json::as_str),
+        obj.get("key").and_then(Json::as_str),
+    ) {
+        (Some(format), Some(key)) => {
+            // A well-formed file claiming a different format version or
+            // key is a legitimate miss, never quarantined.
+            if format != FORMAT || key != store_key {
+                return LoadOutcome::Miss;
+            }
+        }
+        _ => return LoadOutcome::Corrupt,
+    }
+    match obj.get("result").and_then(decode_result) {
+        Some(result) => LoadOutcome::Hit(result),
+        None => LoadOutcome::Corrupt,
     }
 }
 
-/// Loads one entry, returning `None` on any mismatch, parse error, or
-/// IO error (all equivalent to a cache miss).
-pub fn load(path: &Path, store_key: &str) -> Option<CellResult> {
-    let body = std::fs::read_to_string(path).ok()?;
-    let value = parse(&body)?;
-    let obj = value.as_obj()?;
-    if obj.get("format")?.as_str()? != FORMAT || obj.get("key")?.as_str()? != store_key {
-        return None;
-    }
-    let result = obj.get("result")?.as_obj()?;
+/// Decodes the `result` object of a verified entry.
+fn decode_result(value: &Json) -> Option<CellResult> {
+    let result = value.as_obj()?;
     match result.get("kind")?.as_str()? {
         "beam" => Some(CellResult::Beam(CampaignResult {
             device: result.get("device")?.as_str()?.to_string(),
@@ -176,7 +215,7 @@ fn last_field2(out: &mut String, name: &str, value: &str) {
     out.push_str(&format!("    \"{name}\": {value}\n"));
 }
 
-fn str_json(s: &str) -> String {
+pub(crate) fn str_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -207,7 +246,9 @@ fn f64_vec_json(vs: &[f64]) -> String {
 // --- parsing ---------------------------------------------------------------
 
 /// A parsed JSON value; numbers stay as raw text until typed access.
-enum Json {
+/// Shared with the campaign manifest module, which reuses the same
+/// hand-rolled parser discipline.
+pub(crate) enum Json {
     Obj(BTreeMap<String, Json>),
     Arr(Vec<Json>),
     Str(String),
@@ -215,7 +256,7 @@ enum Json {
 }
 
 impl Json {
-    fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+    pub(crate) fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
         match self {
             Json::Obj(m) => Some(m),
             _ => None,
@@ -229,14 +270,14 @@ impl Json {
         }
     }
 
-    fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    fn as_u64(&self) -> Option<u64> {
+    pub(crate) fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(s) => s.parse().ok(),
             _ => None,
@@ -256,7 +297,7 @@ impl Json {
     }
 }
 
-fn parse(text: &str) -> Option<Json> {
+pub(crate) fn parse(text: &str) -> Option<Json> {
     let bytes = text.as_bytes();
     let mut pos = 0;
     let value = parse_value(bytes, &mut pos)?;
@@ -412,9 +453,11 @@ mod tests {
     fn beam_round_trips_bit_exactly() {
         let dir = std::env::temp_dir().join("mpr-exp-cache-test-beam");
         let key = "seed=0000000000000007;v1;dev=titan-v;wl=gemm:12;p=single;k=beam";
-        save(&dir, key, &sample_beam());
+        save(&dir, key, &sample_beam()).expect("save");
         let loaded = load(&entry_path(&dir, key), key);
-        let (CellResult::Beam(orig), Some(CellResult::Beam(got))) = (sample_beam(), loaded) else {
+        let (CellResult::Beam(orig), LoadOutcome::Hit(CellResult::Beam(got))) =
+            (sample_beam(), loaded)
+        else {
             // mpr-allow: panic-hygiene -- test asserts the variant round-trips
             panic!("beam entry failed to load");
         };
@@ -443,11 +486,78 @@ mod tests {
                 corruption_extent: 0.5,
                 trials: 2,
             }),
-        );
-        // Same file, different expected key: rejected.
-        assert!(load(&entry_path(&dir, key), "seed=ff;other").is_none());
-        assert!(load(&entry_path(&dir, key), key).is_some());
+        )
+        .expect("save");
+        // Same file, different expected key: an honest miss, never a
+        // quarantine candidate — the file is valid, just not ours.
+        assert!(matches!(
+            load(&entry_path(&dir, key), "seed=ff;other"),
+            LoadOutcome::Miss
+        ));
+        assert!(matches!(
+            load(&entry_path(&dir, key), key),
+            LoadOutcome::Hit(_)
+        ));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_files_classify_as_corrupt() {
+        let dir = std::env::temp_dir().join("mpr-exp-cache-test-corrupt");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let key = "seed=0000000000000009;v1;dev=a;wl=b;p=half;k=acc:k=1,t=2";
+        let path = entry_path(&dir, key);
+
+        // Absent file: a miss, not corruption.
+        assert!(matches!(load(&path, key), LoadOutcome::Miss));
+
+        // Truncated JSON: corrupt.
+        std::fs::write(&path, "{\"format\": \"mpr-exp-cache-v1\", \"key").expect("write");
+        assert!(matches!(load(&path, key), LoadOutcome::Corrupt));
+
+        // Well-formed JSON with the right key but a broken result
+        // payload: corrupt.
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"format\": {}, \"key\": {}, \"result\": {{\"kind\": \"beam\"}}}}",
+                str_json(FORMAT),
+                str_json(key)
+            ),
+        )
+        .expect("write");
+        assert!(matches!(load(&path, key), LoadOutcome::Corrupt));
+
+        // A different format version: a miss (foreign, left alone).
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"format\": \"mpr-exp-cache-v99\", \"key\": {}, \"result\": {{}}}}",
+                str_json(key)
+            ),
+        )
+        .expect("write");
+        assert!(matches!(load(&path, key), LoadOutcome::Miss));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_surfaces_io_errors() {
+        // A cache "directory" that is actually a file: create_dir_all
+        // (or the write) must fail, and the caller gets to count it.
+        let blocker = std::env::temp_dir().join("mpr-exp-cache-test-blocked");
+        std::fs::write(&blocker, "not a directory").expect("write blocker");
+        let err = save(
+            &blocker,
+            "seed=00;v1;k",
+            &CellResult::Accumulate(AccumulateOutcome {
+                sdc_probability: 0.0,
+                corruption_extent: 0.0,
+                trials: 1,
+            }),
+        );
+        assert!(err.is_err());
+        let _ = std::fs::remove_file(&blocker);
     }
 
     #[test]
@@ -460,8 +570,8 @@ mod tests {
             counts: OutcomeCounts::new(300, 99, 1),
             severities: vec![0.001, 2.0],
         });
-        save(&dir, key, &orig);
-        let Some(CellResult::Inject(got)) = load(&entry_path(&dir, key), key) else {
+        save(&dir, key, &orig).expect("save");
+        let LoadOutcome::Hit(CellResult::Inject(got)) = load(&entry_path(&dir, key), key) else {
             // mpr-allow: panic-hygiene -- test asserts the variant round-trips
             panic!("inject entry failed to load");
         };

@@ -9,6 +9,7 @@
 
 use mpr_arch::{Device, Fpga, VoltaGpu, WorkloadProfile, XeonPhiKnc};
 use mpr_beam::SdcClassifier;
+use mpr_fault::hostile::{HostileMode, HostileWorkload};
 use mpr_fault::{FaultModel, Workload};
 use mpr_kernels::{profiles as kprofiles, Gemm, LavaMd, Lud, Micro, MicroKernelOp};
 use mpr_nn::{profiles as nprofiles, ClassificationImpact, DetectionImpact, Mnist, TinyYolo};
@@ -110,6 +111,17 @@ pub enum WorkloadId {
     },
     /// The YOLO-style detector proxy.
     Yolo,
+    /// A hostile harness-test workload ([`mpr_fault::hostile`]): an
+    /// ordinary deterministic kernel with scripted misbehavior, used by
+    /// the fault-tolerance tests, the hostile-harness example, and CI's
+    /// recovery smoke test. Never part of a paper figure.
+    Hostile {
+        /// Kernel/registry tag; distinct tags are distinct experiments
+        /// with independent failure schedules.
+        tag: u64,
+        /// The scripted misbehavior.
+        mode: HostileMode,
+    },
 }
 
 impl WorkloadId {
@@ -131,6 +143,14 @@ impl WorkloadId {
             }
             WorkloadId::Mnist { seed } => format!("mnist:{seed:016x}"),
             WorkloadId::Yolo => "yolo".to_string(),
+            WorkloadId::Hostile { tag, mode } => {
+                let mode = match mode {
+                    HostileMode::FlakyGolden { panics } => format!("flaky={panics}"),
+                    HostileMode::SlowStrike { millis } => format!("slow={millis}ms"),
+                    HostileMode::WellBehaved => "ok".to_string(),
+                };
+                format!("hostile:{tag:016x}:{mode}")
+            }
         }
     }
 
@@ -150,6 +170,7 @@ impl WorkloadId {
             WorkloadId::Micro { op, threads, iters } => Box::new(Micro::new(op, threads, iters)),
             WorkloadId::Mnist { seed } => Box::new(Mnist::new().with_seed(seed)),
             WorkloadId::Yolo => Box::new(TinyYolo::new()),
+            WorkloadId::Hostile { tag, mode } => Box::new(HostileWorkload::new(tag, mode)),
         }
     }
 
@@ -171,6 +192,10 @@ impl WorkloadId {
             WorkloadId::Micro { op, .. } => kprofiles::micro(*op),
             WorkloadId::Mnist { .. } => nprofiles::mnist_fpga(),
             WorkloadId::Yolo => nprofiles::yolo_gpu(),
+            // Hostile cells reuse the microbenchmark profile: their
+            // kernel is a micro-scale fold and their purpose is harness
+            // testing, not device characterization.
+            WorkloadId::Hostile { .. } => kprofiles::micro(MicroKernelOp::Add),
         }
     }
 
@@ -450,6 +475,31 @@ mod tests {
         };
         assert_eq!(w.token(), "lavamd:2x3:knc");
         assert_eq!(w.golden_key(Precision::Double), "lavamd:2x3:knc@double");
+    }
+
+    #[test]
+    fn hostile_tokens_pin_tag_and_mode() {
+        let flaky = WorkloadId::Hostile {
+            tag: 0xAB,
+            mode: HostileMode::FlakyGolden { panics: 2 },
+        };
+        assert_eq!(flaky.token(), "hostile:00000000000000ab:flaky=2");
+        let slow = WorkloadId::Hostile {
+            tag: 0xAB,
+            mode: HostileMode::SlowStrike { millis: 50 },
+        };
+        assert_eq!(slow.token(), "hostile:00000000000000ab:slow=50ms");
+        let ok = WorkloadId::Hostile {
+            tag: 0xAB,
+            mode: HostileMode::WellBehaved,
+        };
+        assert_eq!(ok.token(), "hostile:00000000000000ab:ok");
+        // Mode and tag are part of the identity: no shared cache
+        // entries, no shared golden runs.
+        assert_ne!(
+            flaky.golden_key(Precision::Single),
+            ok.golden_key(Precision::Single)
+        );
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Structured per-cell failure records.
+//!
+//! The paper's harness treats device failures (hangs, crashes, watchdog
+//! resets) as measurement events, not as reasons to abandon a session.
+//! This module gives the engine the same vocabulary: a cell that
+//! panics or blows its watchdog deadline becomes a [`CellFailure`]
+//! value that travels through result vectors, manifests, and the CLI's
+//! failure table — never a raw unwind.
+
+use mpr_metrics::Table;
+use std::fmt;
+
+/// Why a cell's final attempt did not produce a result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailureKind {
+    /// The cell body panicked; the captured panic message follows.
+    Panicked {
+        /// The panic payload, rendered to text.
+        message: String,
+    },
+    /// The cell exceeded its watchdog deadline and was cooperatively
+    /// cancelled at a strike-batch boundary.
+    Hung {
+        /// The configured per-cell timeout, in seconds.
+        timeout_s: f64,
+    },
+}
+
+impl FailureKind {
+    /// Short status token for manifests and tables (`failed` / `hung`).
+    pub fn status(&self) -> &'static str {
+        match self {
+            FailureKind::Panicked { .. } => "failed",
+            FailureKind::Hung { .. } => "hung",
+        }
+    }
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::Panicked { message } => write!(f, "panicked: {message}"),
+            FailureKind::Hung { timeout_s } => {
+                write!(f, "hung: exceeded the {timeout_s}s watchdog deadline")
+            }
+        }
+    }
+}
+
+/// One cell that exhausted its attempt budget without producing a
+/// result. Healthy cells in the same plan are unaffected — the engine
+/// completes every one of them and reports failures per cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellFailure {
+    /// The canonical cell key.
+    pub cell: String,
+    /// Total attempts made (first run plus retries).
+    pub attempts: u32,
+    /// How the final attempt died.
+    pub kind: FailureKind,
+}
+
+impl fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} after {} attempt{}: {}",
+            self.cell,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.kind
+        )
+    }
+}
+
+impl std::error::Error for CellFailure {}
+
+/// Renders failures as the per-cell table the CLI prints instead of a
+/// panic backtrace. Duplicate requests for one cell share a failure;
+/// callers pass the deduplicated list.
+pub fn failure_table(failures: &[CellFailure]) -> String {
+    let mut t = Table::new(vec!["cell", "status", "attempts", "detail"])
+        .with_title(format!("cell failures ({})", failures.len()));
+    for f in failures {
+        t.row(vec![
+            f.cell.clone(),
+            f.kind.status().to_string(),
+            f.attempts.to_string(),
+            f.kind.to_string(),
+        ]);
+    }
+    t.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_cell_and_the_cause() {
+        let f = CellFailure {
+            cell: "v2;dev=titan-v;wl=hostile".to_string(),
+            attempts: 3,
+            kind: FailureKind::Panicked {
+                message: "staged golden failure".to_string(),
+            },
+        };
+        let s = f.to_string();
+        assert!(s.contains("3 attempts"));
+        assert!(s.contains("panicked: staged golden failure"));
+        let h = CellFailure {
+            cell: "c".to_string(),
+            attempts: 1,
+            kind: FailureKind::Hung { timeout_s: 5.0 },
+        };
+        assert!(h.to_string().contains("1 attempt:"));
+        assert!(h.to_string().contains("5s watchdog"));
+    }
+
+    #[test]
+    fn table_lists_every_failure() {
+        let failures = vec![
+            CellFailure {
+                cell: "cell-a".to_string(),
+                attempts: 2,
+                kind: FailureKind::Hung { timeout_s: 0.5 },
+            },
+            CellFailure {
+                cell: "cell-b".to_string(),
+                attempts: 1,
+                kind: FailureKind::Panicked {
+                    message: "boom".to_string(),
+                },
+            },
+        ];
+        let rendered = failure_table(&failures);
+        assert!(rendered.contains("cell failures (2)"));
+        assert!(rendered.contains("cell-a"));
+        assert!(rendered.contains("hung"));
+        assert!(rendered.contains("cell-b"));
+        assert!(rendered.contains("boom"));
+    }
+}

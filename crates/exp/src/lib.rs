@@ -16,6 +16,14 @@
 //! bit-identical across thread counts, request orders, and cache
 //! temperatures.
 //!
+//! Fault tolerance: each cell body runs isolated under `catch_unwind`
+//! with an optional watchdog deadline and a deterministic retry budget
+//! ([`Engine::try_run`] returns per-cell `Result`s; a panicking or hung
+//! cell becomes a structured [`CellFailure`] while every healthy cell
+//! completes). Disk-backed stores additionally keep a [`Manifest`]
+//! ledger so interrupted campaigns resume with exactly the
+//! failed/missing subset.
+//!
 //! ```rust
 //! use mpr_exp::{CellKey, CellKind, ClassifierId, DeviceId, Engine, ExperimentPlan, WorkloadId};
 //! use mpr_softfloat::Precision;
@@ -44,10 +52,14 @@
 mod cache;
 mod cell;
 mod engine;
+mod failure;
+mod manifest;
 mod store;
 
 pub use cell::{CellKey, CellKind, ClassifierId, DeviceId, WorkloadId, KEY_VERSION};
 pub use engine::{Engine, ExperimentPlan};
+pub use failure::{failure_table, CellFailure, FailureKind};
+pub use manifest::{manifest_path, CellState, CellStatus, Manifest, MANIFEST_FILE};
 /// Re-exported from [`mpr_obs::seed`], the workspace's shared
 /// seed-derivation scheme (kept here for backwards compatibility).
 pub use mpr_obs::{fnv1a64, mix_seed, splitmix64, SplitMix};

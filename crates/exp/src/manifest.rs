@@ -1,0 +1,262 @@
+//! The campaign manifest: a per-cache-directory ledger of cell
+//! statuses that makes campaigns resumable.
+//!
+//! The result cache already memoizes *successful* cells; the manifest
+//! adds what the cache cannot express — which cells failed or hung,
+//! after how many attempts, and under which plan — so a `--resume` run
+//! can name exactly the subset it will re-execute and a CLI can render
+//! the previous run's failure table without re-running anything.
+//!
+//! One `manifest.json` lives at the root of the cache directory. It is
+//! written with the same tmp+rename discipline as cache entries and
+//! *merged* on write: cells recorded by earlier plans against the same
+//! directory are preserved, so several studies can share one cache.
+
+use crate::cache;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Identifies the manifest layout, independent of cache and key versions.
+const FORMAT: &str = "mpr-exp-manifest-v1";
+
+/// The manifest file name inside a cache directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// The manifest path for a cache directory.
+pub fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join(MANIFEST_FILE)
+}
+
+/// Final status of one cell in the ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellState {
+    /// The cell completed and its result is in the cache.
+    Ok,
+    /// The cell exhausted its attempts panicking.
+    Failed,
+    /// The cell exhausted its attempts against the watchdog deadline.
+    Hung,
+}
+
+impl CellState {
+    /// Canonical token stored in the manifest.
+    pub fn token(&self) -> &'static str {
+        match self {
+            CellState::Ok => "ok",
+            CellState::Failed => "failed",
+            CellState::Hung => "hung",
+        }
+    }
+
+    fn parse(s: &str) -> Option<CellState> {
+        match s {
+            "ok" => Some(CellState::Ok),
+            "failed" => Some(CellState::Failed),
+            "hung" => Some(CellState::Hung),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CellState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// One cell's ledger entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellStatus {
+    /// Final status of the cell's last run.
+    pub state: CellState,
+    /// Attempts the last run made (0 = served from cache, never
+    /// re-executed).
+    pub attempts: u32,
+    /// Human-readable detail (the failure message; empty for `ok`).
+    pub detail: String,
+}
+
+/// The campaign ledger for one cache directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// FNV-1a hash over the sorted unique store keys of the most
+    /// recent plan written against this directory.
+    pub plan_hash: u64,
+    /// Store key → status, across every plan that used this directory.
+    pub cells: BTreeMap<String, CellStatus>,
+}
+
+impl Manifest {
+    /// An empty ledger for a plan.
+    pub fn new(plan_hash: u64) -> Manifest {
+        Manifest {
+            plan_hash,
+            cells: BTreeMap::new(),
+        }
+    }
+
+    /// Records (or overwrites) one cell's status.
+    pub fn record(&mut self, store_key: impl Into<String>, status: CellStatus) {
+        self.cells.insert(store_key.into(), status);
+    }
+
+    /// Store keys whose last run did not complete, in sorted order —
+    /// the exact subset a `--resume` run re-executes.
+    pub fn unfinished(&self) -> Vec<&str> {
+        self.cells
+            .iter()
+            .filter(|(_, s)| s.state != CellState::Ok)
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+
+    /// Reads the ledger from a cache directory. Absent, foreign, or
+    /// undecodable manifests all return `None`: the ledger is derived
+    /// bookkeeping and is fully rewritten by the next run, so a damaged
+    /// one is simply ignored rather than quarantined.
+    pub fn load(dir: &Path) -> Option<Manifest> {
+        let body = std::fs::read_to_string(manifest_path(dir)).ok()?;
+        let value = cache::parse(&body)?;
+        let obj = value.as_obj()?;
+        if obj.get("format")?.as_str()? != FORMAT {
+            return None;
+        }
+        let plan_hash = u64::from_str_radix(obj.get("plan_hash")?.as_str()?, 16).ok()?;
+        let mut cells = BTreeMap::new();
+        for (key, entry) in obj.get("cells")?.as_obj()? {
+            let entry = entry.as_obj()?;
+            cells.insert(
+                key.clone(),
+                CellStatus {
+                    state: CellState::parse(entry.get("status")?.as_str()?)?,
+                    attempts: u32::try_from(entry.get("attempts")?.as_u64()?).ok()?,
+                    detail: entry.get("detail")?.as_str()?.to_string(),
+                },
+            );
+        }
+        Some(Manifest { plan_hash, cells })
+    }
+
+    /// Writes the ledger atomically (tmp+rename, like cache entries).
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = manifest_path(dir);
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, self.serialize())?;
+        std::fs::rename(&tmp, &path)
+    }
+
+    fn serialize(&self) -> String {
+        let mut out = String::with_capacity(256 + self.cells.len() * 128);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"format\": {},\n", cache::str_json(FORMAT)));
+        out.push_str(&format!("  \"plan_hash\": \"{:016x}\",\n", self.plan_hash));
+        out.push_str("  \"cells\": {");
+        let mut first = true;
+        for (key, status) in &self.cells {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    {}: {{\"status\": {}, \"attempts\": {}, \"detail\": {}}}",
+                cache::str_json(key),
+                cache::str_json(status.state.token()),
+                status.attempts,
+                cache::str_json(&status.detail)
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        let mut m = Manifest::new(0xDEAD_BEEF_0123_4567);
+        m.record(
+            "seed=01;v2;dev=a",
+            CellStatus {
+                state: CellState::Ok,
+                attempts: 1,
+                detail: String::new(),
+            },
+        );
+        m.record(
+            "seed=01;v2;dev=b",
+            CellStatus {
+                state: CellState::Failed,
+                attempts: 3,
+                detail: "panicked: staged \"golden\" failure".to_string(),
+            },
+        );
+        m.record(
+            "seed=01;v2;dev=c",
+            CellStatus {
+                state: CellState::Hung,
+                attempts: 2,
+                detail: "hung: exceeded the 0.05s watchdog deadline".to_string(),
+            },
+        );
+        m
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("mpr-exp-manifest-test-rt");
+        let m = sample();
+        m.save(&dir).expect("save");
+        let loaded = Manifest::load(&dir).expect("load");
+        assert_eq!(loaded, m);
+        assert_eq!(
+            loaded.unfinished(),
+            vec!["seed=01;v2;dev=b", "seed=01;v2;dev=c"]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn absent_or_damaged_manifests_load_as_none() {
+        let dir = std::env::temp_dir().join("mpr-exp-manifest-test-bad");
+        assert!(Manifest::load(&dir).is_none());
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(manifest_path(&dir), "{\"format\": \"mpr-exp-man").expect("write");
+        assert!(Manifest::load(&dir).is_none());
+        // A future format version is ignored, not an error.
+        std::fs::write(
+            manifest_path(&dir),
+            "{\"format\": \"mpr-exp-manifest-v99\", \"plan_hash\": \"00\", \"cells\": {}}",
+        )
+        .expect("write");
+        assert!(Manifest::load(&dir).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_overwrites_and_merge_preserves() {
+        // The engine's merge-on-write: load prior, record this plan's
+        // cells, save. Cells from other plans survive.
+        let dir = std::env::temp_dir().join("mpr-exp-manifest-test-merge");
+        sample().save(&dir).expect("save");
+        let mut next = Manifest::load(&dir).expect("load");
+        next.plan_hash = 0x42;
+        next.record(
+            "seed=01;v2;dev=b",
+            CellStatus {
+                state: CellState::Ok,
+                attempts: 2,
+                detail: String::new(),
+            },
+        );
+        next.save(&dir).expect("save");
+        let merged = Manifest::load(&dir).expect("load");
+        assert_eq!(merged.plan_hash, 0x42);
+        assert_eq!(merged.cells.len(), 3, "other plans' cells preserved");
+        assert_eq!(merged.unfinished(), vec!["seed=01;v2;dev=c"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -80,6 +80,9 @@ pub enum LookupSource {
     Disk,
     /// Not cached anywhere; the cell must execute.
     Miss,
+    /// A disk entry existed but was corrupt; it was quarantined to
+    /// `<name>.corrupt` and the cell must execute.
+    CorruptQuarantined,
 }
 
 /// Memoized results and golden outputs for one study.
@@ -97,6 +100,7 @@ pub struct ResultStore {
     executed: AtomicU64,
     mem_hits: AtomicU64,
     disk_hits: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl std::fmt::Debug for ResultStore {
@@ -106,6 +110,7 @@ impl std::fmt::Debug for ResultStore {
             .field("executed", &self.executed())
             .field("mem_hits", &self.mem_hits())
             .field("disk_hits", &self.disk_hits())
+            .field("quarantined", &self.quarantined())
             .finish()
     }
 }
@@ -126,6 +131,7 @@ impl ResultStore {
             executed: AtomicU64::new(0),
             mem_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         }
     }
 
@@ -168,8 +174,25 @@ impl ResultStore {
         let Some(dir) = self.cache_dir.as_ref() else {
             return (None, LookupSource::Miss);
         };
-        let Some(loaded) = cache::load(&cache::entry_path(dir, store_key), store_key) else {
-            return (None, LookupSource::Miss);
+        let path = cache::entry_path(dir, store_key);
+        let loaded = match cache::load(&path, store_key) {
+            cache::LoadOutcome::Hit(result) => result,
+            cache::LoadOutcome::Miss => return (None, LookupSource::Miss),
+            cache::LoadOutcome::Corrupt => {
+                // Quarantine in place (rename is atomic) so the damaged
+                // bytes stay inspectable but are never re-parsed, then
+                // fall through to recomputation.
+                let quarantine = path.with_extension("corrupt");
+                if std::fs::rename(&path, &quarantine).is_ok() {
+                    self.quarantined.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "mpr-exp: quarantined corrupt cache entry {} -> {}",
+                        path.display(),
+                        quarantine.display()
+                    );
+                }
+                return (None, LookupSource::CorruptQuarantined);
+            }
         };
         self.disk_hits.fetch_add(1, Ordering::Relaxed);
         // mpr-allow: panic-hygiene -- a poisoned store lock means a worker already panicked; propagating is the only sound option
@@ -179,16 +202,20 @@ impl ResultStore {
     }
 
     /// Records a freshly executed result, writing it through to the
-    /// disk cache when one is configured (best effort: an unwritable
-    /// cache directory degrades to memoization, it never fails a run).
-    pub fn insert(&self, store_key: &str, result: CellResult) {
+    /// disk cache when one is configured. The result is memoized in
+    /// memory unconditionally; the returned error reports a failed disk
+    /// write so callers can count the lost warm-start bytes instead of
+    /// silently losing them.
+    pub fn insert(&self, store_key: &str, result: CellResult) -> std::io::Result<()> {
         self.executed.fetch_add(1, Ordering::Relaxed);
-        if let Some(dir) = &self.cache_dir {
-            cache::save(dir, store_key, &result);
-        }
+        let disk = match &self.cache_dir {
+            Some(dir) => cache::save(dir, store_key, &result),
+            None => Ok(()),
+        };
         // mpr-allow: panic-hygiene -- a poisoned store lock means a worker already panicked; propagating is the only sound option
         let mut results = self.results.lock().expect("store lock");
         results.insert(store_key.to_string(), result);
+        disk
     }
 
     /// The golden output for a (workload × precision) pair, computing
@@ -223,6 +250,11 @@ impl ResultStore {
     pub fn disk_hits(&self) -> u64 {
         self.disk_hits.load(Ordering::Relaxed)
     }
+
+    /// How many corrupt disk entries this store quarantined.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -250,18 +282,64 @@ mod tests {
         let store = ResultStore::in_memory();
         let key = "seed=0000000000000001;v1;dev=x;wl=y;p=single;k=acc:k=1,t=1";
         assert!(store.lookup(key).is_none());
-        store.insert(
-            key,
-            CellResult::Accumulate(AccumulateOutcome {
-                sdc_probability: 0.5,
-                corruption_extent: 0.25,
-                trials: 4,
-            }),
-        );
+        store
+            .insert(
+                key,
+                CellResult::Accumulate(AccumulateOutcome {
+                    sdc_probability: 0.5,
+                    corruption_extent: 0.25,
+                    trials: 4,
+                }),
+            )
+            .expect("in-memory insert never fails");
         let hit = store.lookup(key);
         assert!(hit.is_some());
         assert_eq!(store.executed(), 1);
         assert_eq!(store.mem_hits(), 1);
         assert_eq!(store.disk_hits(), 0);
+    }
+
+    #[test]
+    fn corrupt_disk_entries_are_quarantined_once() {
+        let dir = std::env::temp_dir().join("mpr-exp-store-test-quarantine");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let store = ResultStore::with_cache_dir(&dir);
+        let key = "seed=0000000000000003;v2;dev=x;wl=y;p=half;k=acc:k=1,t=1";
+        let path = cache::entry_path(&dir, key);
+        std::fs::write(&path, "{\"format\": \"mpr-exp-cache-v1\", trunc").expect("write");
+
+        let (hit, source) = store.lookup_traced(key);
+        assert!(hit.is_none());
+        assert_eq!(source, LookupSource::CorruptQuarantined);
+        assert_eq!(store.quarantined(), 1);
+        assert!(!path.exists(), "damaged file moved aside");
+        assert!(path.with_extension("corrupt").exists());
+
+        // The quarantined bytes are never re-parsed: the next lookup is
+        // an ordinary miss.
+        let (again, source) = store.lookup_traced(key);
+        assert!(again.is_none());
+        assert_eq!(source, LookupSource::Miss);
+        assert_eq!(store.quarantined(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn insert_reports_disk_write_failures() {
+        // Point the cache at a path occupied by a regular file: the
+        // disk write fails, the memoization still works.
+        let blocker = std::env::temp_dir().join("mpr-exp-store-test-blocked");
+        std::fs::write(&blocker, "not a directory").expect("write blocker");
+        let store = ResultStore::with_cache_dir(&blocker);
+        let key = "seed=0000000000000004;v2;dev=x;wl=y;p=half;k=acc:k=1,t=1";
+        let result = CellResult::Accumulate(AccumulateOutcome {
+            sdc_probability: 1.0,
+            corruption_extent: 1.0,
+            trials: 1,
+        });
+        assert!(store.insert(key, result).is_err());
+        assert!(store.lookup(key).is_some(), "memoization survives");
+        let _ = std::fs::remove_file(&blocker);
     }
 }

@@ -2,11 +2,42 @@
 
 use crate::{FaultModel, Workload};
 use mpr_metrics::{Outcome, OutcomeCounts, TreCurve, Vulnerability};
-use mpr_obs::{mix_seed, Counter, Gauge, Recorder, Timer, NULL_RECORDER};
+use mpr_obs::{
+    mix_seed, panic_message, CancelToken, Counter, Gauge, Recorder, Timer, NULL_RECORDER,
+};
 use mpr_softfloat::ulp::max_relative_error;
 use mpr_softfloat::Precision;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Why a campaign driver failed to produce a report.
+///
+/// Both campaign drivers (`mpr-fault` injection and `mpr-beam`
+/// exposure) share this error: the experiment engine maps it onto its
+/// per-cell failure record, so a single bad cell never tears down a
+/// whole plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The cancellation token fired before every strike completed.
+    /// All partial work is discarded — a cancelled campaign yields no
+    /// result bytes, so determinism of *completed* campaigns is never
+    /// at stake.
+    Cancelled,
+    /// A worker thread panicked; the captured panic message follows.
+    WorkerPanic(String),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Cancelled => write!(f, "campaign cancelled by watchdog"),
+            CampaignError::WorkerPanic(msg) => write!(f, "campaign worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
 
 /// A fault-injection campaign: `n` independent injections into random
 /// dynamic sites of a workload, each classified against the golden run.
@@ -53,6 +84,7 @@ pub struct InjectionCampaign<'a> {
     golden: Option<&'a [f64]>,
     recorder: &'a dyn Recorder,
     scope: String,
+    cancel: CancelToken,
 }
 
 impl std::fmt::Debug for InjectionCampaign<'_> {
@@ -94,6 +126,7 @@ impl<'a> InjectionCampaign<'a> {
             golden: None,
             recorder: &NULL_RECORDER,
             scope: String::new(),
+            cancel: CancelToken::unlimited(),
         }
     }
 
@@ -164,8 +197,35 @@ impl<'a> InjectionCampaign<'a> {
         self
     }
 
+    /// Attaches a watchdog token (defaults to unlimited). Workers poll
+    /// it once per injection — each injection is a full workload run,
+    /// so that is strike-batch granularity — and bail out cooperatively
+    /// when it fires; [`InjectionCampaign::try_run`] then reports
+    /// [`CampaignError::Cancelled`]. No thread is ever detached.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
     /// Runs the campaign and collects the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the campaign is cancelled by its watchdog token or a
+    /// worker panics; callers that need to survive either use
+    /// [`InjectionCampaign::try_run`].
     pub fn run(&self) -> InjectionReport {
+        match self.try_run() {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs the campaign, reporting watchdog cancellation and worker
+    /// panics as structured errors instead of unwinding. On `Err` all
+    /// partial work is discarded; a retried campaign with the same seed
+    /// is byte-identical to an untroubled first run.
+    pub fn try_run(&self) -> Result<InjectionReport, CampaignError> {
         let rec = self.recorder;
         let wall = Timer::start(rec, "campaign.wall", self.scope.clone());
         let golden_owned;
@@ -193,18 +253,31 @@ impl<'a> InjectionCampaign<'a> {
         // severities, and busy seconds.
         type WorkerPartial = (OutcomeCounts, Vec<(u64, f64)>, f64);
         let mut partials: Vec<WorkerPartial> = Vec::new();
+        // Set by a worker only when it actually bailed out early, so a
+        // deadline that expires just after the last strike completes
+        // does not spuriously cancel a finished campaign.
+        let aborted = AtomicBool::new(false);
+        let mut worker_panic: Option<String> = None;
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..nthreads {
                 let golden = &golden;
                 let golden_bits = &golden_bits;
                 let campaign = &*self;
+                let aborted = &aborted;
                 handles.push(scope.spawn(move || {
                     let busy = Timer::start(rec, "inject.worker_busy", campaign.scope.clone());
                     let mut counts = OutcomeCounts::default();
                     let mut severities = Vec::new();
                     let mut i = t as u64;
                     while i < campaign.injections {
+                        // Watchdog poll: one injection is a full
+                        // workload run, so this is strike-batch
+                        // granularity.
+                        if campaign.cancel.is_cancelled() {
+                            aborted.store(true, Ordering::Relaxed);
+                            break;
+                        }
                         // Per-injection stream: derived through the
                         // shared splitmix64 avalanche, so adjacent
                         // injections get unrelated seeds (the old
@@ -237,10 +310,24 @@ impl<'a> InjectionCampaign<'a> {
                 }));
             }
             for h in handles {
-                // mpr-allow: panic-hygiene -- a panicking worker already aborted the campaign; propagating is the only sound option
-                partials.push(h.join().expect("injection worker panicked"));
+                // Every handle is joined even after a panic or abort —
+                // the scope never re-raises, and the payload feeds the
+                // structured failure path instead of a backtrace.
+                match h.join() {
+                    Ok(p) => partials.push(p),
+                    Err(payload) => worker_panic = Some(panic_message(payload)),
+                }
             }
         });
+
+        if let Some(msg) = worker_panic {
+            wall.cancel();
+            return Err(CampaignError::WorkerPanic(msg));
+        }
+        if aborted.load(Ordering::Relaxed) {
+            wall.cancel();
+            return Err(CampaignError::Cancelled);
+        }
 
         let mut counts = OutcomeCounts::default();
         let mut busy_total = 0.0;
@@ -265,12 +352,12 @@ impl<'a> InjectionCampaign<'a> {
                 .set(busy_total / (nthreads as f64 * wall_s));
         }
 
-        InjectionReport {
+        Ok(InjectionReport {
             workload: self.workload.name().to_string(),
             precision: self.precision,
             counts,
             severities,
-        }
+        })
     }
 }
 
@@ -385,6 +472,74 @@ mod tests {
             d_reduction > h_reduction,
             "double {d_reduction} must tolerate more than half {h_reduction}"
         );
+    }
+
+    #[test]
+    fn pre_fired_token_cancels_without_panicking() {
+        let w = Dot(16);
+        let token = CancelToken::unlimited();
+        token.cancel();
+        let err = InjectionCampaign::new(&w, Precision::Single)
+            .injections(64)
+            .seed(3)
+            .cancel_token(token)
+            .try_run()
+            .expect_err("campaign must report cancellation");
+        assert_eq!(err, CampaignError::Cancelled);
+    }
+
+    #[test]
+    fn worker_panic_becomes_structured_error() {
+        #[derive(Debug)]
+        struct Exploding;
+        impl Workload for Exploding {
+            fn name(&self) -> &str {
+                "exploding"
+            }
+            fn dispatch(&self, _p: Precision, _hook: &mut dyn crate::hook::FaultHook) -> Vec<f64> {
+                panic!("strike handler exploded")
+            }
+            fn site_count(&self, _p: Precision) -> u64 {
+                8
+            }
+        }
+        let golden = [0.0];
+        let err = InjectionCampaign::new(&Exploding, Precision::Single)
+            .injections(4)
+            .golden(&golden)
+            .threads(2)
+            .try_run()
+            .expect_err("campaign must report the panic");
+        assert_eq!(
+            err,
+            CampaignError::WorkerPanic("strike handler exploded".to_string())
+        );
+    }
+
+    #[test]
+    fn retry_after_cancellation_is_byte_identical_to_clean_run() {
+        let w = Dot(16);
+        let clean = InjectionCampaign::new(&w, Precision::Single)
+            .injections(64)
+            .seed(11)
+            .run();
+        // A cancelled attempt leaves no residue: re-running with the
+        // same seed reproduces the clean campaign bit for bit (DT001).
+        let token = CancelToken::unlimited();
+        token.cancel();
+        let _ = InjectionCampaign::new(&w, Precision::Single)
+            .injections(64)
+            .seed(11)
+            .cancel_token(token)
+            .try_run();
+        let retried = InjectionCampaign::new(&w, Precision::Single)
+            .injections(64)
+            .seed(11)
+            .run();
+        assert_eq!(clean.counts, retried.counts);
+        let a: Vec<u64> = clean.severities.iter().map(|s| s.to_bits()).collect();
+        let b: Vec<u64> = retried.severities.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

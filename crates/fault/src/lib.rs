@@ -67,9 +67,10 @@
 
 mod campaign;
 pub mod hook;
+pub mod hostile;
 mod model;
 mod workload;
 
-pub use campaign::{InjectionCampaign, InjectionReport};
+pub use campaign::{CampaignError, InjectionCampaign, InjectionReport};
 pub use model::{FaultModel, ValueFault};
 pub use workload::Workload;

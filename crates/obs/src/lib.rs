@@ -10,7 +10,10 @@
 //! The crate is deliberately at the bottom of the dependency graph
 //! (std only): `mpr-beam`, `mpr-fault`, `mpr-exp`, and `mpr-core` all
 //! record into it, and it also hosts the [`seed`] module — the single
-//! audited seed-derivation scheme those same crates share.
+//! audited seed-derivation scheme those same crates share — plus the
+//! fault-tolerance primitives ([`CancelToken`], [`panic_message`])
+//! that the campaign drivers and the experiment engine use to survive
+//! panicking or hung cells.
 //!
 //! Two recorders ship built in:
 //!
@@ -37,11 +40,13 @@
 
 #![deny(missing_docs)]
 
+mod harness;
 mod jsonl;
 mod record;
 pub mod seed;
 mod summary;
 
+pub use harness::{panic_message, CancelToken};
 pub use jsonl::{parse_line, read_log, JsonlRecorder};
 pub use record::{Counter, Event, Gauge, Metric, NullRecorder, Recorder, Timer, NULL_RECORDER};
 pub use seed::{fnv1a64, mix_seed, splitmix64, SplitMix};

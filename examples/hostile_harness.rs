@@ -1,0 +1,148 @@
+//! Hostile-workload harness: demonstrates the engine's fault
+//! tolerance end to end — per-cell isolation, deterministic retry,
+//! watchdog timeouts, and checkpoint/resume.
+//!
+//! The plan mixes three healthy cells with one *flaky* cell that
+//! panics on its first attempt (the paper's campaigns faced the same
+//! reality: boards hang, kernels crash, the run must go on). With a
+//! retry budget the flaky cell recovers and the process exits 0; with
+//! `--stubborn` it panics on every attempt and the process exits 1
+//! after printing the structured per-cell failure table.
+//!
+//! ```text
+//! cargo run --release --example hostile_harness -- --retries 2 --cell-timeout 5s
+//! cargo run --release --example hostile_harness -- --stubborn     # exits 1
+//! cargo run --release --example hostile_harness -- --hang --cell-timeout 200ms
+//! cargo run --release --example hostile_harness -- --cache-dir /tmp/mpr --resume
+//! ```
+
+use mixed_precision_reliability::exp::{
+    failure_table, CellKey, CellKind, DeviceId, Engine, ExperimentPlan, Manifest, ResultStore,
+    WorkloadId,
+};
+use mixed_precision_reliability::fault::hostile::HostileMode;
+use mixed_precision_reliability::softfloat::Precision;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn accumulate_cell(workload: WorkloadId, precision: Precision) -> CellKey {
+    CellKey {
+        device: DeviceId::Zynq7000,
+        workload,
+        precision,
+        kind: CellKind::Accumulate {
+            faults: 4,
+            trials: 8,
+        },
+    }
+}
+
+/// `500ms`, `5s`, or bare seconds.
+fn parse_duration(s: &str) -> Option<Duration> {
+    let (num, unit_s) = if let Some(v) = s.strip_suffix("ms") {
+        (v, 0.001)
+    } else if let Some(v) = s.strip_suffix('s') {
+        (v, 1.0)
+    } else {
+        (s, 1.0)
+    };
+    num.parse::<f64>()
+        .ok()
+        .map(|x| x * unit_s)
+        .filter(|x| x.is_finite() && *x > 0.0)
+        .map(Duration::from_secs_f64)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stubborn = args.iter().any(|a| a == "--stubborn");
+    let hang = args.iter().any(|a| a == "--hang");
+    let resume = args.iter().any(|a| a == "--resume");
+    let retries: u32 = flag_value(&args, "--retries")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let cell_timeout = flag_value(&args, "--cell-timeout").and_then(|v| parse_duration(&v));
+    let cache_dir = flag_value(&args, "--cache-dir");
+
+    // The harness catches every cell panic; silence the default hook so
+    // the demo output is the *structured* story, not raw panic spew.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut engine = Engine::new(2019)
+        .with_retries(retries)
+        .with_cell_timeout(cell_timeout);
+    if let Some(dir) = &cache_dir {
+        let dir = std::path::Path::new(dir);
+        if resume {
+            match Manifest::load(dir) {
+                Some(m) => println!(
+                    "resume: {} of {} recorded cells unfinished",
+                    m.unfinished().len(),
+                    m.cells.len()
+                ),
+                None => println!("resume: no manifest yet in {}", dir.display()),
+            }
+        }
+        engine = engine.with_store(Arc::new(ResultStore::with_cache_dir(dir)));
+    }
+
+    let flaky_mode = HostileMode::FlakyGolden {
+        panics: if stubborn { u32::MAX } else { 1 },
+    };
+    let mut plan = ExperimentPlan::new();
+    plan.push(accumulate_cell(
+        WorkloadId::Gemm { dim: 8 },
+        Precision::Double,
+    ));
+    plan.push(accumulate_cell(
+        WorkloadId::Hostile {
+            tag: 0xBAD,
+            mode: flaky_mode,
+        },
+        Precision::Single,
+    ));
+    plan.push(accumulate_cell(
+        WorkloadId::Gemm { dim: 8 },
+        Precision::Single,
+    ));
+    plan.push(accumulate_cell(
+        WorkloadId::Gemm { dim: 8 },
+        Precision::Half,
+    ));
+    if hang {
+        plan.push(accumulate_cell(
+            WorkloadId::Hostile {
+                tag: 0x51_0000,
+                mode: HostileMode::SlowStrike { millis: 30_000 },
+            },
+            Precision::Single,
+        ));
+    }
+
+    println!(
+        "running {} cells (retries={retries}, cell-timeout={})",
+        plan.len(),
+        cell_timeout.map_or("off".to_string(), |t| format!("{t:?}"))
+    );
+    let results = engine.try_run(&plan);
+    let completed = results.iter().filter(|r| r.is_ok()).count();
+    let failures: Vec<_> = results.into_iter().filter_map(Result::err).collect();
+    println!(
+        "{completed}/{} cells completed, {} executed, {} cache hits",
+        plan.len(),
+        engine.store().executed(),
+        engine.store().mem_hits() + engine.store().disk_hits()
+    );
+    if failures.is_empty() {
+        println!("all cells resolved — the flaky cell recovered on retry");
+        std::process::exit(0);
+    }
+    eprintln!("{}", failure_table(&failures));
+    std::process::exit(1);
+}

@@ -51,7 +51,10 @@ fn temp_dir(tag: &str) -> std::path::PathBuf {
     dir
 }
 
-/// Every cache file under `dir`, keyed by relative path.
+/// Every *result* cache file under `dir`, keyed by relative path.
+/// `manifest.json` is excluded: it is run bookkeeping whose `attempts`
+/// field legitimately changes between a cold run (1) and a warm replay
+/// (0); its thread invariance is asserted separately on cold runs.
 fn cache_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
     let mut files = BTreeMap::new();
     let mut stack = vec![dir.to_path_buf()];
@@ -60,7 +63,7 @@ fn cache_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
             let path = entry.expect("dir entry").path();
             if path.is_dir() {
                 stack.push(path);
-            } else {
+            } else if path.file_name().is_some_and(|n| n != "manifest.json") {
                 let rel = path
                     .strip_prefix(dir)
                     .expect("under cache dir")
@@ -126,6 +129,11 @@ fn raw_campaign_vectors_and_cache_bytes_are_thread_invariant() {
         assert_eq!(
             trace.cache, baseline.cache,
             "on-disk cache bytes must not depend on threads={threads}"
+        );
+        assert_eq!(
+            std::fs::read(dir.join("manifest.json")).ok(),
+            std::fs::read(base_dir.join("manifest.json")).ok(),
+            "cold-run manifest bytes must not depend on threads={threads}"
         );
         std::fs::remove_dir_all(&dir).ok();
     }
