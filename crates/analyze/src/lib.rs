@@ -13,7 +13,7 @@
 //! | family           | ids        | scope                        |
 //! |------------------|------------|------------------------------|
 //! | `precision-leak` | PL001-PL004| `crates/kernels`, `crates/nn` (generic fn bodies) |
-//! | `fault-site`     | FS001      | `crates/kernels`, `crates/nn` (generic fn bodies) |
+//! | `fault-site`     | FS001-FS002| FS001: `crates/kernels`, `crates/nn` (generic fn bodies); FS002 (`dyn FaultHook`): `crates/kernels` |
 //! | `determinism`    | DT001-DT003| `crates/beam`, `crates/fault`, `crates/core`, `crates/exp`, `crates/obs` |
 //! | `panic-hygiene`  | PH001-PH003| every library crate          |
 //! | `allow-hygiene`  | AH001-AH003| pragma bookkeeping           |
@@ -207,6 +207,10 @@ pub fn lint_applies(lint: &str, rel_path: &str) -> bool {
         "precision-leak" | "fault-site" => {
             p.starts_with("crates/kernels/src") || p.starts_with("crates/nn/src")
         }
+        // FS002: campaigns legitimately hold `dyn FaultHook` at the
+        // dispatch boundary, so the trait-object ban covers only the
+        // kernel crate where per-touch virtual calls are hot.
+        "dyn-hook" => p.starts_with("crates/kernels/src"),
         "determinism" => {
             p.starts_with("crates/beam/src")
                 || p.starts_with("crates/fault/src")
@@ -230,6 +234,9 @@ pub fn analyze_source(rel_path: &str, text: &str) -> Vec<Finding> {
     }
     if lint_applies("fault-site", rel_path) {
         raw.extend(lints::fault_site(&file));
+    }
+    if lint_applies("dyn-hook", rel_path) {
+        raw.extend(lints::dyn_hook(&file));
     }
     if lint_applies("determinism", rel_path) {
         raw.extend(lints::determinism(&file));
@@ -336,6 +343,9 @@ mod tests {
             "precision-leak",
             "crates/beam/src/campaign.rs"
         ));
+        assert!(lint_applies("dyn-hook", "crates/kernels/src/gemm.rs"));
+        assert!(!lint_applies("dyn-hook", "crates/nn/src/layers.rs"));
+        assert!(!lint_applies("dyn-hook", "crates/fault/src/campaign.rs"));
         assert!(lint_applies("determinism", "crates/core/src/study.rs"));
         assert!(lint_applies("determinism", "crates/exp/src/engine.rs"));
         assert!(lint_applies("determinism", "crates/obs/src/record.rs"));

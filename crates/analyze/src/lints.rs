@@ -293,6 +293,47 @@ pub fn fault_site(file: &SourceFile) -> Vec<Finding> {
         .collect()
 }
 
+/// Trait-object hook dispatch in kernel code. `dyn FaultHook` costs a
+/// virtual call per touched value — millions per run — which is exactly
+/// what the monomorphized fast path removes. Kernel code must take the
+/// hook generically (`H: FaultHook + ?Sized`) and let
+/// [`Workload::dispatch_mono`] instantiate it statically; the one
+/// sanctioned trait-object boundary is the campaign-facing `dispatch`,
+/// which carries a justified pragma.
+///
+/// [`Workload::dispatch_mono`]: https://docs.rs/mpr-fault
+pub fn dyn_hook(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (idx, masked) in file.masked.iter().enumerate() {
+        if file.in_test[idx] {
+            continue;
+        }
+        for at in word_positions(masked, "dyn") {
+            // Read the (possibly qualified) path after `dyn`; flag it
+            // when its final segment is the hook trait.
+            let path: String = masked[at + 3..]
+                .trim_start()
+                .chars()
+                .take_while(|&c| is_ident_char(c) || c == ':')
+                .collect();
+            if path.rsplit("::").next() == Some("FaultHook") {
+                out.push(finding(
+                    file,
+                    idx + 1,
+                    "FS002",
+                    "fault-site",
+                    format!(
+                        "`dyn {path}` in kernel code pays a virtual call per touched value; \
+                         take `H: FaultHook + ?Sized` generically so `dispatch_mono` \
+                         monomorphizes the hook, and keep trait objects at the campaign boundary"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
 /// True when the statement contains an assignment operator: a bare `=`
 /// or a compound `+=`-family one, but not `==`, `<=`, `>=`, `!=`, `=>`.
 fn has_assignment(stmt: &str) -> bool {

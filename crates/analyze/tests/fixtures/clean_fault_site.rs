@@ -1,7 +1,7 @@
 //! Fixture: the sanctioned loop shapes — every update is touched; index
 //! math, constant construction, and plain pushes of touched values pass.
 
-fn run<F: FloatExt>(&self, hook: &mut dyn FaultHook) -> Vec<f64> {
+fn run<F: FloatExt, H: FaultHook + ?Sized>(&self, hook: &mut H) -> Vec<f64> {
     let mut acc = F::zero();
     let mut out = Vec::with_capacity(self.n * self.n);
     for idx in 0..self.n * self.n {

@@ -1,7 +1,7 @@
 //! Fixture: the sanctioned patterns — constants enter through
 //! `F::from_f64`, values exit through `to_f64` at the interface.
 
-fn run<F: FloatExt>(&self, hook: &mut dyn FaultHook) -> Vec<f64> {
+fn run<F: FloatExt, H: FaultHook + ?Sized>(&self, hook: &mut H) -> Vec<f64> {
     let scale = F::from_f64(0.5);
     let half_down = F::from_f32(0.25f32);
     let nf = F::from_f64(self.n as f64);

@@ -71,6 +71,29 @@ fn clean_fault_site_fixture_passes() {
 }
 
 #[test]
+fn dyn_hook_fixture_flags_each_trait_object() {
+    let a = scan("crates/kernels/src/fixture.rs", "bad_dyn_hook.rs");
+    let fs: Vec<_> = a.findings.iter().filter(|f| f.lint == "FS002").collect();
+    // Bare, qualified, and boxed forms trip; the pragma'd boundary, the
+    // unrelated trait object, and the test helper do not.
+    assert_eq!(fs.len(), 3, "FS002 findings: {}", a.to_text());
+    assert!(fs.iter().all(|f| f.name == "fault-site"));
+    assert!(!a.clean());
+}
+
+#[test]
+fn dyn_hook_lint_scopes_to_the_kernel_crate() {
+    // Campaign crates hold workloads and hooks as trait objects at the
+    // dispatch boundary — the same source is legitimate there.
+    let a = scan("crates/fault/src/fixture.rs", "bad_dyn_hook.rs");
+    assert!(
+        !a.findings.iter().any(|f| f.lint == "FS002"),
+        "unexpected FS002 outside kernels: {}",
+        a.to_text()
+    );
+}
+
+#[test]
 fn bad_determinism_fixture_trips_every_dt_lint() {
     let a = scan("crates/beam/src/fixture.rs", "bad_determinism.rs");
     let ids = lint_ids(&a);

@@ -167,6 +167,9 @@ impl<'a> BeamCampaign<'a> {
         let sites = self.workload.site_count(self.precision);
         let width = self.precision.total_bits();
         let model = FaultModel::pipeline(exposure.pipeline_fraction);
+        // Strike-fate model, hoisted out of the strike loop (the device
+        // exposure lookup used to run once per strike).
+        let persistent = exposure.persistence.is_some();
 
         // Campaign-level sampling stream: a full splitmix64 avalanche
         // of (seed, salt), not the old collision-prone `seed ^ salt`.
@@ -202,6 +205,9 @@ impl<'a> BeamCampaign<'a> {
                 handles.push(scope.spawn(move || {
                     let busy = Timer::start(rec, "beam.worker_busy", campaign.scope.clone());
                     let mut observed = Vec::new();
+                    // Strike output buffer, hoisted out of the loop so
+                    // the fast path can reuse one allocation per worker.
+                    let mut out = Vec::with_capacity(golden.len());
                     let mut i = t as u64;
                     while i < candidates {
                         // Watchdog poll: one strike is a full workload
@@ -215,7 +221,9 @@ impl<'a> BeamCampaign<'a> {
                         // unrelated seeds (the old `seed * C ^ i` gave
                         // correlated streams).
                         let mut rng = StdRng::seed_from_u64(mix_seed(campaign.session.seed, i));
-                        let out = campaign.resolve_strike(sites, width, model, &mut rng);
+                        campaign.resolve_strike_into(
+                            sites, width, model, persistent, &mut rng, golden, &mut out,
+                        );
                         let corrupted = out.len() != golden.len()
                             || out.iter().zip(golden_bits).any(|(v, &g)| v.to_bits() != g);
                         if corrupted {
@@ -285,42 +293,39 @@ impl<'a> BeamCampaign<'a> {
         })
     }
 
-    /// Resolves one compute strike into a (possibly corrupted) output.
-    fn resolve_strike(
+    /// Resolves one compute strike into a (possibly corrupted) output,
+    /// written into `out` through the workload's fast-path replay.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_strike_into(
         &self,
         sites: u64,
         width: u32,
         model: FaultModel,
+        persistent: bool,
         rng: &mut StdRng,
-    ) -> Vec<f64> {
-        match self
-            .device
-            .exposure(self.profile, self.precision)
-            .persistence
-        {
-            Some(_) => {
-                // FPGA configuration strike: a LUT or routing pip of one
-                // processing element is rewired into a stuck-at function.
-                // The fault is persistent but only *sensitized* by the
-                // operand patterns that exercise the corrupted cone —
-                // modeled as a stuck bit on one operation slot; values
-                // already agreeing with the stuck level are untouched
-                // (the dominant configuration-upset masking mechanism).
-                // The paper reprograms the device at each observed
-                // error, and runs are deterministic, so one run decides
-                // the strike's fate.
-                let site = rng.gen_range(0..sites);
-                let fault = FaultModel::StuckBit.sample(width, rng);
-                self.workload.run_with_fault(self.precision, site, fault)
-            }
-            None => {
-                // Transient strike in a register / datapath value of a
-                // live execution.
-                let site = rng.gen_range(0..sites);
-                let fault = model.sample(width, rng);
-                self.workload.run_with_fault(self.precision, site, fault)
-            }
-        }
+        golden: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        let site = rng.gen_range(0..sites);
+        let fault = if persistent {
+            // FPGA configuration strike: a LUT or routing pip of one
+            // processing element is rewired into a stuck-at function.
+            // The fault is persistent but only *sensitized* by the
+            // operand patterns that exercise the corrupted cone —
+            // modeled as a stuck bit on one operation slot; values
+            // already agreeing with the stuck level are untouched
+            // (the dominant configuration-upset masking mechanism).
+            // The paper reprograms the device at each observed
+            // error, and runs are deterministic, so one run decides
+            // the strike's fate.
+            FaultModel::StuckBit.sample(width, rng)
+        } else {
+            // Transient strike in a register / datapath value of a
+            // live execution.
+            model.sample(width, rng)
+        };
+        self.workload
+            .run_from_site_into(self.precision, site, fault, golden, out);
     }
 }
 

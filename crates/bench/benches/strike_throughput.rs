@@ -1,0 +1,344 @@
+//! Strike-execution throughput: the monomorphized golden-prefix replay
+//! path (`Workload::run_from_site_into`) against the naive full-rerun
+//! path (`Workload::run_with_fault`), over the exact strike stream the
+//! campaign drivers draw (`mix_seed`-derived per-strike RNG, site then
+//! fault sample).
+//!
+//! The naive lap is *conservative*: it already benefits from this PR's
+//! per-precision input cache, so the reported speedups understate the
+//! win over the pre-fast-path code, which also regenerated every input
+//! through `gen_value` on each strike.
+//!
+//! Headline numbers land in `BENCH_strikes.json` at the repo root so
+//! the perf trajectory has a baseline CI can smoke-check.
+//!
+//! Modes (args after `cargo bench --bench strike_throughput -- ...`):
+//! - `--test`:  tiny sizes, byte-identity check only, no file written
+//! - `--quick`: small sizes, asserts fast >= naive on the GEMM beam
+//!   proxy, writes and re-parses `BENCH_strikes.json`
+//! - default:   paper proxy sizes, asserts the GEMM beam proxy runs
+//!   >= 5x faster, writes and re-parses `BENCH_strikes.json`
+
+use mpr_analyze::json::{self, Value};
+use mpr_fault::{FaultModel, ValueFault, Workload};
+use mpr_kernels::{Gemm, LavaMd, Lud, Micro, MicroKernelOp};
+use mpr_obs::mix_seed;
+use mpr_softfloat::Precision;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Test,
+    Quick,
+    Full,
+}
+
+struct Config {
+    label: &'static str,
+    workload: Box<dyn Workload>,
+    model: FaultModel,
+    /// Part of the >= 5x acceptance gate (the paper-proxy GEMM beam
+    /// campaign's workload/model pairing).
+    headline: bool,
+}
+
+struct Measurement {
+    label: &'static str,
+    name: String,
+    precision: Precision,
+    strikes: u64,
+    sites: u64,
+    naive_per_s: f64,
+    fast_per_s: f64,
+    headline: bool,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.fast_per_s / self.naive_per_s
+    }
+}
+
+fn configs(mode: Mode) -> Vec<Config> {
+    // The beam proxy mirrors the paper's signature MxM beam campaigns
+    // (FPGA configuration upsets => persistent stuck bits); the rest use
+    // the CAROL-FI single-bit model the PVF campaigns sample.
+    match mode {
+        Mode::Test => vec![
+            Config {
+                label: "gemm8_beam_proxy",
+                workload: Box::new(Gemm::new(8)),
+                model: FaultModel::StuckBit,
+                headline: true,
+            },
+            Config {
+                label: "lud8",
+                workload: Box::new(Lud::new(8)),
+                model: FaultModel::SingleBit,
+                headline: false,
+            },
+            Config {
+                label: "lavamd_2x2",
+                workload: Box::new(LavaMd::new(2, 2)),
+                model: FaultModel::SingleBit,
+                headline: false,
+            },
+            Config {
+                label: "micro_fma_4x64",
+                workload: Box::new(Micro::new(MicroKernelOp::Fma, 4, 64)),
+                model: FaultModel::SingleBit,
+                headline: false,
+            },
+        ],
+        Mode::Quick => vec![
+            Config {
+                label: "gemm16_beam_proxy",
+                workload: Box::new(Gemm::new(16)),
+                model: FaultModel::StuckBit,
+                headline: true,
+            },
+            Config {
+                label: "lud16",
+                workload: Box::new(Lud::new(16)),
+                model: FaultModel::SingleBit,
+                headline: false,
+            },
+            Config {
+                label: "lavamd_2x3",
+                workload: Box::new(LavaMd::new(2, 3)),
+                model: FaultModel::SingleBit,
+                headline: false,
+            },
+            Config {
+                label: "micro_fma_8x256",
+                workload: Box::new(Micro::new(MicroKernelOp::Fma, 8, 256)),
+                model: FaultModel::SingleBit,
+                headline: false,
+            },
+        ],
+        Mode::Full => vec![
+            Config {
+                label: "gemm32_beam_proxy",
+                workload: Box::new(Gemm::new(32)),
+                model: FaultModel::StuckBit,
+                headline: true,
+            },
+            Config {
+                label: "lud20",
+                workload: Box::new(Lud::new(20)),
+                model: FaultModel::SingleBit,
+                headline: false,
+            },
+            Config {
+                label: "lavamd_3x3",
+                workload: Box::new(LavaMd::new(3, 3)),
+                model: FaultModel::SingleBit,
+                headline: false,
+            },
+            Config {
+                label: "micro_fma_16x512",
+                workload: Box::new(Micro::new(MicroKernelOp::Fma, 16, 512)),
+                model: FaultModel::SingleBit,
+                headline: false,
+            },
+        ],
+    }
+}
+
+/// The campaign drivers' strike stream: per-strike `StdRng` derived via
+/// `mix_seed(seed, i)`, site drawn before the fault.
+fn strike_stream(
+    seed: u64,
+    strikes: u64,
+    sites: u64,
+    width: u32,
+    model: FaultModel,
+) -> Vec<(u64, ValueFault)> {
+    (0..strikes)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(mix_seed(seed, i));
+            let site = rng.gen_range(0..sites);
+            (site, model.sample(width, &mut rng))
+        })
+        .collect()
+}
+
+fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn measure(config: &Config, precision: Precision, strikes: u64, seed: u64) -> Measurement {
+    let w: &dyn Workload = config.workload.as_ref();
+    let golden = w.run_golden(precision);
+    let sites = w.site_count(precision);
+    let width = precision.total_bits();
+    let stream = strike_stream(seed, strikes, sites, width, config.model);
+
+    // Differential check (untimed): the replay must be byte-identical
+    // to the full rerun on every strike it is about to be timed on.
+    let mut out = Vec::with_capacity(golden.len());
+    for &(site, fault) in &stream {
+        w.run_from_site_into(precision, site, fault, &golden, &mut out);
+        let naive = w.run_with_fault(precision, site, fault);
+        assert!(
+            bits_equal(&out, &naive),
+            "{} {} site {site} {fault:?}: fast path diverged from naive",
+            config.label,
+            precision
+        );
+    }
+
+    let start = Instant::now();
+    for &(site, fault) in &stream {
+        black_box(w.run_with_fault(precision, site, fault));
+    }
+    let naive_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    for &(site, fault) in &stream {
+        w.run_from_site_into(precision, site, fault, &golden, &mut out);
+        black_box(&out);
+    }
+    let fast_secs = start.elapsed().as_secs_f64();
+
+    Measurement {
+        label: config.label,
+        name: w.name().to_string(),
+        precision,
+        strikes,
+        sites,
+        naive_per_s: strikes as f64 / naive_secs.max(1e-9),
+        fast_per_s: strikes as f64 / fast_secs.max(1e-9),
+        headline: config.headline,
+    }
+}
+
+fn report_json(mode: Mode, results: &[Measurement], headline: f64) -> String {
+    let configs: Vec<Value> = results
+        .iter()
+        .map(|m| {
+            let mut o = BTreeMap::new();
+            o.insert("label".to_string(), Value::Str(m.label.to_string()));
+            o.insert("workload".to_string(), Value::Str(m.name.clone()));
+            o.insert("precision".to_string(), Value::Str(m.precision.to_string()));
+            o.insert("strikes".to_string(), Value::Num(m.strikes as f64));
+            o.insert("sites".to_string(), Value::Num(m.sites as f64));
+            o.insert(
+                "naive_strikes_per_s".to_string(),
+                Value::Num(round2(m.naive_per_s)),
+            );
+            o.insert(
+                "fast_strikes_per_s".to_string(),
+                Value::Num(round2(m.fast_per_s)),
+            );
+            o.insert("speedup".to_string(), Value::Num(round2(m.speedup())));
+            Value::Obj(o)
+        })
+        .collect();
+    let mut root = BTreeMap::new();
+    root.insert(
+        "bench".to_string(),
+        Value::Str("strike_throughput".to_string()),
+    );
+    root.insert(
+        "mode".to_string(),
+        Value::Str(
+            match mode {
+                Mode::Test => "test",
+                Mode::Quick => "quick",
+                Mode::Full => "full",
+            }
+            .to_string(),
+        ),
+    );
+    root.insert(
+        "gemm_beam_proxy_min_speedup".to_string(),
+        Value::Num(round2(headline)),
+    );
+    root.insert("configs".to_string(), Value::Arr(configs));
+    Value::Obj(root).to_string()
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mode = if args.iter().any(|a| a == "--test") {
+        Mode::Test
+    } else if args.iter().any(|a| a == "--quick") {
+        Mode::Quick
+    } else {
+        Mode::Full
+    };
+    let strikes = match mode {
+        Mode::Test => 8,
+        Mode::Quick => 60,
+        Mode::Full => 300,
+    };
+    let seed = 0x57_81_4E;
+
+    let mut results = Vec::new();
+    for config in configs(mode) {
+        for precision in Precision::ALL {
+            if !config.workload.supports(precision) {
+                continue;
+            }
+            let m = measure(&config, precision, strikes, seed);
+            println!(
+                "{:<22} {:<6}  {:>12.0} naive/s  {:>12.0} fast/s  {:>7.1}x",
+                m.label,
+                m.precision.to_string(),
+                m.naive_per_s,
+                m.fast_per_s,
+                m.speedup()
+            );
+            results.push(m);
+        }
+    }
+
+    let headline = results
+        .iter()
+        .filter(|m| m.headline)
+        .map(Measurement::speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!("gemm beam proxy min speedup: {headline:.1}x over {strikes} strikes");
+
+    match mode {
+        Mode::Test => {}
+        Mode::Quick => assert!(
+            headline >= 1.0,
+            "fast path slower than naive on the GEMM beam proxy: {headline:.2}x"
+        ),
+        Mode::Full => assert!(
+            headline >= 5.0,
+            "GEMM beam proxy speedup {headline:.2}x is below the 5x gate"
+        ),
+    }
+
+    let text = report_json(mode, &results, headline);
+    // The report must round-trip through the workspace JSON parser so
+    // downstream tooling can consume it.
+    let parsed = json::parse(&text).expect("report is valid JSON");
+    assert!(
+        parsed
+            .get("configs")
+            .and_then(Value::as_arr)
+            .is_some_and(|c| !c.is_empty()),
+        "report lost its configs"
+    );
+
+    if mode != Mode::Test {
+        let path =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_strikes.json");
+        std::fs::write(&path, format!("{text}\n")).expect("write BENCH_strikes.json");
+        let back = std::fs::read_to_string(&path).expect("read BENCH_strikes.json back");
+        json::parse(&back).expect("BENCH_strikes.json parses");
+        println!("wrote {}", path.display());
+    }
+}

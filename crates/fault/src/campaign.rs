@@ -269,6 +269,9 @@ impl<'a> InjectionCampaign<'a> {
                     let busy = Timer::start(rec, "inject.worker_busy", campaign.scope.clone());
                     let mut counts = OutcomeCounts::default();
                     let mut severities = Vec::new();
+                    // Strike output buffer, hoisted out of the loop so
+                    // the fast path can reuse one allocation per worker.
+                    let mut out = Vec::with_capacity(golden.len());
                     let mut i = t as u64;
                     while i < campaign.injections {
                         // Watchdog poll: one injection is a full
@@ -293,9 +296,17 @@ impl<'a> InjectionCampaign<'a> {
                             i += nthreads as u64;
                             continue;
                         }
-                        let out = campaign
-                            .workload
-                            .run_with_fault(campaign.precision, site, fault);
+                        // Fast-path strike: workloads with an incremental
+                        // replay reuse the golden prefix; everything else
+                        // falls back to a full faulted run (byte-identical
+                        // either way, per the Workload contract).
+                        campaign.workload.run_from_site_into(
+                            campaign.precision,
+                            site,
+                            fault,
+                            golden,
+                            &mut out,
+                        );
                         let corrupted = out.len() != golden.len()
                             || out.iter().zip(golden_bits).any(|(v, &g)| v.to_bits() != g);
                         if corrupted {

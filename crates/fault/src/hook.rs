@@ -24,8 +24,10 @@ use mpr_softfloat::FloatExt;
 /// Receives every intermediate value of a workload execution.
 ///
 /// Object-safe by operating on raw representation bits; use
-/// [`FaultHook::touch`](trait.FaultHook.html#method.touch) (provided on
-/// `dyn FaultHook`) from generic kernel code.
+/// [`HookExt::touch`] (blanket-implemented for every hook, concrete or
+/// `dyn`) from generic kernel code. Kernels whose inner loop is generic
+/// over the hook type compile each touch to a static — usually inlined —
+/// call; `dyn FaultHook` remains the boundary type campaigns hold.
 pub trait FaultHook {
     /// Processes the `width`-bit value `bits`, returning the (possibly
     /// corrupted) replacement.
@@ -37,6 +39,35 @@ impl dyn FaultHook + '_ {
     #[inline]
     pub fn touch<F: FloatExt>(&mut self, v: F) -> F {
         F::from_bits_u64(self.touch_bits(v.to_bits_u64(), F::PRECISION.total_bits()))
+    }
+}
+
+/// Typed touch for any hook, statically dispatched when the hook type is
+/// concrete. This is the monomorphized half of the hook protocol: a
+/// kernel written as `fn run<F: FloatExt, H: FaultHook + ?Sized>` pays a
+/// virtual call per touch only when instantiated with `dyn FaultHook`;
+/// instantiated with [`NullHook`] / [`InjectHook`] / [`GoldenHook`] the
+/// touch inlines to (at most) a cursor increment and a compare.
+pub trait HookExt: FaultHook {
+    /// Typed pass-through: every call advances the dynamic site cursor.
+    #[inline]
+    fn touch<F: FloatExt>(&mut self, v: F) -> F {
+        F::from_bits_u64(self.touch_bits(v.to_bits_u64(), F::PRECISION.total_bits()))
+    }
+}
+
+impl<H: FaultHook + ?Sized> HookExt for H {}
+
+/// Pure pass-through: no counting, no corruption. Golden runs through a
+/// monomorphized dispatch path with a `NullHook` compile to the bare
+/// kernel arithmetic — the hook disappears entirely under inlining.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullHook;
+
+impl FaultHook for NullHook {
+    #[inline]
+    fn touch_bits(&mut self, bits: u64, _width: u32) -> u64 {
+        bits
     }
 }
 

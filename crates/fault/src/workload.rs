@@ -1,6 +1,6 @@
 //! The contract between benchmarks and the fault-injection machinery.
 
-use crate::hook::{FaultHook, GoldenHook, InjectHook};
+use crate::hook::{FaultHook, GoldenHook, InjectHook, NullHook};
 use crate::ValueFault;
 use mpr_softfloat::Precision;
 
@@ -11,6 +11,24 @@ use mpr_softfloat::Precision;
 /// precision to a generic kernel that threads a [`FaultHook`] through its
 /// computation; the provided methods derive everything the campaigns
 /// need from that single entry point.
+///
+/// # Fast paths
+///
+/// The provided methods all route through `dispatch`, which erases the
+/// hook behind `dyn FaultHook` — one virtual call per value touch.
+/// Performance-critical workloads additionally override:
+///
+/// * [`Workload::dispatch_mono`] — the same dispatch, generic over the
+///   hook, so golden and single-strike runs compile to static calls
+///   (the kernel crates generate this alongside their precision
+///   dispatch macro);
+/// * [`Workload::run_from_site_into`] — incremental strike execution
+///   that reuses the golden output for every output element the fault
+///   provably cannot reach and recomputes only the dirty slice.
+///
+/// Every override carries the same contract: **byte-identical output to
+/// the naive path** (DT001). Campaign results, and therefore the cached
+/// campaign bytes, must not depend on which path executed a strike.
 pub trait Workload: Sync {
     /// Benchmark name as used in the paper's tables ("MxM", "LavaMD", ...).
     fn name(&self) -> &str;
@@ -19,6 +37,21 @@ pub trait Workload: Sync {
     /// value through `hook`, and returns the output vector widened to
     /// `f64` (exact for all studied formats).
     fn dispatch(&self, precision: Precision, hook: &mut dyn FaultHook) -> Vec<f64>;
+
+    /// Monomorphized [`Workload::dispatch`]: the hook type is a generic
+    /// parameter, so a concrete hook compiles to static calls with the
+    /// touch inlined into the kernel loop ([`NullHook`] disappears
+    /// entirely). The default forwards to the `dyn` path; kernels
+    /// override it via their dispatch macro. Not object-safe — this is
+    /// the entry point for callers that hold the concrete workload, and
+    /// the implementation detail behind the object-safe fast paths
+    /// below.
+    fn dispatch_mono<H: FaultHook>(&self, precision: Precision, hook: &mut H) -> Vec<f64>
+    where
+        Self: Sized,
+    {
+        self.dispatch(precision, hook)
+    }
 
     /// Whether this workload can execute at `precision` (the Xeon Phi
     /// kernels, for example, have no half-precision variant).
@@ -35,7 +68,7 @@ pub trait Workload: Sync {
 
     /// The fault-free output.
     fn run_golden(&self, precision: Precision) -> Vec<f64> {
-        let mut hook = GoldenHook::new();
+        let mut hook = NullHook;
         self.dispatch(precision, &mut hook)
     }
 
@@ -43,6 +76,43 @@ pub trait Workload: Sync {
     fn run_with_fault(&self, precision: Precision, site: u64, fault: ValueFault) -> Vec<f64> {
         let mut hook = InjectHook::new(site, fault);
         self.dispatch(precision, &mut hook)
+    }
+
+    /// Fast-path strike: like [`Workload::run_with_fault`], but the
+    /// caller supplies the golden output (campaigns already hold it) so
+    /// an incremental implementation can copy every element the fault
+    /// provably cannot reach and recompute only the dirty slice.
+    ///
+    /// `golden` must be exactly `self.run_golden(precision)`; the result
+    /// is byte-identical to `run_with_fault(precision, site, fault)`.
+    fn run_from_site(
+        &self,
+        precision: Precision,
+        site: u64,
+        fault: ValueFault,
+        golden: &[f64],
+    ) -> Vec<f64> {
+        let mut out = Vec::with_capacity(golden.len());
+        self.run_from_site_into(precision, site, fault, golden, &mut out);
+        out
+    }
+
+    /// Buffer-reusing form of [`Workload::run_from_site`] for campaign
+    /// inner loops: `out` is cleared and filled, so a worker can strike
+    /// thousands of times into one allocation. The default ignores
+    /// `golden` and re-runs the whole workload through the `dyn` path;
+    /// incremental workloads override this method (and get
+    /// `run_from_site` for free).
+    fn run_from_site_into(
+        &self,
+        precision: Precision,
+        site: u64,
+        fault: ValueFault,
+        golden: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        let _ = golden;
+        *out = self.run_with_fault(precision, site, fault);
     }
 }
 

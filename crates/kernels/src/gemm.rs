@@ -1,9 +1,9 @@
 //! The MxM / GEMM kernel.
 
-use crate::dispatch_precision;
-use crate::util::gen_value;
-use mpr_fault::hook::FaultHook;
-use mpr_fault::Workload;
+use crate::monomorphic_workload;
+use crate::util::{gen_value, index_range, to_u64, PrecisionCache};
+use mpr_fault::hook::{FaultHook, HookExt, InjectHook, NullHook};
+use mpr_fault::{ValueFault, Workload};
 use mpr_softfloat::{FloatExt, Precision};
 
 /// Square matrix multiplication `C = A x B`, the paper's MxM benchmark —
@@ -29,6 +29,7 @@ use mpr_softfloat::{FloatExt, Precision};
 pub struct Gemm {
     n: usize,
     seed: u64,
+    inputs: PrecisionCache<Vec<u64>>,
 }
 
 impl Gemm {
@@ -39,12 +40,17 @@ impl Gemm {
     /// Panics if `n` is zero.
     pub fn new(n: usize) -> Gemm {
         assert!(n > 0, "matrix dimension must be positive");
-        Gemm { n, seed: 0xA0 }
+        Gemm {
+            n,
+            seed: 0xA0,
+            inputs: PrecisionCache::new(),
+        }
     }
 
     /// Overrides the deterministic input seed.
     pub fn with_seed(mut self, seed: u64) -> Gemm {
         self.seed = seed;
+        self.inputs = PrecisionCache::new();
         self
     }
 
@@ -53,30 +59,116 @@ impl Gemm {
         self.n
     }
 
-    fn run<F: FloatExt>(&self, hook: &mut dyn FaultHook) -> Vec<f64> {
-        let n = self.n;
-        // Inputs in [0.25, 1.75): dot products stay well inside the
-        // binary16 range for the proxy sizes used here.
-        let mut a = Vec::with_capacity(n * n);
-        let mut b = Vec::with_capacity(n * n);
-        for i in 0..(n * n) as u64 {
-            a.push(hook.touch(F::from_f64(gen_value(self.seed, i, 0.25, 1.75))));
+    /// Input bits at `F`'s precision — `a` then `b`, row-major —
+    /// generated once and reused across a campaign's whole strike batch.
+    fn input_bits<F: FloatExt>(&self) -> &[u64] {
+        self.inputs.get_or_init(F::PRECISION, || {
+            let n2 = self.n * self.n;
+            // Inputs in [0.25, 1.75): dot products stay well inside the
+            // binary16 range for the proxy sizes used here.
+            let mut bits = Vec::with_capacity(2 * n2);
+            for i in index_range(n2) {
+                bits.push(F::from_f64(gen_value(self.seed, i, 0.25, 1.75)).to_bits_u64());
+            }
+            for i in index_range(n2) {
+                bits.push(F::from_f64(gen_value(self.seed ^ 0xB, i, 0.25, 1.75)).to_bits_u64());
+            }
+            bits
+        })
+    }
+
+    /// One output element's FMA chain — shared by the full run and the
+    /// golden-prefix replay so both touch identical values in identical
+    /// order (`a_at(k)` is `A[i][k]`, `b_at(k)` is `B[k][j]`).
+    #[inline]
+    fn element<F: FloatExt, H: FaultHook + ?Sized>(
+        n: usize,
+        a_at: impl Fn(usize) -> F,
+        b_at: impl Fn(usize) -> F,
+        hook: &mut H,
+    ) -> F {
+        let mut acc = F::zero();
+        for k in 0..n {
+            acc = hook.touch(a_at(k).mul_add(b_at(k), acc));
         }
-        for i in 0..(n * n) as u64 {
-            b.push(hook.touch(F::from_f64(gen_value(self.seed ^ 0xB, i, 0.25, 1.75))));
+        acc
+    }
+
+    fn run<F: FloatExt, H: FaultHook + ?Sized>(&self, hook: &mut H) -> Vec<f64> {
+        let n = self.n;
+        let n2 = n * n;
+        let bits = self.input_bits::<F>();
+        let mut a = Vec::with_capacity(n2);
+        let mut b = Vec::with_capacity(n2);
+        for &w in &bits[..n2] {
+            a.push(hook.touch(F::from_bits_u64(w)));
+        }
+        for &w in &bits[n2..] {
+            b.push(hook.touch(F::from_bits_u64(w)));
         }
 
-        let mut c = Vec::with_capacity(n * n);
+        let mut c = Vec::with_capacity(n2);
         for i in 0..n {
             for j in 0..n {
-                let mut acc = F::zero();
-                for k in 0..n {
-                    acc = hook.touch(a[i * n + k].mul_add(b[k * n + j], acc));
-                }
-                c.push(acc.to_f64());
+                c.push(Self::element(n, |k| a[i * n + k], |k| b[k * n + j], hook).to_f64());
             }
         }
         c
+    }
+
+    /// Golden-prefix replay: an input strike at site `s < 2n^2` dirties
+    /// one row (`A`) or one column (`B`) of `C`; an FMA strike dirties a
+    /// single element. Everything else is copied from `golden`.
+    fn replay<F: FloatExt>(
+        &self,
+        site: u64,
+        fault: ValueFault,
+        golden: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        let n = self.n;
+        let n2 = n * n;
+        let (n2u, nu) = (to_u64(n2), to_u64(n));
+        out.clear();
+        out.extend_from_slice(golden);
+        if site >= 2 * n2u + n2u * nu {
+            return; // past the last dynamic site: the fault never fires
+        }
+        let width = F::PRECISION.total_bits();
+        let bits = self.input_bits::<F>();
+        let at = |idx: usize| F::from_bits_u64(bits[idx]);
+        if site < n2u {
+            // A[i][col] strike: row i of C recomputed with the faulted value.
+            let idx = site as usize;
+            let (i, col) = (idx / n, idx % n);
+            let mut arow: Vec<F> = (0..n).map(|k| at(i * n + k)).collect();
+            arow[col] = F::from_bits_u64(fault.apply(bits[idx], width));
+            for j in 0..n {
+                // mpr-allow: fault-site -- `element` routes every FMA through the replay's NullHook; the full run already counted these sites
+                out[i * n + j] =
+                    Self::element(n, |k| arow[k], |k| at(n2 + k * n + j), &mut NullHook).to_f64();
+            }
+        } else if site < 2 * n2u {
+            // B[row][j] strike: column j of C recomputed.
+            let idx = (site - n2u) as usize;
+            let (row, j) = (idx / n, idx % n);
+            let mut bcol: Vec<F> = (0..n).map(|k| at(n2 + k * n + j)).collect();
+            bcol[row] = F::from_bits_u64(fault.apply(bits[n2 + idx], width));
+            for i in 0..n {
+                // mpr-allow: fault-site -- `element` routes every FMA through the replay's NullHook; the full run already counted these sites
+                out[i * n + j] =
+                    Self::element(n, |k| at(i * n + k), |k| bcol[k], &mut NullHook).to_f64();
+            }
+        } else {
+            // FMA strike: replay one element's chain with a local inject
+            // hook whose cursor starts at the chain's first site.
+            let r = site - 2 * n2u;
+            let e = (r / nu) as usize;
+            let (i, j) = (e / n, e % n);
+            let mut hook = InjectHook::new(r % nu, fault);
+            out[e] =
+                Self::element(n, |k| at(i * n + k), |k| at(n2 + k * n + j), &mut hook).to_f64();
+        }
     }
 }
 
@@ -85,8 +177,21 @@ impl Workload for Gemm {
         "MxM"
     }
 
-    fn dispatch(&self, precision: Precision, hook: &mut dyn FaultHook) -> Vec<f64> {
-        dispatch_precision!(self, precision, hook)
+    monomorphic_workload!();
+
+    fn run_from_site_into(
+        &self,
+        precision: Precision,
+        site: u64,
+        fault: ValueFault,
+        golden: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        match precision {
+            Precision::Double => self.replay::<f64>(site, fault, golden, out),
+            Precision::Single => self.replay::<f32>(site, fault, golden, out),
+            Precision::Half => self.replay::<mpr_softfloat::Half>(site, fault, golden, out),
+        }
     }
 }
 

@@ -1,11 +1,22 @@
 //! The LavaMD particle-potential kernel.
 
-use crate::dispatch_precision;
-use crate::util::gen_value;
-use mpr_fault::hook::FaultHook;
-use mpr_fault::Workload;
+use crate::monomorphic_workload;
+use crate::util::{gen_value, index_range, to_u64, PrecisionCache};
+use mpr_fault::hook::{FaultHook, HookExt, InjectHook, NullHook};
+use mpr_fault::{ValueFault, Workload};
 use mpr_softfloat::math::exp_terms;
 use mpr_softfloat::{FloatExt, Precision};
+
+/// Per-precision replay state: the exact input bits (interleaved
+/// `px, py, pz, q` per particle, matching dynamic-site order) plus each
+/// particle's first interaction-region site.
+struct LavaCache {
+    input_bits: Vec<u64>,
+    /// `base[pi]` is the first dynamic site of particle `pi`'s
+    /// interaction region; `base[particle_count]` is the total site
+    /// count.
+    base: Vec<u64>,
+}
 
 /// LavaMD: particle potentials in a 3D grid of boxes under a cutoff
 /// exponential interaction (Rodinia), "representative of multi-physics
@@ -28,6 +39,7 @@ pub struct LavaMd {
     particles_per_box: usize,
     seed: u64,
     transcendental_unit: bool,
+    cache: PrecisionCache<LavaCache>,
 }
 
 impl LavaMd {
@@ -45,12 +57,14 @@ impl LavaMd {
             particles_per_box,
             seed: 0x1ABA,
             transcendental_unit: false,
+            cache: PrecisionCache::new(),
         }
     }
 
     /// Overrides the deterministic input seed.
     pub fn with_seed(mut self, seed: u64) -> LavaMd {
         self.seed = seed;
+        self.cache = PrecisionCache::new();
         self
     }
 
@@ -66,6 +80,7 @@ impl LavaMd {
     /// than single on the KNC (paper Section 5.3, Figure 8).
     pub fn for_knc(mut self) -> LavaMd {
         self.transcendental_unit = true;
+        self.cache = PrecisionCache::new();
         self
     }
 
@@ -85,7 +100,7 @@ impl LavaMd {
     /// fault hook once per occupied cycle. A corrupted nibble displaces
     /// the value by `2^(b-4)` — always a significant fraction of the
     /// result.
-    fn exp_unit<F: FloatExt>(u2: F, hook: &mut dyn FaultHook) -> F {
+    fn exp_unit<F: FloatExt, H: FaultHook + ?Sized>(u2: F, hook: &mut H) -> F {
         let exact = u2.exp().to_f64();
         // Fixed-point staging of the top bits: exp output is in (0, 1]
         // for LavaMD's non-positive arguments.
@@ -113,7 +128,7 @@ impl LavaMd {
     /// is skipped: LavaMD arguments are cutoff to `[-2, 0]`, inside the
     /// polynomial's convergence range, like real MD inner loops that
     /// inline the reduced kernel.
-    pub fn exp_hooked<F: FloatExt>(x: F, hook: &mut dyn FaultHook) -> F {
+    pub fn exp_hooked<F: FloatExt, H: FaultHook + ?Sized>(x: F, hook: &mut H) -> F {
         let terms = exp_terms(F::PRECISION);
         let mut acc = F::zero();
         for k in (1..=terms).rev() {
@@ -123,65 +138,194 @@ impl LavaMd {
         hook.touch(acc.mul_add(x, F::one()))
     }
 
-    fn run<F: FloatExt>(&self, hook: &mut dyn FaultHook) -> Vec<f64> {
+    /// Input bits and per-particle region bases at `F`'s precision,
+    /// computed once and reused across a campaign's strike batch.
+    fn cache<F: FloatExt>(&self) -> &LavaCache {
+        self.cache.get_or_init(F::PRECISION, || {
+            let nb = self.boxes_per_dim;
+            let par = self.particles_per_box;
+            let total = self.particle_count();
+            let mut input_bits = Vec::with_capacity(4 * total);
+            for i in index_range(total) {
+                // mpr-allow: precision-leak -- component ranges are f64 master-domain input synthesis; each value crosses into `F` through from_f64 below
+                for (c, (lo, hi)) in [(0.0, 1.0), (0.0, 1.0), (0.0, 1.0), (0.25, 1.0)]
+                    .into_iter()
+                    .enumerate()
+                {
+                    let v = gen_value(self.seed, 4 * i + to_u64(c), lo, hi);
+                    input_bits.push(F::from_f64(v).to_bits_u64());
+                }
+            }
+            // Touches per interaction: r2 + u2 + the exp evaluation + the
+            // accumulating FMA.
+            let exp_touches = if self.transcendental_unit {
+                Self::unit_cycles(F::PRECISION)
+            } else {
+                exp_terms(F::PRECISION) + 1
+            };
+            let per_interaction = to_u64(3 + exp_touches);
+            let mut base = Vec::with_capacity(total + 1);
+            let mut acc = 4 * to_u64(total);
+            for pi in 0..total {
+                base.push(acc);
+                let hb = pi / par;
+                let (hx, hy, hz) = (hb % nb, (hb / nb) % nb, hb / (nb * nb));
+                let nbrs = neighbor_range(hx, nb).count()
+                    * neighbor_range(hy, nb).count()
+                    * neighbor_range(hz, nb).count();
+                // mpr-allow: fault-site -- u64 site-count bookkeeping, not in-precision arithmetic
+                acc += to_u64(nbrs * par - 1) * per_interaction;
+            }
+            base.push(acc);
+            LavaCache { input_bits, base }
+        })
+    }
+
+    /// One particle's potential — shared by the full run and the replay
+    /// so both touch identical values in identical order.
+    fn potential<F: FloatExt, H: FaultHook + ?Sized>(
+        &self,
+        pi: usize,
+        px: &[F],
+        py: &[F],
+        pz: &[F],
+        q: &[F],
+        hook: &mut H,
+    ) -> F {
         let nb = self.boxes_per_dim;
         let par = self.particles_per_box;
+        let hb = pi / par;
+        let (hx, hy, hz) = (hb % nb, (hb / nb) % nb, hb / (nb * nb));
+        // Cutoff constant chosen so u2 stays in [-0.75, 0], inside the
+        // unreduced polynomial's accurate range at every precision.
+        let a2 = F::from_f64(0.25);
+        let mut v = F::zero();
+        // Neighbor boxes, clamped at the grid edge (Rodinia visits the
+        // 27-neighborhood; duplicates from clamping are skipped).
+        for nbx in neighbor_range(hx, nb) {
+            for nby in neighbor_range(hy, nb) {
+                for nbz in neighbor_range(hz, nb) {
+                    let nbox = nbz * nb * nb + nby * nb + nbx;
+                    for j in 0..par {
+                        let pj = nbox * par + j;
+                        if pj == pi {
+                            continue;
+                        }
+                        let dx = px[pi] - px[pj];
+                        let dy = py[pi] - py[pj];
+                        let dz = pz[pi] - pz[pj];
+                        // r^2 via two FMAs and one MUL: the
+                        // MUL-dominated inner loop of the paper.
+                        let r2 = hook.touch(dx.mul_add(dx, dy.mul_add(dy, dz * dz)));
+                        let u2 = hook.touch(-(a2 * r2));
+                        let e = if self.transcendental_unit {
+                            Self::exp_unit(u2, hook)
+                        } else {
+                            Self::exp_hooked(u2, hook)
+                        };
+                        v = hook.touch(q[pj].mul_add(e, v));
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// Materializes the particle state vectors from the cached bits,
+    /// without advancing any hook.
+    fn load_particles<F: FloatExt>(&self, bits: &[u64]) -> (Vec<F>, Vec<F>, Vec<F>, Vec<F>) {
         let total = self.particle_count();
+        let mut px = Vec::with_capacity(total);
+        let mut py = Vec::with_capacity(total);
+        let mut pz = Vec::with_capacity(total);
+        let mut q = Vec::with_capacity(total);
+        for i in 0..total {
+            px.push(F::from_bits_u64(bits[4 * i]));
+            py.push(F::from_bits_u64(bits[4 * i + 1]));
+            pz.push(F::from_bits_u64(bits[4 * i + 2]));
+            q.push(F::from_bits_u64(bits[4 * i + 3]));
+        }
+        (px, py, pz, q)
+    }
+
+    fn run<F: FloatExt, H: FaultHook + ?Sized>(&self, hook: &mut H) -> Vec<f64> {
+        let total = self.particle_count();
+        let cache = self.cache::<F>();
 
         // Particle state: position within the unit box plus charge.
         let mut px = Vec::with_capacity(total);
         let mut py = Vec::with_capacity(total);
         let mut pz = Vec::with_capacity(total);
         let mut q = Vec::with_capacity(total);
-        for i in 0..total as u64 {
-            px.push(hook.touch(F::from_f64(gen_value(self.seed, 4 * i, 0.0, 1.0))));
-            py.push(hook.touch(F::from_f64(gen_value(self.seed, 4 * i + 1, 0.0, 1.0))));
-            pz.push(hook.touch(F::from_f64(gen_value(self.seed, 4 * i + 2, 0.0, 1.0))));
-            q.push(hook.touch(F::from_f64(gen_value(self.seed, 4 * i + 3, 0.25, 1.0))));
+        for i in 0..total {
+            px.push(hook.touch(F::from_bits_u64(cache.input_bits[4 * i])));
+            py.push(hook.touch(F::from_bits_u64(cache.input_bits[4 * i + 1])));
+            pz.push(hook.touch(F::from_bits_u64(cache.input_bits[4 * i + 2])));
+            q.push(hook.touch(F::from_bits_u64(cache.input_bits[4 * i + 3])));
         }
 
-        // Cutoff constant chosen so u2 stays in [-0.75, 0], inside the
-        // unreduced polynomial's accurate range at every precision.
-        let a2 = F::from_f64(0.25);
         let mut out = Vec::with_capacity(total);
-        for hb in 0..nb * nb * nb {
-            let (hx, hy, hz) = (hb % nb, (hb / nb) % nb, hb / (nb * nb));
-            for i in 0..par {
-                let pi = hb * par + i;
-                let mut v = F::zero();
-                // Neighbor boxes, clamped at the grid edge (Rodinia
-                // visits the 27-neighborhood; duplicates from clamping
-                // are skipped).
-                for nbx in neighbor_range(hx, nb) {
-                    for nby in neighbor_range(hy, nb) {
-                        for nbz in neighbor_range(hz, nb) {
-                            let nbox = nbz * nb * nb + nby * nb + nbx;
-                            for j in 0..par {
-                                let pj = nbox * par + j;
-                                if pj == pi {
-                                    continue;
-                                }
-                                let dx = px[pi] - px[pj];
-                                let dy = py[pi] - py[pj];
-                                let dz = pz[pi] - pz[pj];
-                                // r^2 via two FMAs and one MUL: the
-                                // MUL-dominated inner loop of the paper.
-                                let r2 = hook.touch(dx.mul_add(dx, dy.mul_add(dy, dz * dz)));
-                                let u2 = hook.touch(-(a2 * r2));
-                                let e = if self.transcendental_unit {
-                                    Self::exp_unit(u2, hook)
-                                } else {
-                                    Self::exp_hooked(u2, hook)
-                                };
-                                v = hook.touch(q[pj].mul_add(e, v));
-                            }
+        for pi in 0..total {
+            out.push(self.potential(pi, &px, &py, &pz, &q, hook).to_f64());
+        }
+        out
+    }
+
+    /// Golden-prefix replay: an input strike on particle `p` dirties
+    /// only the potentials of particles whose neighborhood contains
+    /// `p`'s box (the clamped ranges are symmetric, so that is exactly
+    /// the boxes Chebyshev-adjacent to `p`'s); an interaction-region
+    /// strike dirties a single particle's potential, replayed with a
+    /// local inject hook.
+    fn replay<F: FloatExt>(
+        &self,
+        site: u64,
+        fault: ValueFault,
+        golden: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.extend_from_slice(golden);
+        let cache = self.cache::<F>();
+        let total = self.particle_count();
+        // mpr-allow: panic-hygiene -- the cache builder unconditionally pushes the terminal base entry
+        if site >= *cache.base.last().expect("base is never empty") {
+            return; // past the last dynamic site: the fault never fires
+        }
+        let (mut px, mut py, mut pz, mut q) = self.load_particles::<F>(&cache.input_bits);
+        if site < 4 * to_u64(total) {
+            let idx = site as usize;
+            let (pp, component) = (idx / 4, idx % 4);
+            let width = F::PRECISION.total_bits();
+            let faulted = F::from_bits_u64(fault.apply(cache.input_bits[idx], width));
+            match component {
+                0 => px[pp] = faulted,
+                1 => py[pp] = faulted,
+                2 => pz[pp] = faulted,
+                _ => q[pp] = faulted,
+            }
+            let nb = self.boxes_per_dim;
+            let par = self.particles_per_box;
+            let pb = pp / par;
+            let (bx, by, bz) = (pb % nb, (pb / nb) % nb, pb / (nb * nb));
+            for nbx in neighbor_range(bx, nb) {
+                for nby in neighbor_range(by, nb) {
+                    for nbz in neighbor_range(bz, nb) {
+                        let bbox = nbz * nb * nb + nby * nb + nbx;
+                        for j in 0..par {
+                            let pi = bbox * par + j;
+                            out[pi] = self
+                                .potential(pi, &px, &py, &pz, &q, &mut NullHook)
+                                .to_f64();
                         }
                     }
                 }
-                out.push(v.to_f64());
             }
+        } else {
+            let pi = cache.base.partition_point(|&b| b <= site) - 1;
+            let mut hook = InjectHook::new(site - cache.base[pi], fault);
+            out[pi] = self.potential(pi, &px, &py, &pz, &q, &mut hook).to_f64();
         }
-        out
     }
 }
 
@@ -198,8 +342,21 @@ impl Workload for LavaMd {
         "LavaMD"
     }
 
-    fn dispatch(&self, precision: Precision, hook: &mut dyn FaultHook) -> Vec<f64> {
-        dispatch_precision!(self, precision, hook)
+    monomorphic_workload!();
+
+    fn run_from_site_into(
+        &self,
+        precision: Precision,
+        site: u64,
+        fault: ValueFault,
+        golden: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        match precision {
+            Precision::Double => self.replay::<f64>(site, fault, golden, out),
+            Precision::Single => self.replay::<f32>(site, fault, golden, out),
+            Precision::Half => self.replay::<mpr_softfloat::Half>(site, fault, golden, out),
+        }
     }
 }
 

@@ -51,14 +51,66 @@ pub use lavamd::LavaMd;
 pub use lud::Lud;
 pub use micro::{Micro, MicroKernelOp};
 
-/// Dispatches a generic `run<F>` method on a runtime [`mpr_softfloat::Precision`].
+/// Dispatches a generic `run<F, H>` method on a runtime
+/// [`mpr_softfloat::Precision`]. The hook type is inferred at the call
+/// site, so the same macro serves the `dyn` campaign boundary and the
+/// monomorphized fast path.
 macro_rules! dispatch_precision {
-    ($self:ident, $precision:ident, $hook:ident) => {
+    ($self:ident, $precision:ident, $hook:expr) => {
         match $precision {
-            mpr_softfloat::Precision::Double => $self.run::<f64>($hook),
-            mpr_softfloat::Precision::Single => $self.run::<f32>($hook),
-            mpr_softfloat::Precision::Half => $self.run::<mpr_softfloat::Half>($hook),
+            mpr_softfloat::Precision::Double => $self.run::<f64, _>($hook),
+            mpr_softfloat::Precision::Single => $self.run::<f32, _>($hook),
+            mpr_softfloat::Precision::Half => $self.run::<mpr_softfloat::Half, _>($hook),
         }
     };
 }
 pub(crate) use dispatch_precision;
+
+/// Generates the [`mpr_fault::Workload`] dispatch family for a kernel
+/// whose `run` is generic over both the float format and the hook type:
+/// the `dyn` entry point campaigns hold, the monomorphized
+/// `dispatch_mono`, and static-dispatch overrides of the derived methods
+/// (`site_count`, `run_golden`, `run_with_fault`) so golden runs and
+/// single strikes never pay a virtual call per touch. Expand inside an
+/// `impl Workload for ...` block.
+macro_rules! monomorphic_workload {
+    () => {
+        fn dispatch(
+            &self,
+            precision: mpr_softfloat::Precision,
+            // mpr-allow: fault-site -- the one virtual dispatch boundary the hook protocol keeps: campaigns hold workloads as trait objects
+            hook: &mut dyn mpr_fault::hook::FaultHook,
+        ) -> Vec<f64> {
+            crate::dispatch_precision!(self, precision, hook)
+        }
+
+        fn dispatch_mono<H: mpr_fault::hook::FaultHook>(
+            &self,
+            precision: mpr_softfloat::Precision,
+            hook: &mut H,
+        ) -> Vec<f64> {
+            crate::dispatch_precision!(self, precision, hook)
+        }
+
+        fn site_count(&self, precision: mpr_softfloat::Precision) -> u64 {
+            let mut hook = mpr_fault::hook::GoldenHook::new();
+            let _ = self.dispatch_mono(precision, &mut hook);
+            hook.sites()
+        }
+
+        fn run_golden(&self, precision: mpr_softfloat::Precision) -> Vec<f64> {
+            self.dispatch_mono(precision, &mut mpr_fault::hook::NullHook)
+        }
+
+        fn run_with_fault(
+            &self,
+            precision: mpr_softfloat::Precision,
+            site: u64,
+            fault: mpr_fault::ValueFault,
+        ) -> Vec<f64> {
+            let mut hook = mpr_fault::hook::InjectHook::new(site, fault);
+            self.dispatch_mono(precision, &mut hook)
+        }
+    };
+}
+pub(crate) use monomorphic_workload;

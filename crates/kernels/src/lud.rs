@@ -1,10 +1,19 @@
 //! The LUD (LU decomposition) kernel.
 
-use crate::dispatch_precision;
-use crate::util::gen_value;
-use mpr_fault::hook::FaultHook;
-use mpr_fault::Workload;
+use crate::monomorphic_workload;
+use crate::util::{gen_value, to_u64, PrecisionCache};
+use mpr_fault::hook::{FaultHook, HookExt, InjectHook, NullHook};
+use mpr_fault::{ValueFault, Workload};
 use mpr_softfloat::{FloatExt, Precision};
+
+/// Per-precision replay state: the exact input bits plus the packed
+/// matrix state (as bits) checkpointed before each elimination step.
+struct LudCache {
+    input_bits: Vec<u64>,
+    /// `snapshots[k]` is the matrix immediately before elimination step
+    /// `k` — the golden prefix a strike inside step `k` replays from.
+    snapshots: Vec<Vec<u64>>,
+}
 
 /// LU decomposition of a diagonally dominant matrix (Doolittle, no
 /// pivoting) — the paper's "highly CPU-bound" Rodinia code, tested on
@@ -31,6 +40,7 @@ use mpr_softfloat::{FloatExt, Precision};
 pub struct Lud {
     n: usize,
     seed: u64,
+    cache: PrecisionCache<LudCache>,
 }
 
 impl Lud {
@@ -41,12 +51,17 @@ impl Lud {
     /// Panics if `n < 2`.
     pub fn new(n: usize) -> Lud {
         assert!(n >= 2, "decomposition needs at least a 2x2 matrix");
-        Lud { n, seed: 0x10D }
+        Lud {
+            n,
+            seed: 0x10D,
+            cache: PrecisionCache::new(),
+        }
     }
 
     /// Overrides the deterministic input seed.
     pub fn with_seed(mut self, seed: u64) -> Lud {
         self.seed = seed;
+        self.cache = PrecisionCache::new();
         self
     }
 
@@ -55,29 +70,132 @@ impl Lud {
         self.n
     }
 
-    fn run<F: FloatExt>(&self, hook: &mut dyn FaultHook) -> Vec<f64> {
-        let n = self.n;
-        let mut a = Vec::with_capacity(n * n);
-        for i in 0..n {
-            for j in 0..n {
-                let idx = (i * n + j) as u64;
-                // mpr-allow: precision-leak -- diagonal-dominance offset is f64 master-domain input synthesis, cast once below
-                let diag = if i == j { n as f64 } else { 0.0 };
-                a.push(hook.touch(F::from_f64(gen_value(self.seed, idx, 0.0, 1.0) + diag)));
-            }
-        }
-
-        for k in 0..n - 1 {
-            let pivot = a[k * n + k];
-            for i in k + 1..n {
-                let factor = hook.touch(a[i * n + k] / pivot);
-                a[i * n + k] = factor;
-                for j in k + 1..n {
-                    a[i * n + j] = hook.touch((-factor).mul_add(a[k * n + j], a[i * n + j]));
+    /// Input bits and pre-step checkpoints at `F`'s precision, computed
+    /// once and reused across a campaign's strike batch.
+    fn cache<F: FloatExt>(&self) -> &LudCache {
+        self.cache.get_or_init(F::PRECISION, || {
+            let n = self.n;
+            let mut input_bits = Vec::with_capacity(n * n);
+            for i in 0..n {
+                for j in 0..n {
+                    let idx = to_u64(i * n + j);
+                    // mpr-allow: precision-leak -- diagonal-dominance offset is f64 master-domain input synthesis, cast once below
+                    let diag = if i == j { n as f64 } else { 0.0 };
+                    // mpr-allow: fault-site -- f64 master-domain input synthesis; the run touches every input when loading the cached bits
+                    input_bits.push(
+                        F::from_f64(gen_value(self.seed, idx, 0.0, 1.0) + diag).to_bits_u64(),
+                    );
                 }
             }
+            let mut a: Vec<F> = input_bits.iter().map(|&w| F::from_bits_u64(w)).collect();
+            let mut snapshots = Vec::with_capacity(n - 1);
+            for k in 0..n - 1 {
+                snapshots.push(a.iter().map(|v| v.to_bits_u64()).collect());
+                Self::eliminate_step(&mut a, n, k, &mut NullHook);
+            }
+            LudCache {
+                input_bits,
+                snapshots,
+            }
+        })
+    }
+
+    /// First dynamic site of elimination step `k`: `n^2` input sites,
+    /// then step `m` contributes `(n-1-m)` factors each followed by
+    /// `(n-1-m)` updates.
+    fn step_base(n: u64, k: u64) -> u64 {
+        n * n + (0..k).map(|m| (n - 1 - m) * (n - m)).sum::<u64>()
+    }
+
+    /// One Doolittle elimination step — shared by the full run, the
+    /// checkpoint builder, and the replay, so all three touch identical
+    /// values in identical order.
+    #[inline]
+    fn eliminate_step<F: FloatExt, H: FaultHook + ?Sized>(
+        a: &mut [F],
+        n: usize,
+        k: usize,
+        hook: &mut H,
+    ) {
+        let pivot = a[k * n + k];
+        for i in k + 1..n {
+            let factor = hook.touch(a[i * n + k] / pivot);
+            a[i * n + k] = factor;
+            for j in k + 1..n {
+                a[i * n + j] = hook.touch((-factor).mul_add(a[k * n + j], a[i * n + j]));
+            }
         }
+    }
+
+    fn eliminate_from<F: FloatExt, H: FaultHook + ?Sized>(
+        a: &mut [F],
+        n: usize,
+        k0: usize,
+        hook: &mut H,
+    ) {
+        for k in k0..n - 1 {
+            Self::eliminate_step(a, n, k, hook);
+        }
+    }
+
+    fn run<F: FloatExt, H: FaultHook + ?Sized>(&self, hook: &mut H) -> Vec<f64> {
+        let n = self.n;
+        let cache = self.cache::<F>();
+        let mut a: Vec<F> = cache
+            .input_bits
+            .iter()
+            .map(|&w| hook.touch(F::from_bits_u64(w)))
+            .collect();
+        Self::eliminate_from(&mut a, n, 0, hook);
         a.iter().map(|v| v.to_f64()).collect()
+    }
+
+    /// Golden-prefix replay: a strike inside elimination step `k`
+    /// resumes from the checkpoint taken before step `k`; an input
+    /// strike re-eliminates from the (faulted) inputs without paying
+    /// hook dispatch or input regeneration.
+    fn replay<F: FloatExt>(
+        &self,
+        site: u64,
+        fault: ValueFault,
+        golden: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        let n = self.n;
+        let nu = to_u64(n);
+        out.clear();
+        out.extend_from_slice(golden);
+        if site >= Self::step_base(nu, nu - 1) {
+            return; // past the last dynamic site: the fault never fires
+        }
+        let cache = self.cache::<F>();
+        let mut a: Vec<F>;
+        if site < nu * nu {
+            let idx = site as usize;
+            a = cache
+                .input_bits
+                .iter()
+                .map(|&w| F::from_bits_u64(w))
+                .collect();
+            let width = F::PRECISION.total_bits();
+            a[idx] = F::from_bits_u64(fault.apply(cache.input_bits[idx], width));
+            Self::eliminate_from(&mut a, n, 0, &mut NullHook);
+        } else {
+            // Largest step whose first site is <= the strike site.
+            let k = (0..nu - 1)
+                .take_while(|&k| Self::step_base(nu, k) <= site)
+                .last()
+                .expect("site is inside the elimination range"); // mpr-allow: panic-hygiene -- guarded by the step_base range check above
+            let mut hook = InjectHook::new(site - Self::step_base(nu, k), fault);
+            a = cache.snapshots[k as usize]
+                .iter()
+                .map(|&w| F::from_bits_u64(w))
+                .collect();
+            Self::eliminate_from(&mut a, n, k as usize, &mut hook);
+        }
+        for (slot, v) in out.iter_mut().zip(&a) {
+            *slot = v.to_f64();
+        }
     }
 }
 
@@ -86,14 +204,27 @@ impl Workload for Lud {
         "LUD"
     }
 
-    fn dispatch(&self, precision: Precision, hook: &mut dyn FaultHook) -> Vec<f64> {
-        dispatch_precision!(self, precision, hook)
-    }
+    monomorphic_workload!();
 
     /// The paper implements LUD "using single and double precision" on
     /// the KNC only.
     fn supports(&self, precision: Precision) -> bool {
         precision != Precision::Half
+    }
+
+    fn run_from_site_into(
+        &self,
+        precision: Precision,
+        site: u64,
+        fault: ValueFault,
+        golden: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        match precision {
+            Precision::Double => self.replay::<f64>(site, fault, golden, out),
+            Precision::Single => self.replay::<f32>(site, fault, golden, out),
+            Precision::Half => self.replay::<mpr_softfloat::Half>(site, fault, golden, out),
+        }
     }
 }
 

@@ -1,9 +1,9 @@
 //! The Micro-ADD / Micro-MUL / Micro-FMA synthetic kernels.
 
-use crate::dispatch_precision;
-use crate::util::gen_value;
-use mpr_fault::hook::FaultHook;
-use mpr_fault::Workload;
+use crate::monomorphic_workload;
+use crate::util::{gen_value, to_u64};
+use mpr_fault::hook::{FaultHook, HookExt, InjectHook};
+use mpr_fault::{ValueFault, Workload};
 use mpr_softfloat::{FloatExt, Precision};
 
 /// Which arithmetic operation a microbenchmark stresses.
@@ -77,47 +77,74 @@ impl Micro {
         self.op
     }
 
-    fn run<F: FloatExt>(&self, hook: &mut dyn FaultHook) -> Vec<f64> {
-        // Alternating constants with a slight asymmetry: the chain stays
-        // bounded (the pair products/sums are near identity) but never
-        // cancels exactly, so every step's value is distinct. All
-        // constants are exactly representable in binary16.
+    /// One thread's dependent chain — shared by the full run and the
+    /// replay so both touch identical values in identical order.
+    ///
+    /// Alternating constants with a slight asymmetry: the chain stays
+    /// bounded (the pair products/sums are near identity) but never
+    /// cancels exactly, so every step's value is distinct. All
+    /// constants are exactly representable in binary16.
+    fn chain<F: FloatExt, H: FaultHook + ?Sized>(&self, t: u64, hook: &mut H) -> F {
         let mul_up = F::from_f64(1.25);
         let mul_down = F::from_f64(0.796875);
         let add_up = F::from_f64(0.25);
         let add_down = F::from_f64(0.125);
+        let mut x = F::from_f64(gen_value(0x3C0, t, 0.5, 1.5));
+        for i in 0..self.iters {
+            let even = i % 2 == 0;
+            x = hook.touch(match self.op {
+                MicroKernelOp::Add => {
+                    if even {
+                        x + add_up
+                    } else {
+                        x - add_down
+                    }
+                }
+                MicroKernelOp::Mul => {
+                    if even {
+                        x * mul_up
+                    } else {
+                        x * mul_down
+                    }
+                }
+                MicroKernelOp::Fma => {
+                    if even {
+                        x.mul_add(mul_up, add_up)
+                    } else {
+                        x.mul_add(mul_down, -add_down)
+                    }
+                }
+            });
+        }
+        x
+    }
+
+    fn run<F: FloatExt, H: FaultHook + ?Sized>(&self, hook: &mut H) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.threads);
-        for t in 0..self.threads as u64 {
-            let mut x = F::from_f64(gen_value(0x3C0, t, 0.5, 1.5));
-            for i in 0..self.iters {
-                let even = i % 2 == 0;
-                x = hook.touch(match self.op {
-                    MicroKernelOp::Add => {
-                        if even {
-                            x + add_up
-                        } else {
-                            x - add_down
-                        }
-                    }
-                    MicroKernelOp::Mul => {
-                        if even {
-                            x * mul_up
-                        } else {
-                            x * mul_down
-                        }
-                    }
-                    MicroKernelOp::Fma => {
-                        if even {
-                            x.mul_add(mul_up, add_up)
-                        } else {
-                            x.mul_add(mul_down, -add_down)
-                        }
-                    }
-                });
-            }
-            out.push(x.to_f64());
+        for t in crate::util::index_range(self.threads) {
+            out.push(self.chain::<F, H>(t, hook).to_f64());
         }
         out
+    }
+
+    /// Golden-prefix replay: the chains are independent, so a strike in
+    /// thread `t`'s chain replays only that chain.
+    fn replay<F: FloatExt>(
+        &self,
+        site: u64,
+        fault: ValueFault,
+        golden: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.extend_from_slice(golden);
+        let iters = to_u64(self.iters);
+        if site >= to_u64(self.threads) * iters {
+            return; // past the last dynamic site: the fault never fires
+        }
+        let t = site / iters;
+        let mut hook = InjectHook::new(site - t * iters, fault);
+        out[t as usize] = self.chain::<F, _>(t, &mut hook).to_f64();
     }
 }
 
@@ -126,8 +153,21 @@ impl Workload for Micro {
         self.op.name()
     }
 
-    fn dispatch(&self, precision: Precision, hook: &mut dyn FaultHook) -> Vec<f64> {
-        dispatch_precision!(self, precision, hook)
+    monomorphic_workload!();
+
+    fn run_from_site_into(
+        &self,
+        precision: Precision,
+        site: u64,
+        fault: ValueFault,
+        golden: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        match precision {
+            Precision::Double => self.replay::<f64>(site, fault, golden, out),
+            Precision::Single => self.replay::<f32>(site, fault, golden, out),
+            Precision::Half => self.replay::<mpr_softfloat::Half>(site, fault, golden, out),
+        }
     }
 }
 
