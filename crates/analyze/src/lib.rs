@@ -7,16 +7,23 @@
 //! pass through the fault hook so injection campaigns see it, campaigns
 //! must be bit-reproducible from their seed, and library crates must
 //! not panic on recoverable conditions. This crate enforces those
-//! conventions with a lightweight line/token-level scanner — no rustc
-//! plugin, no syntax tree — wired into the CLI as `mpr analyze`.
+//! conventions in two tiers, wired into the CLI as `mpr analyze`:
+//! line/token pattern lints (PR 1), and flow-sensitive taint lints that
+//! run a hand-rolled lexer ([`lexer`]), an item-level parser
+//! ([`parse`]), a per-function dataflow pass ([`flow`]), and a
+//! workspace call graph ([`callgraph`]) — still no rustc plugin, no
+//! syn.
 //!
-//! | family           | ids        | scope                        |
-//! |------------------|------------|------------------------------|
-//! | `precision-leak` | PL001-PL004| `crates/kernels`, `crates/nn` (generic fn bodies) |
-//! | `fault-site`     | FS001-FS002| FS001: `crates/kernels`, `crates/nn` (generic fn bodies); FS002 (`dyn FaultHook`): `crates/kernels` |
-//! | `determinism`    | DT001-DT003| `crates/beam`, `crates/fault`, `crates/core`, `crates/exp`, `crates/obs` |
-//! | `panic-hygiene`  | PH001-PH003| every library crate          |
-//! | `allow-hygiene`  | AH001-AH003| pragma bookkeeping           |
+//! | family                | ids        | scope                        |
+//! |-----------------------|------------|------------------------------|
+//! | `precision-leak`      | PL001-PL004| `crates/kernels`, `crates/nn` (generic fn bodies) |
+//! | `precision-taint`     | PL005      | `crates/kernels`, `crates/nn` (flow-sensitive) |
+//! | `fault-site`          | FS001-FS002| FS001: `crates/kernels`, `crates/nn` (generic fn bodies); FS002 (`dyn FaultHook`): `crates/kernels` |
+//! | `determinism`         | DT001-DT003| `crates/beam`, `crates/fault`, `crates/core`, `crates/exp`, `crates/obs` |
+//! | `determinism-taint`   | DT004      | same crates as `determinism` (flow-sensitive) |
+//! | `panic-hygiene`       | PH001-PH003| every library crate          |
+//! | `panic-reachability`  | PH004      | `crates/kernels`, `crates/fault`, `crates/beam`, `crates/exp` (call-graph reachable from the strike fast path) |
+//! | `allow-hygiene`       | AH001-AH003| pragma bookkeeping           |
 //!
 //! Violations are suppressed line-by-line with a justified pragma:
 //!
@@ -30,10 +37,15 @@
 //!
 //! [`FloatExt`]: https://docs.rs/mpr-softfloat
 
+pub mod callgraph;
+pub mod flow;
 pub mod json;
+pub mod lexer;
 pub mod lints;
+pub mod parse;
 pub mod source;
 
+use parse::ParsedFile;
 use source::SourceFile;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -201,17 +213,24 @@ impl Analysis {
 }
 
 /// True when `lint` applies to the file at workspace-relative `rel_path`.
+/// Separators are normalized (backslashes, a leading `./`) before the
+/// prefix checks, so Windows-style and walker-relative paths scope the
+/// same as canonical ones.
 pub fn lint_applies(lint: &str, rel_path: &str) -> bool {
     let p = rel_path.replace('\\', "/");
+    let p = p.strip_prefix("./").unwrap_or(&p);
     match lint {
-        "precision-leak" | "fault-site" => {
+        // PL005 extends the precision discipline beyond generic bodies
+        // to everything in the precision-bearing crates, so it shares
+        // the PL001–PL004 scope.
+        "precision-leak" | "fault-site" | "precision-taint" => {
             p.starts_with("crates/kernels/src") || p.starts_with("crates/nn/src")
         }
         // FS002: campaigns legitimately hold `dyn FaultHook` at the
         // dispatch boundary, so the trait-object ban covers only the
         // kernel crate where per-touch virtual calls are hot.
         "dyn-hook" => p.starts_with("crates/kernels/src"),
-        "determinism" => {
+        "determinism" | "determinism-taint" => {
             p.starts_with("crates/beam/src")
                 || p.starts_with("crates/fault/src")
                 || p.starts_with("crates/core/src")
@@ -219,47 +238,144 @@ pub fn lint_applies(lint: &str, rel_path: &str) -> bool {
                 || p.starts_with("crates/obs/src")
         }
         "panic-hygiene" => true,
+        // PH004 reports where the strike fast path and the campaign
+        // drivers live; reachability itself crosses every crate.
+        "panic-reachability" => {
+            p.starts_with("crates/kernels/src")
+                || p.starts_with("crates/fault/src")
+                || p.starts_with("crates/beam/src")
+                || p.starts_with("crates/exp/src")
+        }
         _ => false,
     }
 }
 
 /// Analyzes one file's text as if it lived at `rel_path`, applying the
 /// path-scoped lints and the pragma suppressions. This is the unit the
-/// workspace walk and the fixture tests share.
+/// fixture tests use; the flow-sensitive lints run too, with the call
+/// graph restricted to this one file.
 pub fn analyze_source(rel_path: &str, text: &str) -> Vec<Finding> {
-    let file = SourceFile::parse(rel_path, text);
-    let mut raw: Vec<Finding> = Vec::new();
-    if lint_applies("precision-leak", rel_path) {
-        raw.extend(lints::precision_leak(&file));
-    }
-    if lint_applies("fault-site", rel_path) {
-        raw.extend(lints::fault_site(&file));
-    }
-    if lint_applies("dyn-hook", rel_path) {
-        raw.extend(lints::dyn_hook(&file));
-    }
-    if lint_applies("determinism", rel_path) {
-        raw.extend(lints::determinism(&file));
-    }
-    if lint_applies("panic-hygiene", rel_path) {
-        raw.extend(lints::panic_hygiene(&file));
-    }
+    analyze_files(vec![(rel_path.to_string(), text.to_string())]).findings
+}
 
-    // Apply suppressions, remembering which pragma lines earned their keep.
-    let mut used: Vec<usize> = Vec::new();
-    let mut findings: Vec<Finding> = Vec::new();
-    for f in raw {
-        let suppressed = file.pragmas.iter().find(|p| {
-            p.lint == f.name && (p.file_wide || p.line == f.line || p.line + 1 == f.line)
-        });
-        match suppressed {
-            Some(p) => used.push(p.line),
-            None => findings.push(f),
+/// The full analysis pipeline over an in-memory file set: per-file
+/// token lints, per-function flow-sensitive taint lints, the
+/// workspace call graph for panic reachability, then pragma
+/// suppression and allowlist hygiene. Findings come back sorted by
+/// (file, line, lint id) so reports are stable regardless of input
+/// order.
+pub fn analyze_files(inputs: Vec<(String, String)>) -> Analysis {
+    let files: Vec<(SourceFile, ParsedFile)> = inputs
+        .into_iter()
+        .map(|(rel, text)| {
+            let sf = SourceFile::parse(&rel, &text);
+            let pf = ParsedFile::parse(&sf);
+            (sf, pf)
+        })
+        .collect();
+    let files_scanned = files.len();
+
+    // Per-file raw findings (token-level and intraprocedural flow).
+    let mut raw: Vec<Vec<Finding>> = files
+        .iter()
+        .map(|(sf, pf)| {
+            let rel = sf.rel_path.clone();
+            let mut out: Vec<Finding> = Vec::new();
+            if lint_applies("precision-leak", &rel) {
+                out.extend(lints::precision_leak(sf));
+            }
+            if lint_applies("fault-site", &rel) {
+                out.extend(lints::fault_site(sf));
+            }
+            if lint_applies("dyn-hook", &rel) {
+                out.extend(lints::dyn_hook(sf));
+            }
+            if lint_applies("determinism", &rel) {
+                out.extend(lints::determinism(sf));
+            }
+            if lint_applies("panic-hygiene", &rel) {
+                out.extend(lints::panic_hygiene(sf));
+            }
+            let precision = lint_applies("precision-taint", &rel);
+            let determinism = lint_applies("determinism-taint", &rel);
+            if precision || determinism {
+                out.extend(flow::taint_lints(sf, pf, precision, determinism));
+            }
+            out
+        })
+        .collect();
+
+    // Workspace pass: panic reachability over the whole call graph.
+    for f in callgraph::panic_reachability(&files, &|p| lint_applies("panic-reachability", p)) {
+        if let Some(slot) = files.iter().position(|(sf, _)| sf.rel_path == f.file) {
+            raw[slot].push(f);
         }
     }
-    findings.extend(lints::allow_hygiene(&file, &used));
-    findings.sort_by(|a, b| (a.line, &a.lint).cmp(&(b.line, &b.lint)));
-    findings
+
+    // Pragma suppression and allowlist hygiene, per file.
+    let mut findings: Vec<Finding> = Vec::new();
+    for ((sf, _), raw_file) in files.iter().zip(raw) {
+        let mut used: Vec<usize> = Vec::new();
+        for f in raw_file {
+            let suppressed = sf.pragmas.iter().find(|p| {
+                p.lint == f.name && (p.file_wide || p.line == f.line || p.line + 1 == f.line)
+            });
+            match suppressed {
+                Some(p) => used.push(p.line),
+                None => findings.push(f),
+            }
+        }
+        findings.extend(lints::allow_hygiene(sf, &used));
+    }
+    sort_findings(&mut findings);
+    Analysis {
+        files_scanned,
+        findings,
+    }
+}
+
+/// The one canonical finding order: (file, line, lint id). Applied
+/// before every text/JSON emission so CI diffs and baseline
+/// comparisons are stable regardless of directory walk order.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
+}
+
+/// Renders the difference between a baseline report and the current
+/// one as a human-readable added/removed listing, or `None` when the
+/// findings match. `files_scanned` is intentionally ignored — adding a
+/// clean file must not invalidate a baseline.
+pub fn diff_reports(baseline: &Analysis, current: &Analysis) -> Option<String> {
+    let in_other = |f: &Finding, other: &Analysis| other.findings.iter().any(|g| g == f);
+    let added: Vec<&Finding> = current
+        .findings
+        .iter()
+        .filter(|f| !in_other(f, baseline))
+        .collect();
+    let removed: Vec<&Finding> = baseline
+        .findings
+        .iter()
+        .filter(|f| !in_other(f, current))
+        .collect();
+    if added.is_empty() && removed.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "analyze findings changed vs baseline: {} added, {} removed\n",
+        added.len(),
+        removed.len()
+    ));
+    for f in added {
+        out.push_str(&format!("  + {f}\n"));
+    }
+    for f in removed {
+        out.push_str(&format!("  - {f}\n"));
+    }
+    out.push_str(
+        "update the baseline intentionally: mpr analyze --json > ci/analyze-baseline.json\n",
+    );
+    Some(out)
 }
 
 /// Walks the workspace at `root` (the directory holding the top-level
@@ -294,8 +410,7 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Analysis> {
     }
     files.sort();
 
-    let mut findings = Vec::new();
-    let files_scanned = files.len();
+    let mut inputs = Vec::with_capacity(files.len());
     for path in files {
         let text = std::fs::read_to_string(&path)?;
         let rel = path
@@ -303,13 +418,9 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Analysis> {
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        findings.extend(analyze_source(&rel, &text));
+        inputs.push((rel, text));
     }
-    findings.sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
-    Ok(Analysis {
-        files_scanned,
-        findings,
-    })
+    Ok(analyze_files(inputs))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -351,6 +462,88 @@ mod tests {
         assert!(lint_applies("determinism", "crates/obs/src/record.rs"));
         assert!(!lint_applies("determinism", "crates/metrics/src/fit.rs"));
         assert!(lint_applies("panic-hygiene", "crates/metrics/src/fit.rs"));
+    }
+
+    /// The full scoping matrix: every lint family against every crate
+    /// directory in the workspace, so adding a crate or a family forces
+    /// an explicit decision here instead of an accidental default.
+    #[test]
+    fn scoping_matrix_covers_every_lint_and_crate() {
+        let crates = [
+            "analyze",
+            "arch",
+            "beam",
+            "bench",
+            "cli",
+            "core",
+            "exp",
+            "fault",
+            "kernels",
+            "metrics",
+            "nn",
+            "obs",
+            "softfloat",
+        ];
+        let families = [
+            "precision-leak",
+            "precision-taint",
+            "fault-site",
+            "dyn-hook",
+            "determinism",
+            "determinism-taint",
+            "panic-hygiene",
+            "panic-reachability",
+        ];
+        let expected = |lint: &str, krate: &str| -> bool {
+            match lint {
+                "precision-leak" | "precision-taint" | "fault-site" => {
+                    matches!(krate, "kernels" | "nn")
+                }
+                "dyn-hook" => krate == "kernels",
+                "determinism" | "determinism-taint" => {
+                    matches!(krate, "beam" | "core" | "exp" | "fault" | "obs")
+                }
+                "panic-hygiene" => true,
+                "panic-reachability" => {
+                    matches!(krate, "beam" | "exp" | "fault" | "kernels")
+                }
+                _ => unreachable!("unknown family {lint}"),
+            }
+        };
+        for lint in families {
+            for krate in crates {
+                let path = format!("crates/{krate}/src/lib.rs");
+                assert_eq!(
+                    lint_applies(lint, &path),
+                    expected(lint, krate),
+                    "scoping of `{lint}` for {path}"
+                );
+            }
+        }
+        // An unknown family applies nowhere rather than everywhere.
+        assert!(!lint_applies("no-such-family", "crates/kernels/src/lib.rs"));
+    }
+
+    /// Walker-relative and Windows-style separators scope identically
+    /// to canonical workspace-relative paths.
+    #[test]
+    fn scoping_normalizes_path_separators() {
+        assert!(lint_applies(
+            "precision-leak",
+            "./crates/kernels/src/gemm.rs"
+        ));
+        assert!(lint_applies(
+            "precision-leak",
+            "crates\\kernels\\src\\gemm.rs"
+        ));
+        assert!(lint_applies(
+            "determinism-taint",
+            ".\\crates\\fault\\src\\campaign.rs"
+        ));
+        assert!(!lint_applies(
+            "determinism-taint",
+            "crates\\metrics\\src\\fit.rs"
+        ));
     }
 
     #[test]

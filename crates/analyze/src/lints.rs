@@ -9,11 +9,14 @@ use crate::source::SourceFile;
 use crate::{Finding, Severity};
 
 /// Lint family names as used in `mpr-allow` pragmas.
-pub const LINT_NAMES: [&str; 4] = [
+pub const LINT_NAMES: [&str; 7] = [
     "precision-leak",
     "fault-site",
     "determinism",
     "panic-hygiene",
+    "precision-taint",
+    "determinism-taint",
+    "panic-reachability",
 ];
 
 fn finding(
@@ -615,16 +618,28 @@ pub fn allow_hygiene(file: &SourceFile, used: &[usize]) -> Vec<Finding> {
             });
         }
         if !used.contains(&p.line) {
+            // Stale-suppression audit covers both pragma forms: a line
+            // allow that shields nothing nearby, and a file-wide allow
+            // whose lint family produces zero findings anywhere in the
+            // file.
+            let message = if p.file_wide {
+                format!(
+                    "`mpr-allow-file: {}` suppresses nothing — the `{}` lints produce zero findings in this file; remove the stale file-wide allow",
+                    p.lint, p.lint
+                )
+            } else {
+                format!(
+                    "`mpr-allow: {}` suppresses nothing on this or the next line; remove the stale entry",
+                    p.lint
+                )
+            };
             out.push(Finding {
                 file: file.rel_path.clone(),
                 line: p.line,
                 lint: "AH003".to_string(),
                 name: "allow-hygiene".to_string(),
                 severity: Severity::Warning,
-                message: format!(
-                    "`mpr-allow: {}` suppresses nothing on this or the next line; remove the stale entry",
-                    p.lint
-                ),
+                message,
             });
         }
     }

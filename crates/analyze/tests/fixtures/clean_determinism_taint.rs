@@ -1,0 +1,25 @@
+//! Clean twin of `bad_determinism_taint.rs`: the post-PR 3 shapes.
+//! Stride-loop pushes carry the strike index so the merge can restore
+//! canonical order, and per-strike seeds go through the avalanche
+//! mixer. Must produce zero findings.
+
+/// Each element is tagged with its strike index; the caller sorts by
+/// the tag after joining workers, so `--threads` cannot reorder it.
+fn collect_strided(worker: usize, threads: usize, out: &mut Vec<(usize, u64)>) {
+    for i in (worker..256).step_by(threads) {
+        out.push((i, strike_result(i)));
+    }
+}
+
+fn strike_result(i: usize) -> u64 {
+    i as u64
+}
+
+/// Per-strike seeds through the blessed avalanche: feeding raw
+/// arithmetic *into* the mixer is fine, the mixer's output is not a
+/// weak derivation.
+fn derived_seed(seed: u64, strike: u64) -> u64 {
+    let derived = mix_seed(seed, strike);
+    let stream = seed_from_u64(derived);
+    stream
+}

@@ -1,0 +1,13 @@
+//! Clean twin of `bad_stale_file_allow.rs`: the same file-wide allow,
+//! justified and load-bearing — it suppresses the real DT003 findings
+//! below, so allow-hygiene stays quiet.
+//! mpr-allow-file: determinism -- site tables are hash-keyed for O(1) probes; lookups never iterate, so order cannot leak into results
+
+use std::collections::HashMap;
+
+fn probe(table: &HashMap<u64, u64>, k: u64) -> u64 {
+    match table.get(&k) {
+        Some(v) => *v,
+        None => 0,
+    }
+}

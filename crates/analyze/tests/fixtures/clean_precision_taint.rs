@@ -1,0 +1,42 @@
+//! Clean twin of `bad_precision_taint.rs`: the same value movements,
+//! each routed through a blessed conversion fn so the precision change
+//! happens at an audited boundary. Must produce zero findings.
+
+/// Narrowing through the blessed conversion instead of a raw cast.
+fn narrow_later(golden: &[f64], i: usize) -> f32 {
+    let master = golden[i];
+    to_f32(master)
+}
+
+/// Mixed arithmetic with the narrower operand widened explicitly.
+fn fused_mix(a: f32, b: f64) -> f64 {
+    let single = a;
+    let double = b;
+    let z = to_f64(single) * double;
+    z
+}
+
+/// Value conversion instead of bit reinterpretation.
+fn reinterpret(h: Half) -> f32 {
+    to_f32(h)
+}
+
+/// Call boundary with the conversion visible at the call site.
+fn consume_single(x: f32) -> f32 {
+    x
+}
+
+fn feed(golden: &[f64], i: usize) -> f32 {
+    let master = golden[i];
+    consume_single(to_f32(master))
+}
+
+/// Field initialization through the blessed binary16 constructor.
+struct Sample {
+    bits: u16,
+}
+
+fn store(x: f32, out: &mut Vec<Sample>) {
+    let word = Half::from_f32(x);
+    out.push(Sample { bits: word.to_bits() });
+}

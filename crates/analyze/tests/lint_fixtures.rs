@@ -187,3 +187,222 @@ fn shipped_workspace_scans_clean() {
         a.to_text()
     );
 }
+
+// ---------------------------------------------------------------------
+// Flow-sensitive taint lints (PL005 / DT004 / PH004)
+// ---------------------------------------------------------------------
+
+#[test]
+fn precision_taint_fixture_flags_every_leak_shape() {
+    let a = scan("crates/kernels/src/fixture.rs", "bad_precision_taint.rs");
+    let pl5: Vec<_> = a.findings.iter().filter(|f| f.lint == "PL005").collect();
+    // One per leak shape: cross-line narrowing, mixed arithmetic,
+    // from_bits reinterpretation, call boundary, struct field, bit
+    // truncation (plus return-position echoes of the tainted values).
+    for line in [11, 19, 26, 36, 46, 52] {
+        assert!(
+            pl5.iter().any(|f| f.line == line),
+            "no PL005 at line {line}:\n{}",
+            a.to_text()
+        );
+    }
+    // The fns are not FloatExt-generic, so the token lints stay quiet:
+    // only the flow-sensitive pass sees these.
+    assert!(
+        !a.findings
+            .iter()
+            .any(|f| matches!(f.lint.as_str(), "PL001" | "PL002" | "PL003" | "PL004")),
+        "token lint fired unexpectedly:\n{}",
+        a.to_text()
+    );
+}
+
+#[test]
+fn clean_precision_taint_fixture_passes() {
+    let a = scan("crates/kernels/src/fixture.rs", "clean_precision_taint.rs");
+    assert!(a.clean(), "unexpected findings: {}", a.to_text());
+}
+
+#[test]
+fn precision_taint_scopes_to_precision_crates() {
+    let a = scan("crates/exp/src/fixture.rs", "bad_precision_taint.rs");
+    assert!(
+        !a.findings.iter().any(|f| f.lint == "PL005"),
+        "PL005 outside kernels/nn: {}",
+        a.to_text()
+    );
+}
+
+#[test]
+fn determinism_taint_fixture_reproduces_both_pr3_bug_shapes() {
+    let a = scan("crates/fault/src/fixture.rs", "bad_determinism_taint.rs");
+    let dt4: Vec<_> = a.findings.iter().filter(|f| f.lint == "DT004").collect();
+    // Shape 1: untagged push inside the thread-stride loop.
+    assert!(
+        dt4.iter()
+            .any(|f| f.line == 11 && f.message.contains("thread-stride")),
+        "stride-order shape missed:\n{}",
+        a.to_text()
+    );
+    // Shape 2: multiply-XOR seed derivation reaching the RNG.
+    assert!(
+        dt4.iter()
+            .any(|f| f.line == 24 && f.message.contains("weak multiply-XOR")),
+        "weak-seed shape missed:\n{}",
+        a.to_text()
+    );
+    // Neither shape mentions a token DT001-DT003 recognize; the file
+    // must be invisible to the line-scoped lints.
+    assert!(
+        !a.findings
+            .iter()
+            .any(|f| matches!(f.lint.as_str(), "DT001" | "DT002" | "DT003")),
+        "token lint fired unexpectedly:\n{}",
+        a.to_text()
+    );
+}
+
+#[test]
+fn clean_determinism_taint_fixture_passes() {
+    let a = scan("crates/fault/src/fixture.rs", "clean_determinism_taint.rs");
+    assert!(a.clean(), "unexpected findings: {}", a.to_text());
+}
+
+#[test]
+fn panic_reachability_fixture_flags_documented_and_index_sites() {
+    let a = scan("crates/fault/src/fixture.rs", "bad_panic_reach.rs");
+    let ph4: Vec<_> = a.findings.iter().filter(|f| f.lint == "PH004").collect();
+    assert!(
+        ph4.iter().any(|f| f.line == 15),
+        "documented panic! missed:\n{}",
+        a.to_text()
+    );
+    assert!(
+        ph4.iter().any(|f| f.line == 17),
+        "variable indexing missed:\n{}",
+        a.to_text()
+    );
+    // The contract is documented, so PH001-PH003 stay quiet.
+    assert!(
+        !a.findings
+            .iter()
+            .any(|f| matches!(f.lint.as_str(), "PH001" | "PH002" | "PH003")),
+        "token lint fired unexpectedly:\n{}",
+        a.to_text()
+    );
+}
+
+#[test]
+fn clean_panic_reach_fixture_passes() {
+    let a = scan("crates/fault/src/fixture.rs", "clean_panic_reach.rs");
+    assert!(a.clean(), "unexpected findings: {}", a.to_text());
+}
+
+#[test]
+fn split_statements_and_macro_bodies_are_visible_to_flow_lints() {
+    // Under a kernel-crate path the macro-generated narrowing trips
+    // PL005 while the token precision lints see nothing.
+    let a = scan("crates/kernels/src/fixture.rs", "bad_split_and_macro.rs");
+    assert!(
+        a.findings.iter().any(|f| f.lint == "PL005"),
+        "macro-generated narrowing missed:\n{}",
+        a.to_text()
+    );
+    assert!(
+        !a.findings
+            .iter()
+            .any(|f| matches!(f.lint.as_str(), "PL001" | "PL002" | "PL003" | "PL004")),
+        "token lint fired unexpectedly:\n{}",
+        a.to_text()
+    );
+    // Under a campaign-crate path the macro-generated stride push and
+    // the three-line weak-seed statement trip DT004; DT001-DT003 are
+    // blind to both.
+    let b = scan("crates/fault/src/fixture.rs", "bad_split_and_macro.rs");
+    let dt4: Vec<_> = b.findings.iter().filter(|f| f.lint == "DT004").collect();
+    assert!(
+        dt4.iter().any(|f| f.message.contains("thread-stride")),
+        "macro-generated stride push missed:\n{}",
+        b.to_text()
+    );
+    assert!(
+        dt4.iter().any(|f| f.message.contains("weak multiply-XOR")),
+        "split-statement weak seed missed:\n{}",
+        b.to_text()
+    );
+    assert!(
+        !b.findings
+            .iter()
+            .any(|f| matches!(f.lint.as_str(), "DT001" | "DT002" | "DT003")),
+        "token lint fired unexpectedly:\n{}",
+        b.to_text()
+    );
+}
+
+// ---------------------------------------------------------------------
+// Allow hygiene: file-wide pragmas
+// ---------------------------------------------------------------------
+
+#[test]
+fn stale_file_wide_allow_is_reported() {
+    let a = scan("crates/fault/src/fixture.rs", "bad_stale_file_allow.rs");
+    assert!(
+        a.findings
+            .iter()
+            .any(|f| f.lint == "AH003" && f.message.contains("file-wide")),
+        "stale mpr-allow-file not reported:\n{}",
+        a.to_text()
+    );
+}
+
+#[test]
+fn load_bearing_file_wide_allow_passes() {
+    let a = scan("crates/fault/src/fixture.rs", "clean_file_allow.rs");
+    assert!(a.clean(), "unexpected findings: {}", a.to_text());
+}
+
+// ---------------------------------------------------------------------
+// Deterministic report order and baseline diffing
+// ---------------------------------------------------------------------
+
+#[test]
+fn findings_are_sorted_by_path_line_and_lint() {
+    // Feed files in reverse path order; the report must come back in
+    // canonical (file, line, lint) order anyway.
+    let noisy = fixture("bad_precision_taint.rs");
+    let a = mpr_analyze::analyze_files(vec![
+        ("crates/nn/src/zzz.rs".to_string(), noisy.clone()),
+        ("crates/kernels/src/aaa.rs".to_string(), noisy),
+    ]);
+    assert!(a.findings.len() >= 4, "fixture should be noisy");
+    let keys: Vec<_> = a
+        .findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.lint.clone()))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "report not in canonical order");
+    assert_eq!(
+        keys.first().map(|k| k.0.as_str()),
+        Some("crates/kernels/src/aaa.rs")
+    );
+}
+
+#[test]
+fn committed_baseline_matches_a_fresh_scan() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let baseline_path = root.join("ci/analyze-baseline.json");
+    let baseline_text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", baseline_path.display()));
+    let baseline = Analysis::from_json(&baseline_text).expect("baseline parses");
+    let current = analyze_workspace(&root).expect("scan succeeds");
+    // Findings only: adding a clean file must not invalidate the
+    // committed baseline, so files_scanned is not compared.
+    if let Some(diff) = mpr_analyze::diff_reports(&baseline, &current) {
+        panic!("{diff}");
+    }
+}

@@ -135,6 +135,7 @@ impl<'a> BeamCampaign<'a> {
     pub fn run(&self) -> CampaignResult {
         match self.try_run() {
             Ok(result) => result,
+            // mpr-allow: panic-reachability -- this is the documented contract of the convenience wrapper: it fires at the campaign boundary, after all cells drained, never inside a retried cell
             Err(e) => panic!("{e}"),
         }
     }

@@ -50,6 +50,9 @@ pub enum Command {
         json: bool,
         /// Workspace root to scan (defaults to the current directory).
         root: String,
+        /// Compare findings against a committed JSON baseline report;
+        /// exit nonzero with a readable diff when they drift.
+        baseline: Option<String>,
     },
     /// Print usage.
     Help,
@@ -184,7 +187,7 @@ USAGE:
     mpr inject    --workload <WORKLOAD> --precision <double|single|half>
                   [--n N] [--model single|double|byte] [--seed S] [--threads N]
                   [--retries N] [--cell-timeout DUR]
-    mpr analyze   [--json] [--root <PATH>]
+    mpr analyze   [--json] [--root <PATH>] [--baseline <REPORT.json>]
     mpr help
 
 STUDY OPTS:
@@ -257,15 +260,24 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             cell_timeout: cell_timeout_of(&rest)?,
         }),
         "analyze" => {
-            if let Some(&bad) = rest
-                .iter()
-                .find(|&&a| a.starts_with("--") && a != "--json" && a != "--root")
-            {
+            if let Some(&bad) = rest.iter().find(|&&a| {
+                a.starts_with("--") && a != "--json" && a != "--root" && a != "--baseline"
+            }) {
                 return Err(ParseError(format!("unknown flag `{bad}`")));
             }
+            let baseline = if rest.contains(&"--baseline") {
+                Some(
+                    optional(&rest, "--baseline")
+                        .ok_or_else(|| ParseError("`--baseline` expects a path".to_string()))?
+                        .to_string(),
+                )
+            } else {
+                None
+            };
             Ok(Command::Analyze {
                 json: rest.contains(&"--json"),
                 root: optional(&rest, "--root").unwrap_or(".").to_string(),
+                baseline,
             })
         }
         other => Err(ParseError(format!("unknown command `{other}`\n\n{USAGE}"))),
@@ -601,17 +613,28 @@ mod tests {
             parse_ok("analyze"),
             Command::Analyze {
                 json: false,
-                root: ".".to_string()
+                root: ".".to_string(),
+                baseline: None
             }
         );
         assert_eq!(
             parse_ok("analyze --json --root /tmp/ws"),
             Command::Analyze {
                 json: true,
-                root: "/tmp/ws".to_string()
+                root: "/tmp/ws".to_string(),
+                baseline: None
+            }
+        );
+        assert_eq!(
+            parse_ok("analyze --baseline ci/analyze-baseline.json"),
+            Command::Analyze {
+                json: false,
+                root: ".".to_string(),
+                baseline: Some("ci/analyze-baseline.json".to_string())
             }
         );
         assert!(parse_err("analyze --jsno").0.contains("unknown flag"));
+        assert!(parse_err("analyze --baseline").0.contains("expects a path"));
     }
 
     #[test]

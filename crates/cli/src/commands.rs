@@ -108,7 +108,11 @@ pub fn run(command: Command) -> i32 {
             model,
             engine_of(seed, threads, retries, cell_timeout),
         ),
-        Command::Analyze { json, root } => run_analyze(json, &root),
+        Command::Analyze {
+            json,
+            root,
+            baseline,
+        } => run_analyze(json, &root, baseline.as_deref()),
     }
 }
 
@@ -139,13 +143,39 @@ fn print_ablations(study: &Study) {
     println!("{}", study.ablation_fault_accumulation().to_table());
 }
 
-fn run_analyze(json: bool, root: &str) -> i32 {
+fn run_analyze(json: bool, root: &str, baseline: Option<&str>) -> i32 {
     match mpr_analyze::analyze_workspace(std::path::Path::new(root)) {
         Ok(analysis) => {
             if json {
                 println!("{}", analysis.to_json());
             } else {
                 print!("{}", analysis.to_text());
+            }
+            if let Some(path) = baseline {
+                // Baseline mode gates on drift, not on cleanliness: a
+                // deliberately-accepted finding set stays green until
+                // it changes.
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("analyze failed: baseline {path}: {e}");
+                        return 2;
+                    }
+                };
+                let base = match mpr_analyze::Analysis::from_json(&text) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("analyze failed: baseline {path}: {e}");
+                        return 2;
+                    }
+                };
+                return match mpr_analyze::diff_reports(&base, &analysis) {
+                    Some(diff) => {
+                        eprint!("{diff}");
+                        1
+                    }
+                    None => 0,
+                };
             }
             if analysis.clean() {
                 0
@@ -502,7 +532,10 @@ mod tests {
     #[test]
     fn analyze_exits_zero_on_clean_tree() {
         let dir = temp_tree("clean", "crates/kernels/src/lib.rs", "//! Clean.\n");
-        assert_eq!(run_analyze(false, dir.to_str().expect("utf-8 path")), 0);
+        assert_eq!(
+            run_analyze(false, dir.to_str().expect("utf-8 path"), None),
+            0
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -510,13 +543,41 @@ mod tests {
     fn analyze_exits_nonzero_on_leaky_tree() {
         let src = "//! Leaky.\nfn gain<F: FloatExt>() -> F {\n    F::one() * 0.5\n}\n";
         let dir = temp_tree("bad", "crates/kernels/src/lib.rs", src);
-        assert_eq!(run_analyze(true, dir.to_str().expect("utf-8 path")), 1);
+        assert_eq!(
+            run_analyze(true, dir.to_str().expect("utf-8 path"), None),
+            1
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn analyze_exits_two_on_missing_root() {
-        assert_eq!(run_analyze(false, "/nonexistent/mpr-root"), 2);
+        assert_eq!(run_analyze(false, "/nonexistent/mpr-root", None), 2);
+    }
+
+    #[test]
+    fn analyze_baseline_gates_on_drift_not_cleanliness() {
+        // A leaky tree with a matching baseline passes; once the
+        // baseline no longer matches, the diff fails the gate.
+        let src = "//! Leaky.\nfn gain<F: FloatExt>() -> F {\n    F::one() * 0.5\n}\n";
+        let dir = temp_tree("base", "crates/kernels/src/lib.rs", src);
+        let root = dir.to_str().expect("utf-8 path");
+        let current = mpr_analyze::analyze_workspace(&dir).expect("scan succeeds");
+        assert!(!current.clean());
+        let baseline_path = dir.join("baseline.json");
+        std::fs::write(&baseline_path, current.to_json()).expect("write baseline");
+        let baseline = baseline_path.to_str().expect("utf-8 path");
+        assert_eq!(run_analyze(false, root, Some(baseline)), 0);
+        // Drift: the baseline claims no findings.
+        std::fs::write(
+            &baseline_path,
+            "{\"errors\":0,\"files_scanned\":1,\"findings\":[]}",
+        )
+        .expect("write baseline");
+        assert_eq!(run_analyze(false, root, Some(baseline)), 1);
+        // A missing or malformed baseline is an operational error.
+        assert_eq!(run_analyze(false, root, Some("/nonexistent/base.json")), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -306,7 +306,7 @@ pub(crate) fn parse(text: &str) -> Option<Json> {
 }
 
 fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+    while matches!(b.get(*pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
         *pos += 1;
     }
 }
@@ -409,7 +409,7 @@ fn parse_str(b: &[u8], pos: &mut usize) -> Option<String> {
             }
             _ => {
                 // Multi-byte UTF-8: consume the full scalar.
-                let s = std::str::from_utf8(&b[*pos..]).ok()?;
+                let s = std::str::from_utf8(b.get(*pos..)?).ok()?;
                 let c = s.chars().next()?;
                 out.push(c);
                 *pos += c.len_utf8();
@@ -423,10 +423,14 @@ fn parse_num(b: &[u8], pos: &mut usize) -> Option<Json> {
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
     }
-    while *pos < b.len() && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E')) {
+    while b
+        .get(*pos)
+        .is_some_and(|&c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E'))
+    {
         *pos += 1;
     }
-    (*pos > start).then(|| Json::Num(String::from_utf8_lossy(&b[start..*pos]).into_owned()))
+    let digits = b.get(start..*pos)?;
+    (*pos > start).then(|| Json::Num(String::from_utf8_lossy(digits).into_owned()))
 }
 
 #[cfg(test)]

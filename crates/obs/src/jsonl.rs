@@ -83,7 +83,9 @@ impl Recorder for JsonlRecorder {
     fn record(&self, name: &str, scope: &str, metric: Metric) {
         let t_us = self.origin.elapsed().as_micros() as u64;
         // mpr-allow: panic-hygiene -- a poisoned event buffer means a recording thread already panicked; propagating is the only sound option
-        self.events.lock().expect("event buffer").push(Event {
+        let mut events = self.events.lock().expect("event buffer");
+        // mpr-allow: determinism-taint -- the timestamp IS the telemetry payload; events never feed campaign results, seeds, or cache keys
+        events.push(Event {
             t_us,
             name: name.to_string(),
             scope: scope.to_string(),
