@@ -2,7 +2,7 @@
 
 use crate::BeamSession;
 use mpr_arch::{Device, WorkloadProfile};
-use mpr_fault::{CampaignError, FaultModel, Workload};
+use mpr_fault::{CampaignError, FaultModel, ValueFault, Workload};
 use mpr_metrics::{CrossSection, FitRate, Mebf, TreCurve};
 use mpr_obs::{
     mix_seed, panic_message, CancelToken, Counter, Gauge, Recorder, Timer, NULL_RECORDER,
@@ -28,6 +28,7 @@ pub struct BeamCampaign<'a> {
     profile: &'a WorkloadProfile,
     precision: Precision,
     session: BeamSession,
+    strike_batch: usize,
     classifier: Option<&'a SdcClassifier>,
     golden: Option<&'a [f64]>,
     recorder: &'a dyn Recorder,
@@ -42,6 +43,7 @@ impl std::fmt::Debug for BeamCampaign<'_> {
             .field("workload", &self.workload.name())
             .field("precision", &self.precision)
             .field("session", &self.session)
+            .field("strike_batch", &self.strike_batch)
             .field("has_classifier", &self.classifier.is_some())
             .finish()
     }
@@ -75,6 +77,7 @@ impl<'a> BeamCampaign<'a> {
             profile,
             precision,
             session: BeamSession::paper(0),
+            strike_batch: 64,
             classifier: None,
             golden: None,
             recorder: &NULL_RECORDER,
@@ -86,6 +89,22 @@ impl<'a> BeamCampaign<'a> {
     /// Sets the beam session.
     pub fn session(mut self, session: BeamSession) -> Self {
         self.session = session;
+        self
+    }
+
+    /// Sets how many candidate strikes a worker hands to
+    /// [`Workload::run_strike_batch`] per kernel pass (default 64).
+    /// Batch size never changes results: per-strike RNG streams are
+    /// derived from `(seed, strike index)` and every observation is
+    /// tagged with its index, so any batch size is byte-identical
+    /// (DT001).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn strike_batch(mut self, batch: usize) -> Self {
+        assert!(batch > 0, "strike batch must be at least 1");
+        self.strike_batch = batch;
         self
     }
 
@@ -116,8 +135,9 @@ impl<'a> BeamCampaign<'a> {
     }
 
     /// Attaches a watchdog token (defaults to unlimited). Workers poll
-    /// it once per strike — each strike is a full workload run, so that
-    /// is strike-batch granularity — and bail out cooperatively when it
+    /// it at every batch boundary and again after every reported strike
+    /// (so slow workloads on the default strike-at-a-time path keep
+    /// per-strike granularity) and bail out cooperatively when it
     /// fires; [`BeamCampaign::try_run`] then reports
     /// [`CampaignError::Cancelled`]. No thread is ever detached.
     pub fn cancel_token(mut self, token: CancelToken) -> Self {
@@ -206,33 +226,65 @@ impl<'a> BeamCampaign<'a> {
                 handles.push(scope.spawn(move || {
                     let busy = Timer::start(rec, "beam.worker_busy", campaign.scope.clone());
                     let mut observed = Vec::new();
-                    // Strike output buffer, hoisted out of the loop so
-                    // the fast path can reuse one allocation per worker.
-                    let mut out = Vec::with_capacity(golden.len());
+                    // Strike batch, hoisted out of the loop so the
+                    // gather/execute phases reuse one allocation each.
+                    let mut batch: Vec<(u64, ValueFault)> =
+                        Vec::with_capacity(campaign.strike_batch);
+                    let mut indices: Vec<u64> = Vec::with_capacity(campaign.strike_batch);
                     let mut i = t as u64;
-                    while i < candidates {
-                        // Watchdog poll: one strike is a full workload
-                        // run, so this is strike-batch granularity.
+                    let mut bailed = false;
+                    while i < candidates && !bailed {
+                        // Watchdog poll at the batch boundary (and again
+                        // inside the execute callback after each strike).
                         if campaign.cancel.is_cancelled() {
                             aborted.store(true, Ordering::Relaxed);
                             break;
                         }
-                        // Per-strike stream: derived through the shared
-                        // splitmix64 avalanche, so adjacent strikes get
-                        // unrelated seeds (the old `seed * C ^ i` gave
-                        // correlated streams).
-                        let mut rng = StdRng::seed_from_u64(mix_seed(campaign.session.seed, i));
-                        campaign.resolve_strike_into(
-                            sites, width, model, persistent, &mut rng, golden, &mut out,
-                        );
-                        let corrupted = out.len() != golden.len()
-                            || out.iter().zip(golden_bits).any(|(v, &g)| v.to_bits() != g);
-                        if corrupted {
-                            let severity = max_relative_error(&out, golden);
-                            let label = campaign.classifier.map(|classify| classify(golden, &out));
-                            observed.push((i, severity, label));
+                        // Gather phase: draw each strike's (site, fault)
+                        // from its own per-strike stream — derived
+                        // through the shared splitmix64 avalanche, so
+                        // adjacent strikes get unrelated seeds (the old
+                        // `seed * C ^ i` gave correlated streams). The
+                        // draw order per strike is unchanged from the
+                        // strike-at-a-time loop, so every campaign is
+                        // byte-identical for any batch size (DT001).
+                        batch.clear();
+                        indices.clear();
+                        while i < candidates && batch.len() < campaign.strike_batch {
+                            let mut rng = StdRng::seed_from_u64(mix_seed(campaign.session.seed, i));
+                            batch.push(
+                                campaign.draw_strike(sites, width, model, persistent, &mut rng),
+                            );
+                            indices.push(i);
+                            i += nthreads as u64;
                         }
-                        i += nthreads as u64;
+                        // Execute phase: one kernel pass over the whole
+                        // batch; results arrive in region order and are
+                        // keyed back to their strike index.
+                        campaign.workload.run_strike_batch(
+                            campaign.precision,
+                            &batch,
+                            golden,
+                            &mut |b, out| {
+                                let corrupted = out.len() != golden.len()
+                                    || out.iter().zip(golden_bits).any(|(v, &g)| v.to_bits() != g);
+                                if corrupted {
+                                    let severity = max_relative_error(out, golden);
+                                    let label =
+                                        campaign.classifier.map(|classify| classify(golden, out));
+                                    // mpr-allow: panic-reachability -- the batch contract keys callbacks by batch position (`b < batch.len() == indices.len()`); an out-of-range `b` is a workload-override bug the differential tests pin, not a recoverable strike failure
+                                    observed.push((indices[b], severity, label));
+                                }
+                                if campaign.cancel.is_cancelled() {
+                                    bailed = true;
+                                    return false;
+                                }
+                                true
+                            },
+                        );
+                        if bailed {
+                            aborted.store(true, Ordering::Relaxed);
+                        }
                     }
                     (observed, busy.stop())
                 }));
@@ -294,19 +346,16 @@ impl<'a> BeamCampaign<'a> {
         })
     }
 
-    /// Resolves one compute strike into a (possibly corrupted) output,
-    /// written into `out` through the workload's fast-path replay.
-    #[allow(clippy::too_many_arguments)]
-    fn resolve_strike_into(
+    /// Draws one compute strike's `(site, fault)` pair from its
+    /// per-strike stream; execution happens in the batched kernel pass.
+    fn draw_strike(
         &self,
         sites: u64,
         width: u32,
         model: FaultModel,
         persistent: bool,
         rng: &mut StdRng,
-        golden: &[f64],
-        out: &mut Vec<f64>,
-    ) {
+    ) -> (u64, ValueFault) {
         let site = rng.gen_range(0..sites);
         let fault = if persistent {
             // FPGA configuration strike: a LUT or routing pip of one
@@ -325,8 +374,7 @@ impl<'a> BeamCampaign<'a> {
             // live execution.
             model.sample(width, rng)
         };
-        self.workload
-            .run_from_site_into(self.precision, site, fault, golden, out);
+        (site, fault)
     }
 }
 

@@ -1,23 +1,34 @@
-//! Strike-execution throughput: the monomorphized golden-prefix replay
-//! path (`Workload::run_from_site_into`) against the naive full-rerun
-//! path (`Workload::run_with_fault`), over the exact strike stream the
-//! campaign drivers draw (`mix_seed`-derived per-strike RNG, site then
-//! fault sample).
+//! Strike-execution throughput: the batched golden-prefix replay path
+//! (`Workload::run_strike_batch`, what the campaign drivers now run)
+//! and the per-strike replay (`Workload::run_from_site_into`) against
+//! the naive full-rerun path (`Workload::run_with_fault`), over the
+//! exact strike stream the campaign drivers draw (`mix_seed`-derived
+//! per-strike RNG, site then fault sample).
 //!
-//! The naive lap is *conservative*: it already benefits from this PR's
+//! The naive lap is *conservative*: it already benefits from the
 //! per-precision input cache, so the reported speedups understate the
-//! win over the pre-fast-path code, which also regenerated every input
+//! win over the original code, which also regenerated every input
 //! through `gen_value` on each strike.
 //!
 //! Headline numbers land in `BENCH_strikes.json` at the repo root so
 //! the perf trajectory has a baseline CI can smoke-check.
 //!
+//! Gates (the old gate only watched the GEMM beam proxy, which let the
+//! LUD snapshot blow-up and the half-precision softfloat tax regress
+//! unseen):
+//! - every workload has its own speedup floor (`Config::floor`), so no
+//!   workload can regress behind the headline;
+//! - GEMM half must run within 2x of GEMM single on the batched path —
+//!   the wide binary16 lanes close the softfloat gap, and this ratio
+//!   is the regression tripwire for them.
+//!
 //! Modes (args after `cargo bench --bench strike_throughput -- ...`):
 //! - `--test`:  tiny sizes, byte-identity check only, no file written
-//! - `--quick`: small sizes, asserts fast >= naive on the GEMM beam
-//!   proxy, writes and re-parses `BENCH_strikes.json`
-//! - default:   paper proxy sizes, asserts the GEMM beam proxy runs
-//!   >= 5x faster, writes and re-parses `BENCH_strikes.json`
+//! - `--quick`: small sizes, asserts batched >= naive on every
+//!   workload, writes and re-parses `BENCH_strikes.json`
+//! - default:   paper proxy sizes, asserts the per-workload floors
+//!   (GEMM beam proxy >= 5x, LUD >= 10x, ...) and the half-vs-single
+//!   ratio, writes and re-parses `BENCH_strikes.json`
 
 use mpr_analyze::json::{self, Value};
 use mpr_fault::{FaultModel, ValueFault, Workload};
@@ -29,6 +40,10 @@ use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::time::Instant;
+
+/// Strikes handed to one `run_strike_batch` call — the campaign
+/// drivers' default batch size.
+const BATCH: usize = 64;
 
 #[derive(Clone, Copy, PartialEq)]
 enum Mode {
@@ -44,6 +59,11 @@ struct Config {
     /// Part of the >= 5x acceptance gate (the paper-proxy GEMM beam
     /// campaign's workload/model pairing).
     headline: bool,
+    /// Full-mode speedup floor for the batched path, across every
+    /// supported precision. Calibrated at roughly half the measured
+    /// speedup so noise does not trip the gate but a real regression
+    /// (like the old O(n^3)-bit LUD snapshots) does.
+    floor: f64,
 }
 
 struct Measurement {
@@ -53,13 +73,16 @@ struct Measurement {
     strikes: u64,
     sites: u64,
     naive_per_s: f64,
-    fast_per_s: f64,
+    replay_per_s: f64,
+    batched_per_s: f64,
     headline: bool,
+    floor: f64,
 }
 
 impl Measurement {
+    /// The gated number: batched path vs naive full rerun.
     fn speedup(&self) -> f64 {
-        self.fast_per_s / self.naive_per_s
+        self.batched_per_s / self.naive_per_s
     }
 }
 
@@ -74,24 +97,28 @@ fn configs(mode: Mode) -> Vec<Config> {
                 workload: Box::new(Gemm::new(8)),
                 model: FaultModel::StuckBit,
                 headline: true,
+                floor: 1.0,
             },
             Config {
                 label: "lud8",
                 workload: Box::new(Lud::new(8)),
                 model: FaultModel::SingleBit,
                 headline: false,
+                floor: 1.0,
             },
             Config {
                 label: "lavamd_2x2",
                 workload: Box::new(LavaMd::new(2, 2)),
                 model: FaultModel::SingleBit,
                 headline: false,
+                floor: 1.0,
             },
             Config {
                 label: "micro_fma_4x64",
                 workload: Box::new(Micro::new(MicroKernelOp::Fma, 4, 64)),
                 model: FaultModel::SingleBit,
                 headline: false,
+                floor: 1.0,
             },
         ],
         Mode::Quick => vec![
@@ -100,24 +127,28 @@ fn configs(mode: Mode) -> Vec<Config> {
                 workload: Box::new(Gemm::new(16)),
                 model: FaultModel::StuckBit,
                 headline: true,
+                floor: 1.0,
             },
             Config {
                 label: "lud16",
                 workload: Box::new(Lud::new(16)),
                 model: FaultModel::SingleBit,
                 headline: false,
+                floor: 1.0,
             },
             Config {
                 label: "lavamd_2x3",
                 workload: Box::new(LavaMd::new(2, 3)),
                 model: FaultModel::SingleBit,
                 headline: false,
+                floor: 1.0,
             },
             Config {
                 label: "micro_fma_8x256",
                 workload: Box::new(Micro::new(MicroKernelOp::Fma, 8, 256)),
                 model: FaultModel::SingleBit,
                 headline: false,
+                floor: 1.0,
             },
         ],
         Mode::Full => vec![
@@ -126,24 +157,28 @@ fn configs(mode: Mode) -> Vec<Config> {
                 workload: Box::new(Gemm::new(32)),
                 model: FaultModel::StuckBit,
                 headline: true,
+                floor: 5.0,
             },
             Config {
-                label: "lud20",
-                workload: Box::new(Lud::new(20)),
+                label: "lud64",
+                workload: Box::new(Lud::new(64)),
                 model: FaultModel::SingleBit,
                 headline: false,
+                floor: 10.0,
             },
             Config {
                 label: "lavamd_3x3",
                 workload: Box::new(LavaMd::new(3, 3)),
                 model: FaultModel::SingleBit,
                 headline: false,
+                floor: 20.0,
             },
             Config {
                 label: "micro_fma_16x512",
                 workload: Box::new(Micro::new(MicroKernelOp::Fma, 16, 512)),
                 model: FaultModel::SingleBit,
                 headline: false,
+                floor: 7.0,
             },
         ],
     }
@@ -178,32 +213,70 @@ fn measure(config: &Config, precision: Precision, strikes: u64, seed: u64) -> Me
     let width = precision.total_bits();
     let stream = strike_stream(seed, strikes, sites, width, config.model);
 
-    // Differential check (untimed): the replay must be byte-identical
-    // to the full rerun on every strike it is about to be timed on.
+    // Differential check (untimed): both fast paths must be
+    // byte-identical to the full rerun on every strike they are about
+    // to be timed on. Batched results arrive in region order, so they
+    // are keyed back by index before comparing.
     let mut out = Vec::with_capacity(golden.len());
+    let mut naives = Vec::with_capacity(stream.len());
     for &(site, fault) in &stream {
-        w.run_from_site_into(precision, site, fault, &golden, &mut out);
         let naive = w.run_with_fault(precision, site, fault);
+        w.run_from_site_into(precision, site, fault, &golden, &mut out);
         assert!(
             bits_equal(&out, &naive),
-            "{} {} site {site} {fault:?}: fast path diverged from naive",
+            "{} {} site {site} {fault:?}: per-strike replay diverged from naive",
             config.label,
             precision
         );
+        naives.push(naive);
     }
+    for (c, chunk) in stream.chunks(BATCH).enumerate() {
+        w.run_strike_batch(precision, chunk, &golden, &mut |b, out| {
+            let (site, fault) = chunk[b];
+            assert!(
+                bits_equal(out, &naives[c * BATCH + b]),
+                "{} {} site {site} {fault:?}: batched replay diverged from naive",
+                config.label,
+                precision
+            );
+            true
+        });
+    }
+    drop(naives);
 
-    let start = Instant::now();
-    for &(site, fault) in &stream {
-        black_box(w.run_with_fault(precision, site, fault));
-    }
-    let naive_secs = start.elapsed().as_secs_f64();
+    // Best of three laps per phase: the gates compare phase ratios, and
+    // a single descheduling event inside one lap would skew them.
+    let lap = |f: &mut dyn FnMut()| -> f64 {
+        (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
 
-    let start = Instant::now();
-    for &(site, fault) in &stream {
-        w.run_from_site_into(precision, site, fault, &golden, &mut out);
-        black_box(&out);
-    }
-    let fast_secs = start.elapsed().as_secs_f64();
+    let naive_secs = lap(&mut || {
+        for &(site, fault) in &stream {
+            black_box(w.run_with_fault(precision, site, fault));
+        }
+    });
+
+    let replay_secs = lap(&mut || {
+        for &(site, fault) in &stream {
+            w.run_from_site_into(precision, site, fault, &golden, &mut out);
+            black_box(&out);
+        }
+    });
+
+    let batched_secs = lap(&mut || {
+        for chunk in stream.chunks(BATCH) {
+            w.run_strike_batch(precision, chunk, &golden, &mut |_, out| {
+                black_box(out);
+                true
+            });
+        }
+    });
 
     Measurement {
         label: config.label,
@@ -212,12 +285,27 @@ fn measure(config: &Config, precision: Precision, strikes: u64, seed: u64) -> Me
         strikes,
         sites,
         naive_per_s: strikes as f64 / naive_secs.max(1e-9),
-        fast_per_s: strikes as f64 / fast_secs.max(1e-9),
+        replay_per_s: strikes as f64 / replay_secs.max(1e-9),
+        batched_per_s: strikes as f64 / batched_secs.max(1e-9),
         headline: config.headline,
+        floor: config.floor,
     }
 }
 
-fn report_json(mode: Mode, results: &[Measurement], headline: f64) -> String {
+/// GEMM half-vs-single throughput ratio on the batched path:
+/// `single strikes/s / half strikes/s`, 1.0 = parity, gated at <= 2.0
+/// in full mode. Only the headline (GEMM) config contributes.
+fn half_vs_single_ratio(results: &[Measurement]) -> Option<f64> {
+    let per_s = |p: Precision| {
+        results
+            .iter()
+            .find(|m| m.headline && m.precision == p)
+            .map(|m| m.batched_per_s)
+    };
+    Some(per_s(Precision::Single)? / per_s(Precision::Half)?)
+}
+
+fn report_json(mode: Mode, results: &[Measurement], headline: f64, ratio: Option<f64>) -> String {
     let configs: Vec<Value> = results
         .iter()
         .map(|m| {
@@ -233,9 +321,14 @@ fn report_json(mode: Mode, results: &[Measurement], headline: f64) -> String {
             );
             o.insert(
                 "fast_strikes_per_s".to_string(),
-                Value::Num(round2(m.fast_per_s)),
+                Value::Num(round2(m.replay_per_s)),
+            );
+            o.insert(
+                "batched_strikes_per_s".to_string(),
+                Value::Num(round2(m.batched_per_s)),
             );
             o.insert("speedup".to_string(), Value::Num(round2(m.speedup())));
+            o.insert("floor".to_string(), Value::Num(m.floor));
             Value::Obj(o)
         })
         .collect();
@@ -255,10 +348,17 @@ fn report_json(mode: Mode, results: &[Measurement], headline: f64) -> String {
             .to_string(),
         ),
     );
+    root.insert("strike_batch".to_string(), Value::Num(BATCH as f64));
     root.insert(
         "gemm_beam_proxy_min_speedup".to_string(),
         Value::Num(round2(headline)),
     );
+    if let Some(r) = ratio {
+        root.insert(
+            "gemm_half_vs_single_ratio".to_string(),
+            Value::Num(round2(r)),
+        );
+    }
     root.insert("configs".to_string(), Value::Arr(configs));
     Value::Obj(root).to_string()
 }
@@ -291,11 +391,12 @@ fn main() {
             }
             let m = measure(&config, precision, strikes, seed);
             println!(
-                "{:<22} {:<6}  {:>12.0} naive/s  {:>12.0} fast/s  {:>7.1}x",
+                "{:<22} {:<6}  {:>12.0} naive/s  {:>12.0} replay/s  {:>12.0} batched/s  {:>7.1}x",
                 m.label,
                 m.precision.to_string(),
                 m.naive_per_s,
-                m.fast_per_s,
+                m.replay_per_s,
+                m.batched_per_s,
                 m.speedup()
             );
             results.push(m);
@@ -308,20 +409,36 @@ fn main() {
         .map(Measurement::speedup)
         .fold(f64::INFINITY, f64::min);
     println!("gemm beam proxy min speedup: {headline:.1}x over {strikes} strikes");
+    let ratio = half_vs_single_ratio(&results);
+    if let Some(r) = ratio {
+        println!("gemm half-vs-single batched ratio: {r:.2}x (1.0 = parity)");
+    }
 
     match mode {
         Mode::Test => {}
-        Mode::Quick => assert!(
-            headline >= 1.0,
-            "fast path slower than naive on the GEMM beam proxy: {headline:.2}x"
-        ),
-        Mode::Full => assert!(
-            headline >= 5.0,
-            "GEMM beam proxy speedup {headline:.2}x is below the 5x gate"
-        ),
+        Mode::Quick | Mode::Full => {
+            for m in &results {
+                assert!(
+                    m.speedup() >= m.floor,
+                    "{} {}: batched speedup {:.2}x is below its {:.1}x floor",
+                    m.label,
+                    m.precision,
+                    m.speedup(),
+                    m.floor
+                );
+            }
+            if mode == Mode::Full {
+                let r = ratio.expect("full mode measures GEMM half and single");
+                assert!(
+                    r <= 2.0,
+                    "GEMM half runs {r:.2}x slower than single — wide binary16 lanes regressed \
+                     past the 2x gate"
+                );
+            }
+        }
     }
 
-    let text = report_json(mode, &results, headline);
+    let text = report_json(mode, &results, headline, ratio);
     // The report must round-trip through the workspace JSON parser so
     // downstream tooling can consume it.
     let parsed = json::parse(&text).expect("report is valid JSON");

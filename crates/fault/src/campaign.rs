@@ -81,6 +81,7 @@ pub struct InjectionCampaign<'a> {
     model: FaultModel,
     live_fraction: f64,
     threads: usize,
+    strike_batch: usize,
     golden: Option<&'a [f64]>,
     recorder: &'a dyn Recorder,
     scope: String,
@@ -97,6 +98,7 @@ impl std::fmt::Debug for InjectionCampaign<'_> {
             .field("model", &self.model)
             .field("live_fraction", &self.live_fraction)
             .field("threads", &self.threads)
+            .field("strike_batch", &self.strike_batch)
             .finish()
     }
 }
@@ -123,6 +125,7 @@ impl<'a> InjectionCampaign<'a> {
             model: FaultModel::SingleBit,
             live_fraction: 1.0,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            strike_batch: 64,
             golden: None,
             recorder: &NULL_RECORDER,
             scope: String::new(),
@@ -178,6 +181,22 @@ impl<'a> InjectionCampaign<'a> {
         self
     }
 
+    /// Sets how many live strikes a worker hands to
+    /// [`Workload::run_strike_batch`] per kernel pass (default 64).
+    /// Batch size never changes results: per-strike RNG streams are
+    /// derived from `(seed, injection index)` and every observation is
+    /// tagged with its index, so `strike_batch(1)` and `strike_batch(64)`
+    /// are byte-identical (DT001).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn strike_batch(mut self, batch: usize) -> Self {
+        assert!(batch > 0, "strike batch must be at least 1");
+        self.strike_batch = batch;
+        self
+    }
+
     /// Supplies a precomputed golden output, skipping the internal
     /// golden run. The caller must pass exactly
     /// `workload.run_golden(precision)` — the engine memoizes this per
@@ -198,9 +217,10 @@ impl<'a> InjectionCampaign<'a> {
     }
 
     /// Attaches a watchdog token (defaults to unlimited). Workers poll
-    /// it once per injection — each injection is a full workload run,
-    /// so that is strike-batch granularity — and bail out cooperatively
-    /// when it fires; [`InjectionCampaign::try_run`] then reports
+    /// it at every batch boundary and again after every reported strike
+    /// (so slow workloads on the default strike-at-a-time path keep
+    /// per-injection granularity) and bail out cooperatively when it
+    /// fires; [`InjectionCampaign::try_run`] then reports
     /// [`CampaignError::Cancelled`]. No thread is ever detached.
     pub fn cancel_token(mut self, token: CancelToken) -> Self {
         self.cancel = token;
@@ -270,53 +290,80 @@ impl<'a> InjectionCampaign<'a> {
                     let busy = Timer::start(rec, "inject.worker_busy", campaign.scope.clone());
                     let mut counts = OutcomeCounts::default();
                     let mut severities = Vec::new();
-                    // Strike output buffer, hoisted out of the loop so
-                    // the fast path can reuse one allocation per worker.
-                    let mut out = Vec::with_capacity(golden.len());
+                    // Gathered live strikes plus their injection indices,
+                    // reused across batches.
+                    let mut batch: Vec<(u64, crate::ValueFault)> =
+                        Vec::with_capacity(campaign.strike_batch);
+                    let mut indices: Vec<u64> = Vec::with_capacity(campaign.strike_batch);
                     let mut i = t as u64;
                     while i < campaign.injections {
-                        // Watchdog poll: one injection is a full
-                        // workload run, so this is strike-batch
-                        // granularity.
+                        // Watchdog poll at batch boundaries; slow
+                        // workloads keep per-strike granularity through
+                        // the callback's return value below.
                         if campaign.cancel.is_cancelled() {
                             aborted.store(true, Ordering::Relaxed);
                             break;
                         }
-                        // Per-injection stream: derived through the
-                        // shared splitmix64 avalanche, so adjacent
-                        // injections get unrelated seeds (the old
-                        // `seed * C ^ i` gave correlated streams).
-                        let mut rng = StdRng::seed_from_u64(mix_seed(campaign.seed, i));
-                        let site = rng.gen_range(0..sites);
-                        let fault = campaign.model.sample(width, &mut rng);
-                        let dead = matches!(fault, crate::ValueFault::BitFlip(_))
-                            && campaign.live_fraction < 1.0
-                            && !rng.gen_bool(campaign.live_fraction);
-                        if dead {
-                            counts.record(Outcome::Masked);
+                        // Gather phase: draw up to `strike_batch` live
+                        // strikes. Per-injection streams are derived
+                        // through the shared splitmix64 avalanche from
+                        // (seed, index) — batching regroups execution,
+                        // never the draws, so results are independent of
+                        // the batch size and the thread count alike.
+                        batch.clear();
+                        indices.clear();
+                        while i < campaign.injections && batch.len() < campaign.strike_batch {
+                            let mut rng = StdRng::seed_from_u64(mix_seed(campaign.seed, i));
+                            let site = rng.gen_range(0..sites);
+                            let fault = campaign.model.sample(width, &mut rng);
+                            let dead = matches!(fault, crate::ValueFault::BitFlip(_))
+                                && campaign.live_fraction < 1.0
+                                && !rng.gen_bool(campaign.live_fraction);
+                            if dead {
+                                counts.record(Outcome::Masked);
+                            } else {
+                                batch.push((site, fault));
+                                indices.push(i);
+                            }
                             i += nthreads as u64;
+                        }
+                        if batch.is_empty() {
                             continue;
                         }
-                        // Fast-path strike: workloads with an incremental
-                        // replay reuse the golden prefix; everything else
-                        // falls back to a full faulted run (byte-identical
-                        // either way, per the Workload contract).
-                        campaign.workload.run_from_site_into(
+                        // Execute phase: the workload amortizes golden
+                        // replays across the batch and reports each
+                        // strike (in any order) through the callback;
+                        // classification is keyed on the injection
+                        // index, so outcome bytes cannot depend on
+                        // arrival order (byte-identical to the
+                        // strike-at-a-time path, per the Workload
+                        // contract).
+                        let mut bailed = false;
+                        campaign.workload.run_strike_batch(
                             campaign.precision,
-                            site,
-                            fault,
+                            &batch,
                             golden,
-                            &mut out,
+                            &mut |b, out| {
+                                let corrupted = out.len() != golden.len()
+                                    || out.iter().zip(golden_bits).any(|(v, &g)| v.to_bits() != g);
+                                if corrupted {
+                                    counts.record(Outcome::Sdc);
+                                    // mpr-allow: panic-reachability -- the batch contract keys callbacks by batch position (`b < batch.len() == indices.len()`); an out-of-range `b` is a workload-override bug the differential tests pin, not a recoverable strike failure
+                                    severities.push((indices[b], max_relative_error(out, golden)));
+                                } else {
+                                    counts.record(Outcome::Masked);
+                                }
+                                if campaign.cancel.is_cancelled() {
+                                    bailed = true;
+                                    return false;
+                                }
+                                true
+                            },
                         );
-                        let corrupted = out.len() != golden.len()
-                            || out.iter().zip(golden_bits).any(|(v, &g)| v.to_bits() != g);
-                        if corrupted {
-                            counts.record(Outcome::Sdc);
-                            severities.push((i, max_relative_error(&out, golden)));
-                        } else {
-                            counts.record(Outcome::Masked);
+                        if bailed {
+                            aborted.store(true, Ordering::Relaxed);
+                            break;
                         }
-                        i += nthreads as u64;
                     }
                     (counts, severities, busy.stop())
                 }));

@@ -224,8 +224,11 @@ impl FaultHook for MultiStrikeHook {
         let site = self.cursor;
         self.cursor += 1;
         let mut out = bits;
-        while self.fired < self.strikes.len() && self.strikes[self.fired].0 == site {
-            out = self.strikes[self.fired].1.apply(out, width);
+        while let Some(&(s, fault)) = self.strikes.get(self.fired) {
+            if s != site {
+                break;
+            }
+            out = fault.apply(out, width);
             self.fired += 1;
         }
         out

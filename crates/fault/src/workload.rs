@@ -114,6 +114,43 @@ pub trait Workload: Sync {
         let _ = golden;
         *out = self.run_with_fault(precision, site, fault);
     }
+
+    /// Batched strike execution: runs every `(site, fault)` strike in
+    /// `strikes` and hands each result to `each(index, output)` exactly
+    /// once, where `index` is the strike's position in `strikes` and
+    /// `output` is byte-identical to
+    /// `run_with_fault(precision, site, fault)`.
+    ///
+    /// Results may arrive in **any order** — batched implementations
+    /// group strikes by site region so one golden-prefix replay (or,
+    /// for LUD, one checkpoint restore per elimination step) is
+    /// amortized across the whole batch. Callers must key their
+    /// bookkeeping on `index`, never on arrival order (the campaigns
+    /// already tag observations by strike index for thread invariance,
+    /// so batch-order invariance falls out of the same discipline).
+    ///
+    /// `each` returns `false` to request cancellation: the workload
+    /// stops issuing callbacks as soon as practical (the default
+    /// strike-at-a-time loop checks between strikes, preserving
+    /// per-strike cancel granularity for slow or hostile workloads;
+    /// batched overrides may finish the in-flight region first).
+    ///
+    /// `golden` must be exactly `self.run_golden(precision)`.
+    fn run_strike_batch(
+        &self,
+        precision: Precision,
+        strikes: &[(u64, ValueFault)],
+        golden: &[f64],
+        each: &mut dyn FnMut(usize, &[f64]) -> bool,
+    ) {
+        let mut out = Vec::with_capacity(golden.len());
+        for (index, &(site, fault)) in strikes.iter().enumerate() {
+            self.run_from_site_into(precision, site, fault, golden, &mut out);
+            if !each(index, &out) {
+                return;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -205,5 +242,34 @@ mod tests {
         let golden = w.run_golden(Precision::Half);
         let faulty = w.run_with_fault(Precision::Half, 10_000, ValueFault::BitFlip(0));
         assert_eq!(golden, faulty);
+    }
+
+    #[test]
+    fn default_strike_batch_matches_run_with_fault_and_honors_cancel() {
+        let w = Dot(6);
+        let p = Precision::Single;
+        let golden = w.run_golden(p);
+        let strikes: Vec<(u64, ValueFault)> = (0..8)
+            .map(|i| (i as u64, ValueFault::BitFlip((i % 30) as u32)))
+            .collect();
+        let mut seen = vec![None; strikes.len()];
+        w.run_strike_batch(p, &strikes, &golden, &mut |index, out| {
+            seen[index] = Some(out.to_vec());
+            true
+        });
+        for (i, &(site, fault)) in strikes.iter().enumerate() {
+            assert_eq!(
+                seen[i].as_deref(),
+                Some(&w.run_with_fault(p, site, fault)[..]),
+                "strike {i}"
+            );
+        }
+        // A `false` return stops the default loop between strikes.
+        let mut calls = 0;
+        w.run_strike_batch(p, &strikes, &golden, &mut |_, _| {
+            calls += 1;
+            calls < 3
+        });
+        assert_eq!(calls, 3);
     }
 }

@@ -170,6 +170,181 @@ impl Gemm {
                 Self::element(n, |k| at(i * n + k), |k| at(n2 + k * n + j), &mut hook).to_f64();
         }
     }
+
+    /// Batched half-precision strikes through the wide binary16 lanes
+    /// (DESIGN.md §4i). Strikes are grouped by site region:
+    ///
+    /// * `A`/`B` input strikes recompute their dirty stripe of `C` with
+    ///   [`mpr_softfloat::wide::fma_broadcast`] — the faulted input
+    ///   multiplies a contiguous row (`B` rows directly; `A` columns via
+    ///   a transpose built once per batch), so the `k` loop runs `n`
+    ///   lanes wide instead of `n` scalar bit-twiddles.
+    /// * FMA-chain strikes pack [`mpr_softfloat::wide::LANES`] strikes
+    ///   per pass in structure-of-arrays form: lane `s` holds strike
+    ///   `s`'s accumulator, each `k` step gathers the lane's `A`/`B`
+    ///   operands and applies lane `s`'s fault when its chain position
+    ///   comes up — one vectorized [`mpr_softfloat::wide::fma`] per
+    ///   step serves the whole group.
+    ///
+    /// Every lane is bit-identical to the scalar `Half` path, so the
+    /// outputs match `run_with_fault` byte-for-byte (DT001). The exact
+    /// binary16 product commutes, which is why `B`-column strikes may
+    /// broadcast the `B` value over transposed `A` rows.
+    fn run_half_batch(
+        &self,
+        strikes: &[(u64, ValueFault)],
+        golden: &[f64],
+        each: &mut dyn FnMut(usize, &[f64]) -> bool,
+    ) {
+        use mpr_softfloat::{wide, Half};
+        let n = self.n;
+        let n2 = n * n;
+        let (n2u, nu) = (to_u64(n2), to_u64(n));
+        let limit = 2 * n2u + n2u * nu;
+        let bits = self.input_bits::<Half>();
+        let a16: Vec<u16> = bits[..n2].iter().map(|&w| w as u16).collect();
+        let b16: Vec<u16> = bits[n2..].iter().map(|&w| w as u16).collect();
+        // Pre-widened operand matrices: one exact `u16 -> f64` pass per
+        // batch instead of one per lane-step (`widen64` is exact, so
+        // every downstream FMA sees the same values as the u16 forms).
+        let aw: Vec<f64> = a16.iter().map(|&h| wide::widen64(h)).collect();
+        let bw: Vec<f64> = b16.iter().map(|&h| wide::widen64(h)).collect();
+        let mut a_colw: Option<Vec<f64>> = None; // column-major A, built on demand
+        let mut acc = vec![0u16; n];
+        let mut stripe = vec![0u16; n];
+        let mut chain: Vec<usize> = Vec::new();
+
+        // One golden refresh per batch; each strike dirties at most one
+        // row, column, or element of `C`, records the touched indices,
+        // and the next strike restores exactly those instead of
+        // re-copying the whole output.
+        let mut out: Vec<f64> = Vec::with_capacity(golden.len());
+        out.extend_from_slice(golden);
+        let mut dirty: Vec<usize> = Vec::with_capacity(n);
+
+        for (index, &(site, fault)) in strikes.iter().enumerate() {
+            if site >= 2 * n2u && site < limit {
+                chain.push(index);
+                continue;
+            }
+            for d in dirty.drain(..) {
+                out[d] = golden[d];
+            }
+            if site < n2u {
+                // A[i][col] strike: row i of C, B rows broadcast-FMA'd.
+                let idx = site as usize;
+                let (i, col) = (idx / n, idx % n);
+                stripe.copy_from_slice(&a16[i * n..(i + 1) * n]);
+                stripe[col] = fault.apply(u64::from(a16[idx]), 16) as u16;
+                acc.iter_mut().for_each(|v| *v = 0);
+                for k in 0..n {
+                    wide::fma_broadcast_widened(
+                        wide::widen64(stripe[k]),
+                        &bw[k * n..(k + 1) * n],
+                        &mut acc,
+                    );
+                }
+                for j in 0..n {
+                    out[i * n + j] = Half::from_bits(acc[j]).to_f64();
+                    dirty.push(i * n + j);
+                }
+            } else if site < 2 * n2u {
+                // B[row][j] strike: column j of C, transposed-A rows
+                // broadcast-FMA'd (the exact product commutes).
+                let idx = (site - n2u) as usize;
+                let (row, j) = (idx / n, idx % n);
+                let at = a_colw.get_or_insert_with(|| {
+                    let mut t = vec![0f64; n2];
+                    for r in 0..n {
+                        for c in 0..n {
+                            t[c * n + r] = aw[r * n + c];
+                        }
+                    }
+                    t
+                });
+                for (k, v) in stripe.iter_mut().enumerate() {
+                    *v = b16[k * n + j];
+                }
+                stripe[row] = fault.apply(u64::from(b16[idx]), 16) as u16;
+                acc.iter_mut().for_each(|v| *v = 0);
+                for k in 0..n {
+                    wide::fma_broadcast_widened(
+                        wide::widen64(stripe[k]),
+                        &at[k * n..(k + 1) * n],
+                        &mut acc,
+                    );
+                }
+                for i in 0..n {
+                    out[i * n + j] = Half::from_bits(acc[i]).to_f64();
+                    dirty.push(i * n + j);
+                }
+            }
+            // else: past the last dynamic site — masked, pure golden.
+            if !each(index, &out) {
+                return;
+            }
+        }
+
+        // FMA-chain strikes: SoA lanes, LANES strikes per kernel pass.
+        if chain.is_empty() {
+            return;
+        }
+        for d in dirty.drain(..) {
+            out[d] = golden[d];
+        }
+        let mut dirty: Option<usize> = None;
+        let mut av = [0f64; wide::LANES];
+        let mut bv = [0f64; wide::LANES];
+        let mut lane_acc = [0u16; wide::LANES];
+        // Per-lane site decode, hoisted out of the k loop (three
+        // divisions per lane per step would dominate the pass). Fixed
+        // arrays keep the per-step lane loops at a constant trip count
+        // the compiler can unroll; short tail groups pad with lane 0's
+        // operands and a chain position of `n` (never struck), and the
+        // writeback below ignores the padding lanes.
+        let mut a_base = [0usize; wide::LANES];
+        let mut b_off = [0usize; wide::LANES];
+        let mut elem = [0usize; wide::LANES];
+        let mut pos = [0usize; wide::LANES];
+        for group in chain.chunks(wide::LANES) {
+            let m = group.len();
+            lane_acc.iter_mut().for_each(|v| *v = 0);
+            a_base[m..].iter_mut().for_each(|v| *v = 0);
+            b_off[m..].iter_mut().for_each(|v| *v = 0);
+            pos[m..].iter_mut().for_each(|v| *v = n);
+            for (s, &index) in group.iter().enumerate() {
+                let r = strikes[index].0 - 2 * n2u;
+                let e = (r / nu) as usize;
+                a_base[s] = (e / n) * n;
+                b_off[s] = e % n;
+                elem[s] = e;
+                pos[s] = (r % nu) as usize;
+            }
+            for k in 0..n {
+                let brow = k * n;
+                for s in 0..wide::LANES {
+                    av[s] = aw[a_base[s] + k];
+                    bv[s] = bw[brow + b_off[s]];
+                }
+                wide::fma_widened(&av, &bv, &mut lane_acc);
+                for s in 0..m {
+                    if pos[s] == k {
+                        lane_acc[s] = strikes[group[s]].1.apply(u64::from(lane_acc[s]), 16) as u16;
+                    }
+                }
+            }
+            for (s, &index) in group.iter().enumerate() {
+                if let Some(d) = dirty.take() {
+                    out[d] = golden[d];
+                }
+                out[elem[s]] = Half::from_bits(lane_acc[s]).to_f64();
+                dirty = Some(elem[s]);
+                if !each(index, &out) {
+                    return;
+                }
+            }
+        }
+    }
 }
 
 impl Workload for Gemm {
@@ -191,6 +366,30 @@ impl Workload for Gemm {
             Precision::Double => self.replay::<f64>(site, fault, golden, out),
             Precision::Single => self.replay::<f32>(site, fault, golden, out),
             Precision::Half => self.replay::<mpr_softfloat::Half>(site, fault, golden, out),
+        }
+    }
+
+    /// Half precision packs strikes into wide binary16 lanes; the
+    /// native-float replays already compile to vectorizable loops, so
+    /// they keep the per-strike path (which also preserves per-strike
+    /// cancel granularity where batching buys nothing).
+    fn run_strike_batch(
+        &self,
+        precision: Precision,
+        strikes: &[(u64, ValueFault)],
+        golden: &[f64],
+        each: &mut dyn FnMut(usize, &[f64]) -> bool,
+    ) {
+        if precision == Precision::Half {
+            self.run_half_batch(strikes, golden, each);
+            return;
+        }
+        let mut out = Vec::with_capacity(golden.len());
+        for (index, &(site, fault)) in strikes.iter().enumerate() {
+            self.run_from_site_into(precision, site, fault, golden, &mut out);
+            if !each(index, &out) {
+                return;
+            }
         }
     }
 }
@@ -268,6 +467,59 @@ mod tests {
         let faulty = g.run_with_fault(Precision::Double, last, ValueFault::BitFlip(62));
         let changed: Vec<usize> = (0..36).filter(|&i| faulty[i] != golden[i]).collect();
         assert_eq!(changed, vec![35]);
+    }
+
+    #[test]
+    fn half_batch_matches_naive_bit_for_bit_at_every_site() {
+        // Every site region — A inputs, B inputs, FMA chains, masked —
+        // through the wide-lane batch, against the naive injected run.
+        let g = Gemm::new(7);
+        let p = Precision::Half;
+        let golden = g.run_golden(p);
+        let sites = g.site_count(p);
+        let strikes: Vec<(u64, ValueFault)> = (0..sites + 2)
+            .map(|site| {
+                let fault = match site % 4 {
+                    0 => ValueFault::BitFlip((site % 16) as u32),
+                    1 => ValueFault::StuckHigh((site % 16) as u32),
+                    2 => ValueFault::XorMask(0x7C00), // exponent mangling: infs/NaNs
+                    _ => ValueFault::ByteCorrupt {
+                        byte: (site % 2) as u32,
+                        xor: 0x81,
+                    },
+                };
+                (site, fault)
+            })
+            .collect();
+        let mut got: Vec<Option<Vec<f64>>> = vec![None; strikes.len()];
+        g.run_strike_batch(p, &strikes, &golden, &mut |idx, out| {
+            got[idx] = Some(out.to_vec());
+            true
+        });
+        for (idx, &(site, fault)) in strikes.iter().enumerate() {
+            let want = g.run_with_fault(p, site, fault);
+            let got = got[idx].as_ref().expect("every strike reported");
+            let same = got
+                .iter()
+                .zip(&want)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "site {site} fault {fault:?}");
+        }
+    }
+
+    #[test]
+    fn batch_cancellation_stops_midway() {
+        let g = Gemm::new(5);
+        let p = Precision::Half;
+        let golden = g.run_golden(p);
+        let strikes: Vec<(u64, ValueFault)> =
+            (0..20).map(|s| (s * 9, ValueFault::BitFlip(10))).collect();
+        let mut calls = 0;
+        g.run_strike_batch(p, &strikes, &golden, &mut |_, _| {
+            calls += 1;
+            calls < 4
+        });
+        assert!(calls >= 4 && calls < strikes.len(), "stopped after {calls}");
     }
 
     #[test]

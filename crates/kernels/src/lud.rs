@@ -2,17 +2,41 @@
 
 use crate::monomorphic_workload;
 use crate::util::{gen_value, to_u64, PrecisionCache};
-use mpr_fault::hook::{FaultHook, HookExt, InjectHook, NullHook};
+use mpr_fault::hook::{FaultHook, HookExt, NullHook};
 use mpr_fault::{ValueFault, Workload};
 use mpr_softfloat::{FloatExt, Precision};
 
-/// Per-precision replay state: the exact input bits plus the packed
-/// matrix state (as bits) checkpointed before each elimination step.
+/// Per-precision replay state: exact input and golden-output bits plus
+/// strided tail checkpoints.
+///
+/// The fast path never stores a full pre-step matrix per elimination
+/// step (that grows as O(n³) bits). Instead it leans on the Doolittle
+/// dependence structure: row `m` is final after step `m - 1` and only
+/// then serves as a pivot row, so the golden *output* doubles as every
+/// pivot row any replay will ever read. The only intermediate state a
+/// strike needs is "rows below the fault row just before it pivots",
+/// and a handful of strided checkpoints bound that reconstruction to a
+/// short replay (DESIGN.md §4i).
 struct LudCache {
     input_bits: Vec<u64>,
-    /// `snapshots[k]` is the matrix immediately before elimination step
-    /// `k` — the golden prefix a strike inside step `k` replays from.
-    snapshots: Vec<Vec<u64>>,
+    golden_bits: Vec<u64>,
+    /// Checkpoint stride in elimination steps: `max(1, n / 8)`.
+    stride: usize,
+    /// `(step, rows)` pairs: `rows` holds the bits of rows
+    /// `step + 1 .. n` immediately **before** elimination step `step`,
+    /// for `step = 0, stride, 2·stride, ...` — O(n²) words total.
+    checkpoints: Vec<(usize, Vec<u64>)>,
+}
+
+/// Where a flat dynamic-site index lands in the Doolittle schedule.
+enum StrikePlan {
+    /// Past the last dynamic touch: the fault never fires.
+    Masked,
+    /// Input element `(row, col)`: the corrupt bits enter at load time.
+    Input { row: usize, col: usize },
+    /// A touch inside elimination `step`, in `row`'s block: `pos` 0 is
+    /// the division factor, `pos` q ≥ 1 the update of column `step + q`.
+    Elim { step: usize, row: usize, pos: usize },
 }
 
 /// LU decomposition of a diagonally dominant matrix (Doolittle, no
@@ -70,8 +94,8 @@ impl Lud {
         self.n
     }
 
-    /// Input bits and pre-step checkpoints at `F`'s precision, computed
-    /// once and reused across a campaign's strike batch.
+    /// Input bits, golden bits, and strided checkpoints at `F`'s
+    /// precision, computed once and reused across a campaign's strikes.
     fn cache<F: FloatExt>(&self) -> &LudCache {
         self.cache.get_or_init(F::PRECISION, || {
             let n = self.n;
@@ -88,23 +112,69 @@ impl Lud {
                 }
             }
             let mut a: Vec<F> = input_bits.iter().map(|&w| F::from_bits_u64(w)).collect();
-            let mut snapshots = Vec::with_capacity(n - 1);
+            let stride = (n / 8).max(1);
+            let mut checkpoints = Vec::new();
             for k in 0..n - 1 {
-                snapshots.push(a.iter().map(|v| v.to_bits_u64()).collect());
+                if k % stride == 0 {
+                    let rows: Vec<u64> = a[(k + 1) * n..].iter().map(|v| v.to_bits_u64()).collect();
+                    checkpoints.push((k, rows));
+                }
                 Self::eliminate_step(&mut a, n, k, &mut NullHook);
             }
+            let golden_bits = a.iter().map(|v| v.to_bits_u64()).collect();
             LudCache {
                 input_bits,
-                snapshots,
+                golden_bits,
+                stride,
+                checkpoints,
             }
         })
     }
 
     /// First dynamic site of elimination step `k`: `n^2` input sites,
     /// then step `m` contributes `(n-1-m)` factors each followed by
-    /// `(n-1-m)` updates.
+    /// `(n-1-m)` updates. Closed form — with `j = n - m` the per-step
+    /// count is `j(j-1)`, so the prefix sum telescopes to
+    /// `S(n) - S(n-k)` where `S(x) = x(x^2-1)/3` — because the replay
+    /// planner runs this once per strike (an O(k) rescan here used to
+    /// dominate short replays).
     fn step_base(n: u64, k: u64) -> u64 {
-        n * n + (0..k).map(|m| (n - 1 - m) * (n - m)).sum::<u64>()
+        let s = |x: u64| x * (x * x - 1) / 3;
+        n * n + s(n) - s(n - k)
+    }
+
+    /// Resolves a flat site index to its place in the schedule.
+    fn plan(n: u64, site: u64) -> StrikePlan {
+        if site < n * n {
+            StrikePlan::Input {
+                row: (site / n) as usize,
+                col: (site % n) as usize,
+            }
+        } else if site >= Self::step_base(n, n - 1) {
+            StrikePlan::Masked
+        } else {
+            // Largest step whose first site is <= the strike site:
+            // `step_base` is strictly increasing in `k`, so binary
+            // search between step 0 (base `n^2 <= site`) and step
+            // `n - 1` (base `> site`, checked above).
+            let (mut lo, mut hi) = (0, n - 1);
+            while lo + 1 < hi {
+                let mid = lo + (hi - lo) / 2;
+                if Self::step_base(n, mid) <= site {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            let k = lo;
+            let within = site - Self::step_base(n, k);
+            let block = n - k; // one factor + (n-1-k) updates per row
+            StrikePlan::Elim {
+                step: k as usize,
+                row: (k + 1 + within / block) as usize,
+                pos: (within % block) as usize,
+            }
+        }
     }
 
     /// One Doolittle elimination step — shared by the full run, the
@@ -149,52 +219,217 @@ impl Lud {
         Self::eliminate_from(&mut a, n, 0, hook);
         a.iter().map(|v| v.to_f64()).collect()
     }
+}
 
-    /// Golden-prefix replay: a strike inside elimination step `k`
-    /// resumes from the checkpoint taken before step `k`; an input
-    /// strike re-eliminates from the (faulted) inputs without paying
-    /// hook dispatch or input regeneration.
-    fn replay<F: FloatExt>(
-        &self,
-        site: u64,
-        fault: ValueFault,
-        golden: &[f64],
-        out: &mut Vec<f64>,
-    ) {
+/// Scratch state for row-confined strike replay, reusable across every
+/// strike in a batch (the golden decode and the tail reconstruction are
+/// the amortizable parts; see DESIGN.md §4i).
+///
+/// The replay rests on the row-confinement property of Doolittle
+/// elimination: a fault landing in row `i` stays confined to row `i`
+/// until step `i`, because each step's updates read only the row itself
+/// and the pivot row — and every pivot row `m < i` is untouched by the
+/// fault and already equal to the golden *output* row `m` (row `m` is
+/// final after step `m - 1`). So a strike replays as: track row `i`
+/// alone against golden pivot rows (O(n) per step), rebuild rows below
+/// `i` from the nearest strided checkpoint (a short replay of at most
+/// `stride` steps), and only then fall back to full trailing
+/// elimination from step `i`.
+struct LudReplayer<'a, F: FloatExt> {
+    n: usize,
+    cache: &'a LudCache,
+    /// Golden output decoded to `F` — every pivot row any replay reads.
+    golden: Vec<F>,
+    /// The tracked (faulted) row.
+    row: Vec<F>,
+    /// Workspace for the trailing elimination, persistent across
+    /// strikes. Only rows `i ..` are (re)written per strike: the
+    /// elimination from step `i` reads pivot rows `k >= i` and writes
+    /// rows below them, so whatever a previous strike left in rows
+    /// `0 .. i` is never read.
+    mat: Vec<F>,
+    /// Fault row the cached tail was reconstructed for (`usize::MAX`
+    /// when empty): rows `tail_row + 1 .. n` just before step
+    /// `tail_row`. Strikes sharing a fault row share the tail.
+    tail_row: usize,
+    tail: Vec<F>,
+    /// First row of the caller's `out` buffer that may hold computed
+    /// (non-golden) values from an earlier strike, `usize::MAX` before
+    /// the first strike. Rows `0 .. out_dirty_from` are exactly golden,
+    /// so a strike at fault row `i` only restores rows
+    /// `out_dirty_from .. i` instead of re-copying the whole output —
+    /// and the batch path's sort by fault row keeps that span short.
+    out_dirty_from: usize,
+}
+
+impl<'a, F: FloatExt> LudReplayer<'a, F> {
+    fn new(n: usize, cache: &'a LudCache) -> LudReplayer<'a, F> {
+        LudReplayer {
+            n,
+            cache,
+            golden: cache
+                .golden_bits
+                .iter()
+                .map(|&w| F::from_bits_u64(w))
+                .collect(),
+            row: vec![F::zero(); n],
+            mat: vec![F::zero(); n * n],
+            tail_row: usize::MAX,
+            tail: Vec::new(),
+            out_dirty_from: usize::MAX,
+        }
+    }
+
+    /// The checkpoint with the largest step `<= k`.
+    fn checkpoint_at_or_before(&self, k: usize) -> &'a (usize, Vec<u64>) {
+        let idx = (k / self.cache.stride).min(self.cache.checkpoints.len() - 1);
+        &self.cache.checkpoints[idx]
+    }
+
+    /// Forwards the tracked row (as row `i`) through elimination steps
+    /// `from .. to`, reading pivot rows from the golden output.
+    fn forward_row(&mut self, from: usize, to: usize) {
         let n = self.n;
-        let nu = to_u64(n);
-        out.clear();
-        out.extend_from_slice(golden);
-        if site >= Self::step_base(nu, nu - 1) {
-            return; // past the last dynamic site: the fault never fires
+        for m in from..to {
+            let factor = self.row[m] / self.golden[m * n + m];
+            self.row[m] = factor;
+            for j in m + 1..n {
+                self.row[j] = (-factor).mul_add(self.golden[m * n + j], self.row[j]);
+            }
         }
-        let cache = self.cache::<F>();
-        let mut a: Vec<F>;
-        if site < nu * nu {
-            let idx = site as usize;
-            a = cache
-                .input_bits
-                .iter()
-                .map(|&w| F::from_bits_u64(w))
-                .collect();
-            let width = F::PRECISION.total_bits();
-            a[idx] = F::from_bits_u64(fault.apply(cache.input_bits[idx], width));
-            Self::eliminate_from(&mut a, n, 0, &mut NullHook);
-        } else {
-            // Largest step whose first site is <= the strike site.
-            let k = (0..nu - 1)
-                .take_while(|&k| Self::step_base(nu, k) <= site)
-                .last()
-                .expect("site is inside the elimination range"); // mpr-allow: panic-hygiene -- guarded by the step_base range check above
-            let mut hook = InjectHook::new(site - Self::step_base(nu, k), fault);
-            a = cache.snapshots[k as usize]
-                .iter()
-                .map(|&w| F::from_bits_u64(w))
-                .collect();
-            Self::eliminate_from(&mut a, n, k as usize, &mut hook);
+    }
+
+    /// The faulted elimination step `k` on the tracked row: `pos` 0
+    /// corrupts the factor, `pos` q ≥ 1 the update of column `k + q` —
+    /// matching the touch order of [`Lud::eliminate_step`] under an
+    /// [`InjectHook`].
+    fn faulted_step(&mut self, k: usize, pos: usize, fault: ValueFault) {
+        let n = self.n;
+        let width = F::PRECISION.total_bits();
+        let mut factor = self.row[k] / self.golden[k * n + k];
+        if pos == 0 {
+            factor = F::from_bits_u64(fault.apply(factor.to_bits_u64(), width));
         }
-        for (slot, v) in out.iter_mut().zip(&a) {
-            *slot = v.to_f64();
+        self.row[k] = factor;
+        for j in k + 1..n {
+            let mut v = (-factor).mul_add(self.golden[k * n + j], self.row[j]);
+            if pos == j - k {
+                v = F::from_bits_u64(fault.apply(v.to_bits_u64(), width));
+            }
+            self.row[j] = v;
+        }
+    }
+
+    /// Reconstructs rows `i + 1 .. n` as they stand just before step
+    /// `i`: nearest strided checkpoint plus a short clean replay against
+    /// golden pivot rows. Cached — consecutive strikes with the same
+    /// fault row reuse it.
+    fn build_tail(&mut self, i: usize) {
+        if self.tail_row == i {
+            return;
+        }
+        let n = self.n;
+        let (t0, rows) = self.checkpoint_at_or_before(i);
+        let skip = (i - t0) * n; // checkpoint starts at row t0 + 1
+        self.tail.clear();
+        self.tail
+            .extend(rows[skip..].iter().map(|&w| F::from_bits_u64(w)));
+        for m in *t0..i {
+            for r in 0..n - 1 - i {
+                let row = &mut self.tail[r * n..(r + 1) * n];
+                let factor = row[m] / self.golden[m * n + m];
+                row[m] = factor;
+                let pivot = &self.golden[m * n..(m + 1) * n];
+                for (v, &p) in row[m + 1..].iter_mut().zip(&pivot[m + 1..]) {
+                    *v = (-factor).mul_add(p, *v);
+                }
+            }
+        }
+        self.tail_row = i;
+    }
+
+    /// Finishes a strike whose tracked row `i` is faulted and forwarded
+    /// to step `from`: confines it up to its pivot step, assembles the
+    /// matrix, runs the trailing elimination, and writes `out`.
+    fn finish(&mut self, i: usize, from: usize, out: &mut [f64]) {
+        let n = self.n;
+        self.forward_row(from, i);
+        if i == n - 1 {
+            // The last row never pivots: the damage is the row itself.
+            for (j, v) in self.row.iter().enumerate() {
+                out[i * n + j] = v.to_f64();
+            }
+            return;
+        }
+        self.build_tail(i);
+        self.mat[i * n..(i + 1) * n].copy_from_slice(&self.row);
+        self.mat[(i + 1) * n..].copy_from_slice(&self.tail);
+        Self::eliminate_tail(&mut self.mat, n, i);
+        for (idx, v) in self.mat[i * n..].iter().enumerate() {
+            out[i * n + idx] = v.to_f64();
+        }
+    }
+
+    /// Trailing elimination from step `i` with no hook in the loop, so
+    /// the compiler is free to vectorize the Schur updates.
+    fn eliminate_tail(a: &mut [F], n: usize, i: usize) {
+        Lud::eliminate_from(a, n, i, &mut NullHook);
+    }
+
+    /// Runs one strike, byte-identical to the naive injected run.
+    ///
+    /// Successive calls must reuse the same `out` buffer: the replayer
+    /// tracks which of its rows still hold golden values and restores
+    /// only the span a strike actually dirtied.
+    fn strike(&mut self, site: u64, fault: ValueFault, golden_f64: &[f64], out: &mut Vec<f64>) {
+        let n = self.n;
+        if self.out_dirty_from == usize::MAX || out.len() != golden_f64.len() {
+            out.clear();
+            out.extend_from_slice(golden_f64);
+            self.out_dirty_from = n;
+        }
+        let plan = Lud::plan(to_u64(n), site);
+        // Rows the strike will not overwrite must read golden: restore
+        // the still-dirty prefix span left by the previous strike.
+        let fault_row = match plan {
+            StrikePlan::Masked => n,
+            StrikePlan::Input { row, .. } | StrikePlan::Elim { row, .. } => row,
+        };
+        if self.out_dirty_from < fault_row {
+            let lo = self.out_dirty_from * n;
+            let hi = fault_row * n;
+            out[lo..hi].copy_from_slice(&golden_f64[lo..hi]);
+        }
+        self.out_dirty_from = fault_row;
+        match plan {
+            StrikePlan::Masked => {}
+            StrikePlan::Input { row: i, col: c } => {
+                let width = F::PRECISION.total_bits();
+                self.row.clear();
+                self.row.extend(
+                    self.cache.input_bits[i * n..(i + 1) * n]
+                        .iter()
+                        .map(|&w| F::from_bits_u64(w)),
+                );
+                self.row[c] =
+                    F::from_bits_u64(fault.apply(self.cache.input_bits[i * n + c], width));
+                self.finish(i, 0, out);
+            }
+            StrikePlan::Elim {
+                step: k,
+                row: i,
+                pos,
+            } => {
+                let (t0, rows) = self.checkpoint_at_or_before(k);
+                let off = (i - t0 - 1) * n;
+                self.row.clear();
+                self.row
+                    .extend(rows[off..off + n].iter().map(|&w| F::from_bits_u64(w)));
+                let t0 = *t0;
+                self.forward_row(t0, k);
+                self.faulted_step(k, pos, fault);
+                self.finish(i, k + 1, out);
+            }
         }
     }
 }
@@ -220,10 +455,63 @@ impl Workload for Lud {
         golden: &[f64],
         out: &mut Vec<f64>,
     ) {
+        fn go<F: FloatExt>(
+            lud: &Lud,
+            site: u64,
+            fault: ValueFault,
+            golden: &[f64],
+            out: &mut Vec<f64>,
+        ) {
+            LudReplayer::<F>::new(lud.n, lud.cache::<F>()).strike(site, fault, golden, out);
+        }
         match precision {
-            Precision::Double => self.replay::<f64>(site, fault, golden, out),
-            Precision::Single => self.replay::<f32>(site, fault, golden, out),
-            Precision::Half => self.replay::<mpr_softfloat::Half>(site, fault, golden, out),
+            Precision::Double => go::<f64>(self, site, fault, golden, out),
+            Precision::Single => go::<f32>(self, site, fault, golden, out),
+            Precision::Half => go::<mpr_softfloat::Half>(self, site, fault, golden, out),
+        }
+    }
+
+    /// Batched strikes: one golden decode per batch, strikes sorted by
+    /// (fault row, site) so the tail reconstruction — the only per-strike
+    /// state heavier than one row — is shared between strikes that hit
+    /// the same row, and checkpoint reads stay cache-local.
+    fn run_strike_batch(
+        &self,
+        precision: Precision,
+        strikes: &[(u64, ValueFault)],
+        golden: &[f64],
+        each: &mut dyn FnMut(usize, &[f64]) -> bool,
+    ) {
+        fn go<F: FloatExt>(
+            lud: &Lud,
+            strikes: &[(u64, ValueFault)],
+            golden: &[f64],
+            each: &mut dyn FnMut(usize, &[f64]) -> bool,
+        ) {
+            let n = to_u64(lud.n);
+            let mut order: Vec<usize> = (0..strikes.len()).collect();
+            order.sort_by_cached_key(|&idx| {
+                let site = strikes[idx].0;
+                let row = match Lud::plan(n, site) {
+                    StrikePlan::Masked => usize::MAX,
+                    StrikePlan::Input { row, .. } | StrikePlan::Elim { row, .. } => row,
+                };
+                (row, site, idx)
+            });
+            let mut replayer = LudReplayer::<F>::new(lud.n, lud.cache::<F>());
+            let mut out = Vec::with_capacity(golden.len());
+            for idx in order {
+                let (site, fault) = strikes[idx];
+                replayer.strike(site, fault, golden, &mut out);
+                if !each(idx, &out) {
+                    return;
+                }
+            }
+        }
+        match precision {
+            Precision::Double => go::<f64>(self, strikes, golden, each),
+            Precision::Single => go::<f32>(self, strikes, golden, each),
+            Precision::Half => go::<mpr_softfloat::Half>(self, strikes, golden, each),
         }
     }
 }
@@ -311,6 +599,80 @@ mod tests {
         // The first pivot feeds every elimination step: most of the
         // matrix is corrupted.
         assert!(changed > n * n / 2, "only {changed} entries changed");
+    }
+
+    #[test]
+    fn replay_matches_naive_bit_for_bit_at_every_site() {
+        // Every dynamic site — inputs, factors, updates, and the
+        // masked region past the end — must replay to the exact bits
+        // the naive injected run produces (DT001).
+        let n = 9u64;
+        let lud = Lud::new(n as usize);
+        for p in [Precision::Double, Precision::Single] {
+            let golden = lud.run_golden(p);
+            let sites = lud.site_count(p);
+            for site in 0..sites + 3 {
+                let fault = match site % 3 {
+                    0 => ValueFault::BitFlip((site % 31) as u32),
+                    1 if site % 2 == 0 => ValueFault::StuckHigh((site % 23) as u32),
+                    1 => ValueFault::StuckLow((site % 23) as u32),
+                    _ => ValueFault::XorMask(0x8000_0401 ^ site),
+                };
+                let naive = lud.run_with_fault(p, site, fault);
+                let fast = lud.run_from_site(p, site, fault, &golden);
+                let same = naive
+                    .iter()
+                    .zip(&fast)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "site {site} fault {fault:?} precision {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_strikes_match_per_strike_replay() {
+        let n = 12u64;
+        let lud = Lud::new(n as usize);
+        let p = Precision::Single;
+        let golden = lud.run_golden(p);
+        let sites = lud.site_count(p);
+        // A scattered batch: inputs, early/late steps, repeats, masked.
+        let strikes: Vec<(u64, ValueFault)> = (0..40)
+            .map(|s| {
+                (
+                    (s * 31 + 7) % (sites + 2),
+                    ValueFault::BitFlip(((s * 13) % 52) as u32),
+                )
+            })
+            .collect();
+        let mut got: Vec<Option<Vec<f64>>> = vec![None; strikes.len()];
+        lud.run_strike_batch(p, &strikes, &golden, &mut |idx, out| {
+            got[idx] = Some(out.to_vec());
+            true
+        });
+        for (idx, &(site, fault)) in strikes.iter().enumerate() {
+            let want = lud.run_from_site(p, site, fault, &golden);
+            let got = got[idx].as_ref().expect("callback ran for every strike");
+            assert_eq!(got.len(), want.len());
+            let same = got
+                .iter()
+                .zip(&want)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "strike {idx} site {site}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_memory_is_quadratic_not_cubic() {
+        let n = 32;
+        let lud = Lud::new(n);
+        let _ = lud.run_golden(Precision::Double);
+        let cache = lud.cache::<f64>();
+        let words: usize = cache.checkpoints.iter().map(|(_, rows)| rows.len()).sum();
+        // Strided tails: well under the n^3-ish footprint of a full
+        // per-step snapshot scheme ((n-1) * n^2 = 31744 words here).
+        assert!(words <= 8 * n * n, "checkpoints hold {words} words");
+        assert!(!cache.checkpoints.is_empty());
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //! * [`math`] — in-precision transcendental functions (polynomial `exp`)
 //!   whose intermediate values live in the target precision, mirroring how
 //!   GPUs evaluate transcendentals in software (paper, Section 6.3).
+//! * [`wide`] — branch-free binary16 add/mul/FMA lanes over `&[u16]` bit
+//!   slices, bit-identical to the scalar path but shaped for the
+//!   autovectorizer; batched strike execution runs its half-precision
+//!   inner loops through them.
 //!
 //! # Example
 //!
@@ -54,6 +58,7 @@ pub mod math;
 mod precision;
 mod traits;
 pub mod ulp;
+pub mod wide;
 
 pub use any::AnyFloat;
 pub use half::{Half, ParseHalfError};

@@ -90,8 +90,29 @@ pub fn exp_poly<F: FloatExt>(x: F) -> F {
     p.ldexp(n)
 }
 
+/// `k!` as an `f64`, exact for every `k` whose factorial fits the
+/// integer path. `1..=20` accumulates in checked `u64` arithmetic
+/// (`20!` is the last factorial below `2^64`); from the first multiply
+/// that would overflow (`k >= 21`) the product continues in `f64`. The
+/// integer prefix keeps every in-range coefficient exactly rounded
+/// instead of compounding `f64` rounding through the running product.
 fn factorial(k: u32) -> f64 {
-    (1..=k).map(f64::from).product()
+    let mut exact: u64 = 1;
+    for m in 1..=u64::from(k) {
+        match exact.checked_mul(m) {
+            Some(next) => exact = next,
+            None => {
+                // Overflow at factor `m`: continue the remaining
+                // product in f64 from the exact prefix.
+                let mut approx = exact as f64;
+                for f in m..=u64::from(k) {
+                    approx *= f as f64;
+                }
+                return approx;
+            }
+        }
+    }
+    exact as f64
 }
 
 /// Number of atanh-series terms the in-precision `ln` evaluates.
@@ -240,6 +261,36 @@ mod tests {
         // f16::MAX as input must terminate promptly and saturate.
         assert!(exp_poly(Half::MAX).is_infinite());
         assert_eq!(exp_poly(-Half::MAX).to_f64(), 0.0);
+    }
+
+    #[test]
+    fn factorial_is_exact_through_u64_and_finite_beyond() {
+        // Exact integer region: every value a coefficient table can ask
+        // for (exp uses k <= 14) and the last u64-representable one.
+        assert_eq!(factorial(0), 1.0);
+        assert_eq!(factorial(1), 1.0);
+        assert_eq!(factorial(12), 479_001_600.0);
+        assert_eq!(factorial(14), 87_178_291_200.0);
+        assert_eq!(factorial(20), 2_432_902_008_176_640_000u64 as f64);
+        // Checked-overflow region (k >= 21 overflows u64): the product
+        // continues in f64 without wrapping. 21! = 51090942171709440000.
+        assert_eq!(factorial(21), 2_432_902_008_176_640_000u64 as f64 * 21.0);
+        assert!(factorial(25) > factorial(24));
+        assert!(factorial(170).is_finite());
+        assert_eq!(factorial(171), f64::INFINITY); // beyond f64 range, no panic
+    }
+
+    #[test]
+    fn exp_series_terms_are_pinned() {
+        // The deepest coefficient any precision evaluates (k = 14 for
+        // double) must stay bit-identical: a factorial change that moved
+        // it would silently move every golden output downstream.
+        assert_eq!(
+            (1.0 / factorial(14)).to_bits(),
+            (1.0f64 / 87_178_291_200.0).to_bits()
+        );
+        assert_eq!((1.0 / factorial(8)).to_bits(), (1.0f64 / 40320.0).to_bits());
+        assert_eq!((1.0 / factorial(5)).to_bits(), (1.0f64 / 120.0).to_bits());
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Differential property tests: wide binary16 lanes vs the scalar path.
+//!
+//! The contract (DESIGN.md §4i): every lane of [`mpr_softfloat::wide`]
+//! is bit-identical to the corresponding scalar `Half` operation —
+//! including subnormals, signed zeros, infinities, NaN canonicalization,
+//! and round-to-nearest-even ties. These proptests drive the composed
+//! public operations with strategies biased toward exactly those edge
+//! regions; the unit tests inside the module cover the widen/narrow
+//! kernels exhaustively.
+
+use mpr_softfloat::{wide, Half};
+use proptest::prelude::*;
+
+/// Any bit pattern: normals, subnormals, zeros, infinities, NaNs.
+fn any_bits() -> impl Strategy<Value = u16> {
+    any::<u16>()
+}
+
+/// Biased toward the edge regions where rounding bugs live: subnormals
+/// (exp field 0), values near the overflow boundary, infinities, NaNs
+/// with varied payloads, and plain normals.
+fn edgy_bits() -> impl Strategy<Value = u16> {
+    prop_oneof![
+        // Subnormals and zeros of both signs.
+        (any::<u16>(), any::<bool>()).prop_map(|(m, s)| (m & 0x03FF) | if s { 0x8000 } else { 0 }),
+        // Smallest normals: exponent field 1.
+        (any::<u16>(), any::<bool>())
+            .prop_map(|(m, s)| 0x0400 | (m & 0x03FF) | if s { 0x8000 } else { 0 }),
+        // Largest finite magnitudes: exponent field 30.
+        (any::<u16>(), any::<bool>())
+            .prop_map(|(m, s)| 0x7800 | (m & 0x03FF) | if s { 0x8000 } else { 0 }),
+        // Infinities and NaNs with arbitrary payloads.
+        (any::<u16>(), any::<bool>())
+            .prop_map(|(m, s)| 0x7C00 | (m & 0x03FF) | if s { 0x8000 } else { 0 }),
+        // Anything at all.
+        any::<u16>(),
+    ]
+}
+
+/// Mantissa patterns that make RNE ties likely under add/mul: low bits
+/// cleared so exact halves fall on rounding boundaries.
+fn tie_prone_bits() -> impl Strategy<Value = u16> {
+    (0u16..0x20, 0u16..0x40, any::<bool>()).prop_map(|(e, m, s)| {
+        let exp = (e % 31) << 10;
+        // Sparse mantissas (a few high bits) produce products whose
+        // discarded tail is exactly half an ULP.
+        let mant = (m & 0x7) << 7 | (m >> 3) & 1;
+        exp | mant | if s { 0x8000 } else { 0 }
+    })
+}
+
+fn scalar_add(a: u16, b: u16) -> u16 {
+    (Half::from_bits(a) + Half::from_bits(b)).to_bits()
+}
+
+fn scalar_mul(a: u16, b: u16) -> u16 {
+    (Half::from_bits(a) * Half::from_bits(b)).to_bits()
+}
+
+fn scalar_fma(a: u16, b: u16, c: u16) -> u16 {
+    Half::from_bits(a)
+        .mul_add(Half::from_bits(b), Half::from_bits(c))
+        .to_bits()
+}
+
+/// Runs one (a, b) pair through the slice forms and checks each lane.
+fn check_binary_ops(a: Vec<u16>, b: Vec<u16>) {
+    let n = a.len();
+    let mut sum = vec![0u16; n];
+    let mut prod = vec![0u16; n];
+    wide::add(&a, &b, &mut sum);
+    wide::mul(&a, &b, &mut prod);
+    for i in 0..n {
+        assert_eq!(
+            sum[i],
+            scalar_add(a[i], b[i]),
+            "add lane {i}: a={:#06x} b={:#06x}",
+            a[i],
+            b[i]
+        );
+        assert_eq!(
+            prod[i],
+            scalar_mul(a[i], b[i]),
+            "mul lane {i}: a={:#06x} b={:#06x}",
+            a[i],
+            b[i]
+        );
+    }
+}
+
+/// Runs one (a, b, c) triple through every FMA form and checks lanes.
+fn check_fma_ops(a: Vec<u16>, b: Vec<u16>, c: Vec<u16>) {
+    let n = a.len();
+    let mut acc = c.clone();
+    wide::fma(&a, &b, &mut acc);
+    let mut out = vec![0u16; n];
+    wide::fma_into(&a, &b, &c, &mut out);
+    for i in 0..n {
+        let want = scalar_fma(a[i], b[i], c[i]);
+        assert_eq!(
+            acc[i], want,
+            "fma lane {i}: a={:#06x} b={:#06x} c={:#06x}",
+            a[i], b[i], c[i]
+        );
+        assert_eq!(out[i], want, "fma_into lane {i}");
+    }
+    // Broadcast form: a[0] against every (b, c) lane.
+    let mut bacc = c.clone();
+    wide::fma_broadcast(a[0], &b, &mut bacc);
+    for i in 0..n {
+        assert_eq!(
+            bacc[i],
+            scalar_fma(a[0], b[i], c[i]),
+            "fma_broadcast lane {i}: a={:#06x} b={:#06x} c={:#06x}",
+            a[0],
+            b[i],
+            c[i]
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn add_mul_match_scalar_on_arbitrary_lanes(
+        a in proptest::collection::vec(any_bits(), 1..48),
+        seed in any::<u64>(),
+    ) {
+        // Derive b from a and a seed so lengths always match.
+        let b: Vec<u16> = a
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x ^ (seed.rotate_left(i as u32) as u16))
+            .collect();
+        check_binary_ops(a, b);
+    }
+
+    #[test]
+    fn add_mul_match_scalar_on_edge_lanes(
+        a in proptest::collection::vec(edgy_bits(), 1..48),
+        b0 in proptest::collection::vec(edgy_bits(), 48..49),
+    ) {
+        let b = b0[..a.len()].to_vec();
+        check_binary_ops(a, b);
+    }
+
+    #[test]
+    fn add_mul_match_scalar_on_tie_prone_lanes(
+        a in proptest::collection::vec(tie_prone_bits(), 1..48),
+        b0 in proptest::collection::vec(tie_prone_bits(), 48..49),
+    ) {
+        let b = b0[..a.len()].to_vec();
+        check_binary_ops(a, b);
+    }
+
+    #[test]
+    fn fma_matches_scalar_on_arbitrary_lanes(
+        a in proptest::collection::vec(any_bits(), 1..48),
+        seed in any::<u64>(),
+    ) {
+        let b: Vec<u16> = a
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x ^ (seed.rotate_left(i as u32) as u16))
+            .collect();
+        let c: Vec<u16> = a
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x.wrapping_add((seed.rotate_right(i as u32 + 7)) as u16))
+            .collect();
+        check_fma_ops(a, b, c);
+    }
+
+    #[test]
+    fn fma_matches_scalar_on_edge_lanes(
+        a in proptest::collection::vec(edgy_bits(), 1..48),
+        b0 in proptest::collection::vec(edgy_bits(), 48..49),
+        c0 in proptest::collection::vec(edgy_bits(), 48..49),
+    ) {
+        let (b, c) = (b0[..a.len()].to_vec(), c0[..a.len()].to_vec());
+        check_fma_ops(a, b, c);
+    }
+
+    #[test]
+    fn fma_matches_scalar_on_tie_prone_lanes(
+        a in proptest::collection::vec(tie_prone_bits(), 1..48),
+        b0 in proptest::collection::vec(tie_prone_bits(), 48..49),
+        c0 in proptest::collection::vec(tie_prone_bits(), 48..49),
+    ) {
+        let (b, c) = (b0[..a.len()].to_vec(), c0[..a.len()].to_vec());
+        check_fma_ops(a, b, c);
+    }
+
+    #[test]
+    fn nan_lanes_propagate_and_canonicalize(
+        payload in 1u16..0x0400,
+        sign in any::<bool>(),
+        x in any_bits(),
+    ) {
+        let nan = 0x7C00 | payload | if sign { 0x8000 } else { 0 };
+        let mut sum = [0u16; 2];
+        let mut prod = [0u16; 2];
+        wide::add(&[nan, x], &[x, nan], &mut sum);
+        wide::mul(&[nan, x], &[x, nan], &mut prod);
+        for r in sum.into_iter().chain(prod) {
+            prop_assert!(Half::from_bits(r).is_nan(), "NaN must propagate");
+        }
+        prop_assert_eq!(sum[0], scalar_add(nan, x));
+        prop_assert_eq!(prod[1], scalar_mul(x, nan));
+        // FMA canonicalizes every NaN case to the positive quiet NaN,
+        // exactly like the scalar `Half::mul_add`.
+        let mut acc = [x, nan, x];
+        wide::fma(&[nan, x, x], &[x, x, nan], &mut acc);
+        for (i, r) in acc.into_iter().enumerate() {
+            prop_assert_eq!(r, Half::NAN.to_bits(), "fma NaN lane {}", i);
+        }
+    }
+
+    #[test]
+    fn infinity_lanes_match_scalar(x in any_bits(), sign in any::<bool>()) {
+        let inf = if sign { 0xFC00u16 } else { 0x7C00 };
+        let a = [inf, x, inf, x];
+        let b = [x, inf, inf, x];
+        let mut sum = [0u16; 4];
+        let mut prod = [0u16; 4];
+        wide::add(&a, &b, &mut sum);
+        wide::mul(&a, &b, &mut prod);
+        let mut acc = [x; 4];
+        wide::fma(&a, &b, &mut acc);
+        for i in 0..4 {
+            prop_assert_eq!(sum[i], scalar_add(a[i], b[i]), "add lane {}", i);
+            prop_assert_eq!(prod[i], scalar_mul(a[i], b[i]), "mul lane {}", i);
+            prop_assert_eq!(acc[i], scalar_fma(a[i], b[i], x), "fma lane {}", i);
+        }
+    }
+
+    #[test]
+    fn fixed_width_forms_match_scalar(
+        a in proptest::collection::vec(edgy_bits(), 16..17),
+        b in proptest::collection::vec(edgy_bits(), 16..17),
+        c in proptest::collection::vec(edgy_bits(), 16..17),
+    ) {
+        let (a16, b16, c16): (&[u16; 16], &[u16; 16], &[u16; 16]) = (
+            a[..].try_into().unwrap(),
+            b[..].try_into().unwrap(),
+            c[..].try_into().unwrap(),
+        );
+        let sum = wide::add16(a16, b16);
+        let prod = wide::mul16(a16, b16);
+        let fused = wide::fma16(a16, b16, c16);
+        for i in 0..16 {
+            prop_assert_eq!(sum[i], scalar_add(a[i], b[i]));
+            prop_assert_eq!(prod[i], scalar_mul(a[i], b[i]));
+            prop_assert_eq!(fused[i], scalar_fma(a[i], b[i], c[i]));
+        }
+        let a8: &[u16; 8] = a[..8].try_into().unwrap();
+        let b8: &[u16; 8] = b[..8].try_into().unwrap();
+        let c8: &[u16; 8] = c[..8].try_into().unwrap();
+        let sum8 = wide::add8(a8, b8);
+        let prod8 = wide::mul8(a8, b8);
+        let fused8 = wide::fma8(a8, b8, c8);
+        for i in 0..8 {
+            prop_assert_eq!(sum8[i], scalar_add(a[i], b[i]));
+            prop_assert_eq!(prod8[i], scalar_mul(a[i], b[i]));
+            prop_assert_eq!(fused8[i], scalar_fma(a[i], b[i], c[i]));
+        }
+    }
+}
+
+/// Deterministic spot-check of the RNE tie everyone gets wrong: a
+/// product landing exactly on a binary16 tie, perturbed by a tiny
+/// addend the intermediate must not lose. (`0x2b24 * 0xfb00` is
+/// exactly `-3199.0`, the tie between `-3198` and `-3200`; adding the
+/// small positive `0x06dd` must break the tie toward `-3198`.)
+#[test]
+fn fma_keeps_tiny_addend_next_to_a_product_tie() {
+    let (a, b, c) = (0x2b24u16, 0xfb00u16, 0x06ddu16);
+    let mut acc = [c];
+    wide::fma(&[a], &[b], &mut acc);
+    assert_eq!(acc[0], scalar_fma(a, b, c));
+    assert_eq!(acc[0], 0xEA3F); // -3198, not the naive tie-to-even -3200
+}
