@@ -23,6 +23,7 @@
 //! | `determinism-taint`   | DT004      | same crates as `determinism` (flow-sensitive) |
 //! | `panic-hygiene`       | PH001-PH003| every library crate          |
 //! | `panic-reachability`  | PH004      | `crates/kernels`, `crates/fault`, `crates/beam`, `crates/exp` (call-graph reachable from the strike fast path) |
+//! | `vfs-bypass`          | FS003      | `crates/exp` (direct `std::fs` traffic outside the `Vfs` layer) |
 //! | `allow-hygiene`       | AH001-AH003| pragma bookkeeping           |
 //!
 //! Violations are suppressed line-by-line with a justified pragma:
@@ -230,6 +231,10 @@ pub fn lint_applies(lint: &str, rel_path: &str) -> bool {
         // dispatch boundary, so the trait-object ban covers only the
         // kernel crate where per-touch virtual calls are hot.
         "dyn-hook" => p.starts_with("crates/kernels/src"),
+        // FS003: every byte mpr-exp persists must route through the
+        // `Vfs` seam so chaos injection and the durable-commit
+        // protocol cover it; `vfs.rs` itself carries a file-wide allow.
+        "vfs-bypass" => p.starts_with("crates/exp/src"),
         "determinism" | "determinism-taint" => {
             p.starts_with("crates/beam/src")
                 || p.starts_with("crates/fault/src")
@@ -289,6 +294,9 @@ pub fn analyze_files(inputs: Vec<(String, String)>) -> Analysis {
             }
             if lint_applies("dyn-hook", &rel) {
                 out.extend(lints::dyn_hook(sf));
+            }
+            if lint_applies("vfs-bypass", &rel) {
+                out.extend(lints::vfs_bypass(sf));
             }
             if lint_applies("determinism", &rel) {
                 out.extend(lints::determinism(sf));
@@ -457,6 +465,9 @@ mod tests {
         assert!(lint_applies("dyn-hook", "crates/kernels/src/gemm.rs"));
         assert!(!lint_applies("dyn-hook", "crates/nn/src/layers.rs"));
         assert!(!lint_applies("dyn-hook", "crates/fault/src/campaign.rs"));
+        assert!(lint_applies("vfs-bypass", "crates/exp/src/store.rs"));
+        assert!(!lint_applies("vfs-bypass", "crates/obs/src/jsonl.rs"));
+        assert!(!lint_applies("vfs-bypass", "crates/cli/src/commands.rs"));
         assert!(lint_applies("determinism", "crates/core/src/study.rs"));
         assert!(lint_applies("determinism", "crates/exp/src/engine.rs"));
         assert!(lint_applies("determinism", "crates/obs/src/record.rs"));
@@ -493,6 +504,7 @@ mod tests {
             "determinism-taint",
             "panic-hygiene",
             "panic-reachability",
+            "vfs-bypass",
         ];
         let expected = |lint: &str, krate: &str| -> bool {
             match lint {
@@ -507,6 +519,7 @@ mod tests {
                 "panic-reachability" => {
                     matches!(krate, "beam" | "exp" | "fault" | "kernels")
                 }
+                "vfs-bypass" => krate == "exp",
                 _ => unreachable!("unknown family {lint}"),
             }
         };

@@ -9,7 +9,7 @@ use crate::source::SourceFile;
 use crate::{Finding, Severity};
 
 /// Lint family names as used in `mpr-allow` pragmas.
-pub const LINT_NAMES: [&str; 7] = [
+pub const LINT_NAMES: [&str; 8] = [
     "precision-leak",
     "fault-site",
     "determinism",
@@ -17,6 +17,7 @@ pub const LINT_NAMES: [&str; 7] = [
     "precision-taint",
     "determinism-taint",
     "panic-reachability",
+    "vfs-bypass",
 ];
 
 fn finding(
@@ -465,6 +466,59 @@ fn has_operator_arithmetic(stmt: &str) -> bool {
     [" + ", " - ", " * ", " / ", " += ", " -= ", " *= ", " /= "]
         .iter()
         .any(|op| cleaned.contains(op))
+}
+
+// ---------------------------------------------------------------------
+// vfs-bypass (FS003)
+// ---------------------------------------------------------------------
+
+/// Direct `std::fs` traffic in the experiment engine outside the `Vfs`
+/// implementation layer. Every byte mpr-exp persists must route
+/// through the `Vfs` trait so the chaos layer sees it, the durable
+/// commit protocol covers it, and the crash-consistency property tests
+/// stay exhaustive — an I/O call that bypasses the seam is untestable
+/// under fault injection and silently un-durable. `vfs.rs` itself (the
+/// `RealFs` passthrough) carries a file-wide pragma; tests are exempt.
+pub fn vfs_bypass(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (idx, masked) in file.masked.iter().enumerate() {
+        if file.in_test[idx] {
+            continue;
+        }
+        let line_no = idx + 1;
+        for at in word_positions(masked, "fs") {
+            if masked[at + 2..].starts_with("::") {
+                out.push(finding(
+                    file,
+                    line_no,
+                    "FS003",
+                    "vfs-bypass",
+                    "direct `fs::` call in mpr-exp bypasses the `Vfs` seam; route it through the store's `Vfs` handle so chaos injection and the durable-commit protocol cover it".to_string(),
+                ));
+            }
+        }
+        for at in word_positions(masked, "File") {
+            if masked[at + 4..].starts_with("::") {
+                out.push(finding(
+                    file,
+                    line_no,
+                    "FS003",
+                    "vfs-bypass",
+                    "direct `File::` use in mpr-exp bypasses the `Vfs` seam; add the operation to the `Vfs` trait instead of opening handles inline".to_string(),
+                ));
+            }
+        }
+        if !word_positions(masked, "OpenOptions").is_empty() {
+            out.push(finding(
+                file,
+                line_no,
+                "FS003",
+                "vfs-bypass",
+                "`OpenOptions` in mpr-exp bypasses the `Vfs` seam; add the operation to the `Vfs` trait instead of opening handles inline".to_string(),
+            ));
+        }
+    }
+    out
 }
 
 // ---------------------------------------------------------------------

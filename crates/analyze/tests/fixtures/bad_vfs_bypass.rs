@@ -1,0 +1,29 @@
+//! Fixture: persistence code that bypasses the Vfs seam.
+//!
+//! Direct filesystem calls inside mpr-exp dodge the chaos schedule and
+//! the durable-commit protocol, so crash-consistency proofs no longer
+//! cover them. Every direct call below must trip FS003.
+
+use std::io::Write;
+use std::path::Path;
+
+pub fn save_entry(dir: &Path, body: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut f = std::fs::File::create(dir.join("entry.json"))?;
+    f.write_all(body.as_bytes())
+}
+
+pub fn append_ledger(path: &Path, line: &str) -> std::io::Result<()> {
+    let mut f = std::fs::OpenOptions::new().append(true).open(path)?;
+    f.write_all(line.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    // Test helpers may touch the real filesystem directly; only
+    // shipped persistence code must route through the seam.
+    #[test]
+    fn scratch_files_are_fine_in_tests() {
+        let _ = std::fs::read("never-present");
+    }
+}

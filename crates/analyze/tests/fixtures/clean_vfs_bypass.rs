@@ -1,0 +1,25 @@
+//! Fixture: the same persistence shapes routed through the Vfs seam.
+//!
+//! Nothing here names the standard filesystem API; every byte flows
+//! through an injected handle, so a chaos layer (or a real fsync-ing
+//! backend) can interpose without the caller changing.
+
+use std::path::Path;
+
+/// Minimal stand-in for the experiment crate's Vfs trait.
+pub trait Vfs {
+    /// Writes the full byte slice to `path`.
+    fn write(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()>;
+    /// Atomically renames `from` onto `to`.
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()>;
+}
+
+pub fn save_entry(vfs: &dyn Vfs, dir: &Path, body: &str) -> std::io::Result<()> {
+    let tmp = dir.join("entry.json.tmp");
+    vfs.write(&tmp, body.as_bytes())?;
+    vfs.rename(&tmp, &dir.join("entry.json"))
+}
+
+pub fn append_ledger(vfs: &dyn Vfs, path: &Path, line: &str) -> std::io::Result<()> {
+    vfs.write(path, line.as_bytes())
+}

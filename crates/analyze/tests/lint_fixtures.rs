@@ -94,6 +94,36 @@ fn dyn_hook_lint_scopes_to_the_kernel_crate() {
 }
 
 #[test]
+fn bad_vfs_bypass_fixture_flags_every_direct_fs_call() {
+    let a = scan("crates/exp/src/fixture.rs", "bad_vfs_bypass.rs");
+    let fs3: Vec<_> = a.findings.iter().filter(|f| f.lint == "FS003").collect();
+    // Two in save_entry (create_dir_all, File::create counts twice via
+    // the fs:: path), two in append_ledger (fs:: plus OpenOptions);
+    // the test-module read is exempt.
+    assert_eq!(fs3.len(), 5, "FS003 findings: {}", a.to_text());
+    assert!(fs3.iter().all(|f| f.name == "vfs-bypass"));
+    assert!(!a.clean());
+}
+
+#[test]
+fn clean_vfs_bypass_fixture_passes() {
+    let a = scan("crates/exp/src/fixture.rs", "clean_vfs_bypass.rs");
+    assert!(a.clean(), "unexpected findings: {}", a.to_text());
+}
+
+#[test]
+fn vfs_bypass_lint_scopes_to_the_experiment_crate() {
+    // The obs recorder and CLI plumbing legitimately hit std::fs
+    // directly — only mpr-exp persistence must route through the seam.
+    let a = scan("crates/obs/src/fixture.rs", "bad_vfs_bypass.rs");
+    assert!(
+        !a.findings.iter().any(|f| f.lint == "FS003"),
+        "unexpected FS003 outside exp: {}",
+        a.to_text()
+    );
+}
+
+#[test]
 fn bad_determinism_fixture_trips_every_dt_lint() {
     let a = scan("crates/beam/src/fixture.rs", "bad_determinism.rs");
     let ids = lint_ids(&a);

@@ -44,6 +44,13 @@ pub enum Command {
         retries: u32,
         cell_timeout: Option<Duration>,
     },
+    /// Run a hostile persistence exercise: a small fixed campaign whose
+    /// cache and manifest I/O routes through the seeded chaos
+    /// filesystem, then report the injected-fault ledger.
+    Chaos {
+        /// Chaos options.
+        opts: ChaosOpts,
+    },
     /// Run the workspace static-analysis lints.
     Analyze {
         /// Emit the report as JSON instead of plain text.
@@ -107,6 +114,30 @@ pub struct StudyOpts {
     /// `--resume`: re-execute only the cells the cache directory's
     /// manifest records as failed, hung, or missing. Requires
     /// `--cache-dir`.
+    pub resume: bool,
+}
+
+/// Options for the `chaos` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosOpts {
+    /// `--cache-dir PATH` (required): the directory the hostile run
+    /// persists into and resumes from.
+    pub cache_dir: String,
+    /// `--chaos-seed S`: seeds the fault schedule; the same seed
+    /// replays the same faults (default 2019).
+    pub seed: u64,
+    /// `--chaos-rate R`: per-operation fault probability in `[0, 1]`
+    /// (default 0: the chaos layer observes but never injects).
+    pub rate: f64,
+    /// `--chaos-crash-at K`: simulate a hard crash at the K-th
+    /// filesystem operation (fail-stop; every later operation errors).
+    pub crash_at: Option<u64>,
+    /// `--threads N` override.
+    pub threads: Option<usize>,
+    /// `--retries N`: per-cell retry budget against injected faults.
+    pub retries: u32,
+    /// `--resume`: report what the manifest says survived, then run
+    /// only the missing subset.
     pub resume: bool,
 }
 
@@ -187,8 +218,18 @@ USAGE:
     mpr inject    --workload <WORKLOAD> --precision <double|single|half>
                   [--n N] [--model single|double|byte] [--seed S] [--threads N]
                   [--retries N] [--cell-timeout DUR]
+    mpr chaos     --cache-dir <PATH> [--chaos-seed S] [--chaos-rate R]
+                  [--chaos-crash-at K] [--threads N] [--retries N] [--resume]
     mpr analyze   [--json] [--root <PATH>] [--baseline <REPORT.json>]
     mpr help
+
+CHAOS OPTS:
+    --chaos-seed S     seed for the deterministic fault schedule; the
+                       same seed replays the same faults (default 2019)
+    --chaos-rate R     per-operation fault probability in [0, 1]
+                       (default 0 — observe I/O, inject nothing)
+    --chaos-crash-at K simulate a hard crash at filesystem op K; rerun
+                       with --resume to finish the interrupted campaign
 
 STUDY OPTS:
     --paper            paper-scale statistics (default: quick)
@@ -259,6 +300,34 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             retries: retries_of(&rest)?,
             cell_timeout: cell_timeout_of(&rest)?,
         }),
+        "chaos" => {
+            const KNOWN: [&str; 7] = [
+                "--cache-dir",
+                "--chaos-seed",
+                "--chaos-rate",
+                "--chaos-crash-at",
+                "--threads",
+                "--retries",
+                "--resume",
+            ];
+            if let Some(&bad) = rest
+                .iter()
+                .find(|&&a| a.starts_with("--") && !KNOWN.contains(&a))
+            {
+                return Err(ParseError(format!("unknown flag `{bad}`\n\n{USAGE}")));
+            }
+            Ok(Command::Chaos {
+                opts: ChaosOpts {
+                    cache_dir: required(&rest, "--cache-dir")?.to_string(),
+                    seed: numeric(&rest, "--chaos-seed", 2019)?,
+                    rate: chaos_rate_of(&rest)?,
+                    crash_at: crash_at_of(&rest)?,
+                    threads: threads_of(&rest)?,
+                    retries: retries_of(&rest)?,
+                    resume: rest.contains(&"--resume"),
+                },
+            })
+        }
         "analyze" => {
             if let Some(&bad) = rest.iter().find(|&&a| {
                 a.starts_with("--") && a != "--json" && a != "--root" && a != "--baseline"
@@ -368,6 +437,34 @@ fn retries_of(rest: &[&str]) -> Result<u32, ParseError> {
         Some(v) => v
             .parse()
             .map_err(|_| ParseError(format!("`--retries` expects an integer, got `{v}`"))),
+    }
+}
+
+/// Parses the optional `--chaos-rate R` fraction (chaos).
+fn chaos_rate_of(rest: &[&str]) -> Result<f64, ParseError> {
+    match optional(rest, "--chaos-rate") {
+        None => Ok(0.0),
+        Some(v) => v
+            .parse::<f64>()
+            .ok()
+            .filter(|x| x.is_finite() && (0.0..=1.0).contains(x))
+            .ok_or_else(|| {
+                ParseError(format!(
+                    "`--chaos-rate` expects a fraction in [0, 1], got `{v}`"
+                ))
+            }),
+    }
+}
+
+/// Parses the optional `--chaos-crash-at K` operation index (chaos).
+fn crash_at_of(rest: &[&str]) -> Result<Option<u64>, ParseError> {
+    match optional(rest, "--chaos-crash-at") {
+        None => Ok(None),
+        Some(v) => v.parse().map(Some).map_err(|_| {
+            ParseError(format!(
+                "`--chaos-crash-at` expects an operation index, got `{v}`"
+            ))
+        }),
     }
 }
 
@@ -635,6 +732,54 @@ mod tests {
         );
         assert!(parse_err("analyze --jsno").0.contains("unknown flag"));
         assert!(parse_err("analyze --baseline").0.contains("expects a path"));
+    }
+
+    #[test]
+    fn chaos_parses() {
+        assert_eq!(
+            parse_ok("chaos --cache-dir /tmp/storm"),
+            Command::Chaos {
+                opts: ChaosOpts {
+                    cache_dir: "/tmp/storm".to_string(),
+                    seed: 2019,
+                    rate: 0.0,
+                    crash_at: None,
+                    threads: None,
+                    retries: 0,
+                    resume: false,
+                }
+            }
+        );
+        assert_eq!(
+            parse_ok(
+                "chaos --cache-dir /tmp/storm --chaos-seed 7 --chaos-rate 0.10 \
+                 --chaos-crash-at 12 --threads 2 --retries 3 --resume"
+            ),
+            Command::Chaos {
+                opts: ChaosOpts {
+                    cache_dir: "/tmp/storm".to_string(),
+                    seed: 7,
+                    rate: 0.10,
+                    crash_at: Some(12),
+                    threads: Some(2),
+                    retries: 3,
+                    resume: true,
+                }
+            }
+        );
+        assert!(parse_err("chaos").0.contains("--cache-dir"));
+        assert!(parse_err("chaos --cache-dir /tmp/x --chaos-rate 1.5")
+            .0
+            .contains("[0, 1]"));
+        assert!(parse_err("chaos --cache-dir /tmp/x --chaos-rate nan")
+            .0
+            .contains("[0, 1]"));
+        assert!(parse_err("chaos --cache-dir /tmp/x --chaos-crash-at soon")
+            .0
+            .contains("operation index"));
+        assert!(parse_err("chaos --cache-dir /tmp/x --chaos-mode loud")
+            .0
+            .contains("unknown flag"));
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! Command execution.
 
-use crate::args::{duration_of, Command, DeviceArg, ModelArg, Scale, StudyOpts, WorkloadArg};
+use crate::args::{
+    duration_of, ChaosOpts, Command, DeviceArg, ModelArg, Scale, StudyOpts, WorkloadArg,
+};
 use mpr_core::Study;
-use mpr_exp::{failure_table, CellKey, CellKind, ClassifierId, DeviceId, Engine, WorkloadId};
+use mpr_exp::{
+    failure_table, CellKey, CellKind, ChaosConfig, ChaosFs, ClassifierId, DeviceId, Engine,
+    ExperimentPlan, RealFs, ResultStore, Vfs, WorkloadId,
+};
 use mpr_fault::FaultModel;
 use mpr_kernels::MicroKernelOp;
 use mpr_metrics::{SeverityHistogram, Table};
@@ -108,12 +113,129 @@ pub fn run(command: Command) -> i32 {
             model,
             engine_of(seed, threads, retries, cell_timeout),
         ),
+        Command::Chaos { opts } => run_chaos(opts),
         Command::Analyze {
             json,
             root,
             baseline,
         } => run_analyze(json, &root, baseline.as_deref()),
     }
+}
+
+/// The fixed hostile-run plan: six accumulation cells (GEMM and
+/// micro-ADD across the three precisions) — small enough to finish in
+/// milliseconds, wide enough to exercise many cache commits.
+fn chaos_plan() -> ExperimentPlan {
+    let mut plan = ExperimentPlan::new();
+    for workload in [WorkloadId::Gemm { dim: 8 }, micro_id(MicroKernelOp::Add)] {
+        for precision in [Precision::Double, Precision::Single, Precision::Half] {
+            plan.push(CellKey {
+                device: DeviceId::Zynq7000,
+                workload,
+                precision,
+                kind: CellKind::Accumulate {
+                    faults: 4,
+                    trials: 6,
+                },
+            });
+        }
+    }
+    plan
+}
+
+/// Runs the fixed campaign against a (possibly hostile) filesystem and
+/// reports the chaos ledger. Exit codes: 0 clean, 1 the simulated
+/// crash point was reached (rerun with `--resume`), 3 cell failures.
+fn run_chaos(opts: ChaosOpts) -> i32 {
+    let dir = std::path::Path::new(&opts.cache_dir);
+    if opts.resume {
+        // Informational only: a hostile run may have "crashed" before
+        // the manifest ever committed, so a missing ledger just means
+        // the whole plan runs (the cache decides what re-executes).
+        match mpr_exp::Manifest::load(dir) {
+            None => println!(
+                "resume: no manifest in {} yet; running the full plan",
+                dir.display()
+            ),
+            Some(manifest) => println!(
+                "resume: manifest records {} cells, {} unfinished",
+                manifest.cells.len(),
+                manifest.unfinished().len()
+            ),
+        }
+    }
+    let hostile = opts.rate > 0.0 || opts.crash_at.is_some();
+    let chaos = hostile.then(|| {
+        Arc::new(ChaosFs::new(ChaosConfig {
+            seed: opts.seed,
+            rate: opts.rate,
+            crash_at: opts.crash_at,
+        }))
+    });
+    let vfs: Arc<dyn Vfs> = match &chaos {
+        Some(c) => c.clone(),
+        None => Arc::new(RealFs),
+    };
+    let store = Arc::new(ResultStore::with_cache_dir_on(dir, vfs));
+    let engine = Engine::new(2019)
+        .with_threads(threads_from_env(opts.threads))
+        .with_retries(opts.retries)
+        .with_store(store);
+    let results = engine.try_run(&chaos_plan());
+    let failures: Vec<_> = results
+        .iter()
+        .filter_map(|r| r.as_ref().err().cloned())
+        .collect();
+    let ok = results.len() - failures.len();
+    let store = engine.store();
+    println!(
+        "cells: {ok} ok, {} failed ({} executed, {} memory hits, {} disk hits, {} quarantined)",
+        failures.len(),
+        store.executed(),
+        store.mem_hits(),
+        store.disk_hits(),
+        store.quarantined()
+    );
+    let mut crashed = false;
+    if let Some(chaos) = &chaos {
+        let stats = chaos.stats();
+        crashed = stats.crashed;
+        let mut t = Table::new(vec!["quantity", "value"]).with_title(format!(
+            "chaos ledger (seed {}, rate {}, crash-at {})",
+            opts.seed,
+            opts.rate,
+            opts.crash_at
+                .map_or_else(|| "off".to_string(), |k| k.to_string())
+        ));
+        t.row(vec!["filesystem ops".into(), stats.ops.to_string()]);
+        t.row(vec!["survived clean".into(), stats.survived.to_string()]);
+        for (kind, n) in &stats.injected {
+            if *n > 0 {
+                t.row(vec![format!("injected {kind}"), n.to_string()]);
+            }
+        }
+        t.row(vec![
+            "crash point reached".into(),
+            if crashed { "yes".into() } else { "no".into() },
+        ]);
+        println!("{t}");
+        println!(
+            "chaos: ops={} injected={} survived={} crashed={}",
+            stats.ops,
+            stats.injected_total(),
+            stats.survived,
+            if crashed { "yes" } else { "no" }
+        );
+    }
+    if !failures.is_empty() {
+        eprintln!("{}", failure_table(&failures));
+        return 3;
+    }
+    if crashed {
+        println!("simulated crash reached; rerun with --resume to finish the campaign");
+        return 1;
+    }
+    0
 }
 
 fn print_tables(study: &Study) {

@@ -11,6 +11,7 @@
 //! execution semantics change.
 
 use crate::store::{AccumulateOutcome, CellResult};
+use crate::vfs::{commit_durable, Vfs};
 use mpr_beam::{CampaignResult, SdcLabel};
 use mpr_fault::InjectionReport;
 use mpr_metrics::{CrossSection, OutcomeCounts};
@@ -27,18 +28,22 @@ pub fn entry_path(dir: &Path, store_key: &str) -> PathBuf {
     dir.join(format!("{:016x}.json", fnv1a64(store_key.as_bytes())))
 }
 
-/// Serializes and writes one entry. The caller decides what an I/O
+/// Serializes and commits one entry through the durable
+/// [`commit_durable`] protocol (tmp write, file fsync, rename, parent
+/// fsync), so a completed save survives a crash and a failed one
+/// leaves only a sweepable `*.tmp`. The caller decides what an I/O
 /// failure means — the engine degrades to memoization but *counts* the
 /// lost warm-start bytes (`engine.cache_write_failed`) instead of
 /// silently swallowing them.
-pub fn save(dir: &Path, store_key: &str, result: &CellResult) -> std::io::Result<()> {
-    std::fs::create_dir_all(dir)?;
+pub fn save(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    store_key: &str,
+    result: &CellResult,
+) -> std::io::Result<()> {
     let path = entry_path(dir, store_key);
     let body = serialize(store_key, result);
-    // Write-then-rename so readers never observe a torn file.
-    let tmp = path.with_extension("json.tmp");
-    std::fs::write(&tmp, body)?;
-    std::fs::rename(&tmp, &path)
+    commit_durable(vfs, &path, body.as_bytes())
 }
 
 /// The result of reading one cache entry.
@@ -59,9 +64,17 @@ pub enum LoadOutcome {
 
 /// Loads one entry, classifying the answer as a hit, an honest miss,
 /// or a corrupt file (see [`LoadOutcome`]).
-pub fn load(path: &Path, store_key: &str) -> LoadOutcome {
-    let Ok(body) = std::fs::read_to_string(path) else {
+///
+/// A read error (absent file, or an injected read failure) is a miss —
+/// the engine re-executes the cell. Bytes that arrive but do not
+/// decode — invalid UTF-8, torn JSON, a flipped bit — are corruption,
+/// and the store quarantines the file.
+pub fn load(vfs: &dyn Vfs, path: &Path, store_key: &str) -> LoadOutcome {
+    let Ok(bytes) = vfs.read(path) else {
         return LoadOutcome::Miss;
+    };
+    let Ok(body) = String::from_utf8(bytes) else {
+        return LoadOutcome::Corrupt;
     };
     let Some(value) = parse(&body) else {
         return LoadOutcome::Corrupt;
@@ -436,6 +449,7 @@ fn parse_num(b: &[u8], pos: &mut usize) -> Option<Json> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::RealFs;
 
     fn sample_beam() -> CellResult {
         CellResult::Beam(CampaignResult {
@@ -457,8 +471,8 @@ mod tests {
     fn beam_round_trips_bit_exactly() {
         let dir = std::env::temp_dir().join("mpr-exp-cache-test-beam");
         let key = "seed=0000000000000007;v1;dev=titan-v;wl=gemm:12;p=single;k=beam";
-        save(&dir, key, &sample_beam()).expect("save");
-        let loaded = load(&entry_path(&dir, key), key);
+        save(&RealFs, &dir, key, &sample_beam()).expect("save");
+        let loaded = load(&RealFs, &entry_path(&dir, key), key);
         let (CellResult::Beam(orig), LoadOutcome::Hit(CellResult::Beam(got))) =
             (sample_beam(), loaded)
         else {
@@ -483,6 +497,7 @@ mod tests {
         let dir = std::env::temp_dir().join("mpr-exp-cache-test-miss");
         let key = "seed=0000000000000001;v1;dev=a;wl=b;p=half;k=acc:k=1,t=2";
         save(
+            &RealFs,
             &dir,
             key,
             &CellResult::Accumulate(AccumulateOutcome {
@@ -495,11 +510,11 @@ mod tests {
         // Same file, different expected key: an honest miss, never a
         // quarantine candidate — the file is valid, just not ours.
         assert!(matches!(
-            load(&entry_path(&dir, key), "seed=ff;other"),
+            load(&RealFs, &entry_path(&dir, key), "seed=ff;other"),
             LoadOutcome::Miss
         ));
         assert!(matches!(
-            load(&entry_path(&dir, key), key),
+            load(&RealFs, &entry_path(&dir, key), key),
             LoadOutcome::Hit(_)
         ));
         let _ = std::fs::remove_dir_all(&dir);
@@ -513,11 +528,11 @@ mod tests {
         let path = entry_path(&dir, key);
 
         // Absent file: a miss, not corruption.
-        assert!(matches!(load(&path, key), LoadOutcome::Miss));
+        assert!(matches!(load(&RealFs, &path, key), LoadOutcome::Miss));
 
         // Truncated JSON: corrupt.
         std::fs::write(&path, "{\"format\": \"mpr-exp-cache-v1\", \"key").expect("write");
-        assert!(matches!(load(&path, key), LoadOutcome::Corrupt));
+        assert!(matches!(load(&RealFs, &path, key), LoadOutcome::Corrupt));
 
         // Well-formed JSON with the right key but a broken result
         // payload: corrupt.
@@ -530,7 +545,7 @@ mod tests {
             ),
         )
         .expect("write");
-        assert!(matches!(load(&path, key), LoadOutcome::Corrupt));
+        assert!(matches!(load(&RealFs, &path, key), LoadOutcome::Corrupt));
 
         // A different format version: a miss (foreign, left alone).
         std::fs::write(
@@ -541,7 +556,7 @@ mod tests {
             ),
         )
         .expect("write");
-        assert!(matches!(load(&path, key), LoadOutcome::Miss));
+        assert!(matches!(load(&RealFs, &path, key), LoadOutcome::Miss));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -552,6 +567,7 @@ mod tests {
         let blocker = std::env::temp_dir().join("mpr-exp-cache-test-blocked");
         std::fs::write(&blocker, "not a directory").expect("write blocker");
         let err = save(
+            &RealFs,
             &blocker,
             "seed=00;v1;k",
             &CellResult::Accumulate(AccumulateOutcome {
@@ -574,8 +590,9 @@ mod tests {
             counts: OutcomeCounts::new(300, 99, 1),
             severities: vec![0.001, 2.0],
         });
-        save(&dir, key, &orig).expect("save");
-        let LoadOutcome::Hit(CellResult::Inject(got)) = load(&entry_path(&dir, key), key) else {
+        save(&RealFs, &dir, key, &orig).expect("save");
+        let LoadOutcome::Hit(CellResult::Inject(got)) = load(&RealFs, &entry_path(&dir, key), key)
+        else {
             // mpr-allow: panic-hygiene -- test asserts the variant round-trips
             panic!("inject entry failed to load");
         };

@@ -96,6 +96,7 @@ pub struct Engine {
     threads: usize,
     retries: u32,
     cell_timeout: Option<Duration>,
+    cancel: CancelToken,
     store: Arc<ResultStore>,
     recorder: Arc<dyn Recorder>,
 }
@@ -120,6 +121,7 @@ impl Engine {
             threads: 0,
             retries: 0,
             cell_timeout: None,
+            cancel: CancelToken::unlimited(),
             store: Arc::new(ResultStore::in_memory()),
             recorder: Arc::new(NullRecorder),
         }
@@ -147,6 +149,24 @@ impl Engine {
     pub fn with_cell_timeout(mut self, timeout: Option<Duration>) -> Engine {
         self.cell_timeout = timeout;
         self
+    }
+
+    /// Attaches a plan-level shutdown token: firing it (from a signal
+    /// thread, another worker, or a deadline) makes the engine stop
+    /// claiming new cells, lets in-flight cells cancel cooperatively at
+    /// their next batch boundary, and still flushes the campaign
+    /// manifest — so an interrupted run is always resumable. This is
+    /// the process's SIGINT analogue: the workspace is `unsafe`-free,
+    /// so an actual signal handler cannot be installed; a front end
+    /// that catches SIGINT fires this token instead.
+    pub fn with_cancel_token(mut self, cancel: CancelToken) -> Engine {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The plan-level shutdown token (see [`Engine::with_cancel_token`]).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// Attaches a (possibly shared, possibly disk-backed) result store.
@@ -259,6 +279,10 @@ impl Engine {
         Counter::new(rec, "plan.requests", "").add(plan.len() as u64);
         Counter::new(rec, "plan.unique", "").add(unique.len() as u64);
         Counter::new(rec, "plan.dedup_saved", "").add((plan.len() - unique.len()) as u64);
+        let swept = self.store.take_tmp_swept();
+        if swept > 0 {
+            Counter::new(rec, "engine.cache_tmp_swept", "").add(swept);
+        }
 
         // Resolve what the store already knows.
         let mut slots: Vec<Option<CellOutcome>> = store_keys
@@ -293,6 +317,13 @@ impl Engine {
             std::thread::scope(|scope| {
                 for _ in 0..outer {
                     scope.spawn(|| loop {
+                        // Graceful shutdown: stop claiming new cells
+                        // once the plan token fires; already-claimed
+                        // cells cancel themselves at their next batch
+                        // boundary via their child token.
+                        if self.cancel.is_cancelled() {
+                            break;
+                        }
                         let j = next.fetch_add(1, Ordering::Relaxed);
                         if j >= pending.len() {
                             break;
@@ -329,8 +360,20 @@ impl Engine {
             for (j, cell) in fresh.into_iter().enumerate() {
                 // mpr-allow: panic-hygiene -- the scope joined every worker; a poisoned slot means one panicked
                 let filled = cell.into_inner().expect("result slot");
-                // mpr-allow: panic-hygiene -- each slot was filled exactly once before the scope exited
-                slots[pending[j]] = Some(filled.expect("worker filled slot"));
+                // A slot no worker claimed means the shutdown token
+                // fired first: the cell consumed no attempts and is
+                // recorded cancelled, fully resumable.
+                slots[pending[j]] = Some(filled.unwrap_or_else(|| {
+                    Counter::new(rec, "engine.cell_cancelled", &canonicals[pending[j]]).incr();
+                    (
+                        Err(CellFailure {
+                            cell: canonicals[pending[j]].clone(),
+                            attempts: 0,
+                            kind: FailureKind::Cancelled,
+                        }),
+                        0,
+                    )
+                }));
             }
         }
 
@@ -378,7 +421,12 @@ impl Engine {
             hashed.push('\n');
         }
         let plan_hash = fnv1a64(hashed.as_bytes());
-        let mut manifest = Manifest::load(dir).unwrap_or_else(|| Manifest::new(plan_hash));
+        let vfs = self.store.vfs();
+        let (prior, quarantined) = Manifest::load_traced(vfs.as_ref(), dir);
+        if quarantined {
+            Counter::new(&*self.recorder, "engine.manifest_quarantined", "").incr();
+        }
+        let mut manifest = prior.unwrap_or_else(|| Manifest::new(plan_hash));
         manifest.plan_hash = plan_hash;
         for (store_key, slot) in store_keys.iter().zip(slots) {
             let Some((result, attempts)) = slot else {
@@ -394,6 +442,7 @@ impl Engine {
                     state: match failure.kind {
                         FailureKind::Hung { .. } => CellState::Hung,
                         FailureKind::Panicked { .. } => CellState::Failed,
+                        FailureKind::Cancelled => CellState::Cancelled,
                     },
                     attempts: *attempts,
                     detail: failure.kind.to_string(),
@@ -401,7 +450,7 @@ impl Engine {
             };
             manifest.record(store_key.clone(), status);
         }
-        if let Err(e) = manifest.save(dir) {
+        if let Err(e) = manifest.save_on(vfs.as_ref(), dir) {
             eprintln!(
                 "mpr-exp: failed to write campaign manifest in {}: {e}",
                 dir.display()
@@ -417,10 +466,11 @@ impl Engine {
         let mut attempt = 0u32;
         loop {
             attempt += 1;
-            let token = match self.cell_timeout {
-                Some(timeout) => CancelToken::with_timeout(timeout),
-                None => CancelToken::unlimited(),
-            };
+            // The attempt's watchdog is a *child* of the plan token: a
+            // plan-level shutdown reaches every in-flight cell at its
+            // next batch-boundary poll, while a per-cell deadline never
+            // touches the plan.
+            let token = self.cancel.child(self.cell_timeout);
             // Unwind safety, without `unsafe` (the workspace forbids
             // it): `catch_unwind` wants `UnwindSafe`, which `&self`
             // is not because `dyn Recorder` may hold interior
@@ -442,9 +492,25 @@ impl Engine {
             }));
             let kind = match outcome {
                 Ok(Ok(result)) => return (Ok(result), attempt),
-                Ok(Err(CampaignError::Cancelled)) => FailureKind::Hung {
-                    timeout_s: token.timeout_s().unwrap_or(0.0),
-                },
+                Ok(Err(CampaignError::Cancelled)) => {
+                    // Disambiguate who fired: a plan-level shutdown is
+                    // not a hang, consumes no retry, and ends the cell
+                    // immediately in a resumable state.
+                    if self.cancel.is_cancelled() {
+                        Counter::new(rec, "engine.cell_cancelled", canonical).incr();
+                        return (
+                            Err(CellFailure {
+                                cell: canonical.to_string(),
+                                attempts: attempt,
+                                kind: FailureKind::Cancelled,
+                            }),
+                            attempt,
+                        );
+                    }
+                    FailureKind::Hung {
+                        timeout_s: token.timeout_s().unwrap_or(0.0),
+                    }
+                }
                 Ok(Err(CampaignError::WorkerPanic(message))) => FailureKind::Panicked { message },
                 Err(payload) => FailureKind::Panicked {
                     message: panic_message(payload),
@@ -457,6 +523,7 @@ impl Engine {
             let counter = match kind {
                 FailureKind::Hung { .. } => "engine.cell_hung",
                 FailureKind::Panicked { .. } => "engine.cell_failed",
+                FailureKind::Cancelled => "engine.cell_cancelled",
             };
             Counter::new(rec, counter, canonical).incr();
             return (

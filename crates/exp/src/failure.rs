@@ -24,14 +24,21 @@ pub enum FailureKind {
         /// The configured per-cell timeout, in seconds.
         timeout_s: f64,
     },
+    /// The whole run was shut down (plan-level cancel) before this
+    /// cell could finish. No attempt budget was consumed: the state is
+    /// fully resumable and a `--resume` run re-executes exactly the
+    /// cancelled subset.
+    Cancelled,
 }
 
 impl FailureKind {
-    /// Short status token for manifests and tables (`failed` / `hung`).
+    /// Short status token for manifests and tables
+    /// (`failed` / `hung` / `cancelled`).
     pub fn status(&self) -> &'static str {
         match self {
             FailureKind::Panicked { .. } => "failed",
             FailureKind::Hung { .. } => "hung",
+            FailureKind::Cancelled => "cancelled",
         }
     }
 }
@@ -42,6 +49,9 @@ impl fmt::Display for FailureKind {
             FailureKind::Panicked { message } => write!(f, "panicked: {message}"),
             FailureKind::Hung { timeout_s } => {
                 write!(f, "hung: exceeded the {timeout_s}s watchdog deadline")
+            }
+            FailureKind::Cancelled => {
+                f.write_str("cancelled: run shut down before the cell finished; resume re-runs it")
             }
         }
     }

@@ -24,6 +24,14 @@
 //! ledger so interrupted campaigns resume with exactly the
 //! failed/missing subset.
 //!
+//! Crash consistency: every byte the engine persists routes through
+//! the [`Vfs`] trait. Cache and manifest commits use the durable
+//! tmp-fsync-rename-fsync protocol ([`commit_durable`]), stores sweep
+//! stale `*.tmp` residue on open, and [`ChaosFs`] can subject the whole
+//! persistence layer to a deterministic seeded fault schedule — torn
+//! writes, ENOSPC, bit-flipped reads, simulated mid-commit crashes —
+//! to prove a resumed run converges to byte-identical artifacts.
+//!
 //! ```rust
 //! use mpr_exp::{CellKey, CellKind, ClassifierId, DeviceId, Engine, ExperimentPlan, WorkloadId};
 //! use mpr_softfloat::Precision;
@@ -55,6 +63,7 @@ mod engine;
 mod failure;
 mod manifest;
 mod store;
+mod vfs;
 
 pub use cell::{CellKey, CellKind, ClassifierId, DeviceId, WorkloadId, KEY_VERSION};
 pub use engine::{Engine, ExperimentPlan};
@@ -64,3 +73,4 @@ pub use manifest::{manifest_path, CellState, CellStatus, Manifest, MANIFEST_FILE
 /// seed-derivation scheme (kept here for backwards compatibility).
 pub use mpr_obs::{fnv1a64, mix_seed, splitmix64, SplitMix};
 pub use store::{AccumulateOutcome, CellResult, LookupSource, ResultStore};
+pub use vfs::{commit_durable, ChaosConfig, ChaosFs, ChaosStats, RealFs, Vfs};

@@ -13,6 +13,7 @@
 //! directory are preserved, so several studies can share one cache.
 
 use crate::cache;
+use crate::vfs::{commit_durable, RealFs, Vfs};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -37,6 +38,9 @@ pub enum CellState {
     Failed,
     /// The cell exhausted its attempts against the watchdog deadline.
     Hung,
+    /// The run was cancelled before (or while) the cell executed; a
+    /// resume re-runs it from scratch.
+    Cancelled,
 }
 
 impl CellState {
@@ -46,6 +50,7 @@ impl CellState {
             CellState::Ok => "ok",
             CellState::Failed => "failed",
             CellState::Hung => "hung",
+            CellState::Cancelled => "cancelled",
         }
     }
 
@@ -54,6 +59,7 @@ impl CellState {
             "ok" => Some(CellState::Ok),
             "failed" => Some(CellState::Failed),
             "hung" => Some(CellState::Hung),
+            "cancelled" => Some(CellState::Cancelled),
             _ => None,
         }
     }
@@ -87,6 +93,16 @@ pub struct Manifest {
     pub cells: BTreeMap<String, CellStatus>,
 }
 
+/// Classification of the bytes found at the manifest path.
+enum Decoded {
+    /// A well-formed ledger in our format.
+    Ours(Manifest),
+    /// Well-formed, but another format version — left alone.
+    Foreign,
+    /// Undecodable: quarantine it.
+    Corrupt,
+}
+
 impl Manifest {
     /// An empty ledger for a plan.
     pub fn new(plan_hash: u64) -> Manifest {
@@ -111,40 +127,86 @@ impl Manifest {
             .collect()
     }
 
-    /// Reads the ledger from a cache directory. Absent, foreign, or
-    /// undecodable manifests all return `None`: the ledger is derived
-    /// bookkeeping and is fully rewritten by the next run, so a damaged
-    /// one is simply ignored rather than quarantined.
+    /// Reads the ledger from a cache directory (see
+    /// [`Manifest::load_traced`]; this is the [`RealFs`] convenience
+    /// form that drops the quarantine flag).
     pub fn load(dir: &Path) -> Option<Manifest> {
-        let body = std::fs::read_to_string(manifest_path(dir)).ok()?;
-        let value = cache::parse(&body)?;
-        let obj = value.as_obj()?;
-        if obj.get("format")?.as_str()? != FORMAT {
-            return None;
-        }
-        let plan_hash = u64::from_str_radix(obj.get("plan_hash")?.as_str()?, 16).ok()?;
-        let mut cells = BTreeMap::new();
-        for (key, entry) in obj.get("cells")?.as_obj()? {
-            let entry = entry.as_obj()?;
-            cells.insert(
-                key.clone(),
-                CellStatus {
-                    state: CellState::parse(entry.get("status")?.as_str()?)?,
-                    attempts: u32::try_from(entry.get("attempts")?.as_u64()?).ok()?,
-                    detail: entry.get("detail")?.as_str()?.to_string(),
-                },
-            );
-        }
-        Some(Manifest { plan_hash, cells })
+        Manifest::load_traced(&RealFs, dir).0
     }
 
-    /// Writes the ledger atomically (tmp+rename, like cache entries).
-    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
-        std::fs::create_dir_all(dir)?;
+    /// Reads the ledger from a cache directory, reporting whether a
+    /// damaged one was quarantined.
+    ///
+    /// Absent or foreign (other format version) manifests load as
+    /// `(None, false)` — nothing is wrong, there is just no ledger for
+    /// us. Bytes that exist but do not decode — a torn write, bit rot —
+    /// are moved aside to `manifest.json.corrupt` exactly like a
+    /// corrupt cache entry, returning `(None, true)`: resume then
+    /// falls back to the cache-driven path (missing entries
+    /// re-execute), so a damaged ledger costs re-planning, never a
+    /// wrong answer.
+    pub fn load_traced(vfs: &dyn Vfs, dir: &Path) -> (Option<Manifest>, bool) {
         let path = manifest_path(dir);
-        let tmp = path.with_extension("json.tmp");
-        std::fs::write(&tmp, self.serialize())?;
-        std::fs::rename(&tmp, &path)
+        let Ok(bytes) = vfs.read(&path) else {
+            return (None, false);
+        };
+        match Manifest::decode(&bytes) {
+            Decoded::Ours(manifest) => (Some(manifest), false),
+            Decoded::Foreign => (None, false),
+            Decoded::Corrupt => {
+                let quarantine = path.with_extension("json.corrupt");
+                if vfs.rename(&path, &quarantine).is_ok() {
+                    eprintln!(
+                        "mpr-exp: quarantined corrupt manifest {} -> {}",
+                        path.display(),
+                        quarantine.display()
+                    );
+                    (None, true)
+                } else {
+                    (None, false)
+                }
+            }
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Decoded {
+        let Ok(body) = std::str::from_utf8(bytes) else {
+            return Decoded::Corrupt;
+        };
+        let decoded = (|| {
+            let value = cache::parse(body)?;
+            let obj = value.as_obj()?;
+            if obj.get("format")?.as_str()? != FORMAT {
+                return Some(Decoded::Foreign);
+            }
+            let plan_hash = u64::from_str_radix(obj.get("plan_hash")?.as_str()?, 16).ok()?;
+            let mut cells = BTreeMap::new();
+            for (key, entry) in obj.get("cells")?.as_obj()? {
+                let entry = entry.as_obj()?;
+                cells.insert(
+                    key.clone(),
+                    CellStatus {
+                        state: CellState::parse(entry.get("status")?.as_str()?)?,
+                        attempts: u32::try_from(entry.get("attempts")?.as_u64()?).ok()?,
+                        detail: entry.get("detail")?.as_str()?.to_string(),
+                    },
+                );
+            }
+            Some(Decoded::Ours(Manifest { plan_hash, cells }))
+        })();
+        decoded.unwrap_or(Decoded::Corrupt)
+    }
+
+    /// Writes the ledger crash-durably via [`commit_durable`] on the
+    /// real filesystem.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        self.save_on(&RealFs, dir)
+    }
+
+    /// Writes the ledger crash-durably (tmp write, file fsync, rename,
+    /// parent-directory fsync) through an explicit filesystem.
+    pub fn save_on(&self, vfs: &dyn Vfs, dir: &Path) -> std::io::Result<()> {
+        commit_durable(vfs, &manifest_path(dir), self.serialize().as_bytes())
     }
 
     fn serialize(&self) -> String {
@@ -222,17 +284,52 @@ mod tests {
     #[test]
     fn absent_or_damaged_manifests_load_as_none() {
         let dir = std::env::temp_dir().join("mpr-exp-manifest-test-bad");
-        assert!(Manifest::load(&dir).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(Manifest::load_traced(&RealFs, &dir), (None, false));
         std::fs::create_dir_all(&dir).expect("mkdir");
+
+        // Torn bytes: quarantined to manifest.json.corrupt.
         std::fs::write(manifest_path(&dir), "{\"format\": \"mpr-exp-man").expect("write");
-        assert!(Manifest::load(&dir).is_none());
-        // A future format version is ignored, not an error.
+        assert_eq!(Manifest::load_traced(&RealFs, &dir), (None, true));
+        assert!(!manifest_path(&dir).exists(), "damaged ledger moved aside");
+        let quarantine = manifest_path(&dir).with_extension("json.corrupt");
+        assert!(quarantine.exists());
+        // The quarantined bytes are never re-parsed.
+        assert_eq!(Manifest::load_traced(&RealFs, &dir), (None, false));
+
+        // A future format version is ignored, not quarantined.
         std::fs::write(
             manifest_path(&dir),
             "{\"format\": \"mpr-exp-manifest-v99\", \"plan_hash\": \"00\", \"cells\": {}}",
         )
         .expect("write");
-        assert!(Manifest::load(&dir).is_none());
+        assert_eq!(Manifest::load_traced(&RealFs, &dir), (None, false));
+        assert!(manifest_path(&dir).exists(), "foreign ledger left alone");
+
+        // Invalid UTF-8 counts as corruption too.
+        std::fs::remove_file(&quarantine).expect("clear quarantine");
+        std::fs::write(manifest_path(&dir), [0xFFu8, 0xFE, b'{']).expect("write");
+        assert_eq!(Manifest::load_traced(&RealFs, &dir), (None, true));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancelled_state_round_trips() {
+        let dir = std::env::temp_dir().join("mpr-exp-manifest-test-cancel");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut m = Manifest::new(0x7);
+        m.record(
+            "seed=01;v2;dev=z",
+            CellStatus {
+                state: CellState::Cancelled,
+                attempts: 0,
+                detail: "cancelled: run shut down before the cell executed".to_string(),
+            },
+        );
+        m.save(&dir).expect("save");
+        let loaded = Manifest::load(&dir).expect("load");
+        assert_eq!(loaded, m);
+        assert_eq!(loaded.unfinished(), vec!["seed=01;v2;dev=z"]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

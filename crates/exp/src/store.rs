@@ -3,6 +3,7 @@
 
 use crate::cache;
 use crate::cell::CellKey;
+use crate::vfs::{RealFs, Vfs};
 use mpr_beam::CampaignResult;
 use mpr_fault::InjectionReport;
 use std::collections::BTreeMap;
@@ -97,10 +98,12 @@ pub struct ResultStore {
     results: Mutex<BTreeMap<String, CellResult>>,
     goldens: Mutex<BTreeMap<String, Arc<Vec<f64>>>>,
     cache_dir: Option<PathBuf>,
+    vfs: Arc<dyn Vfs>,
     executed: AtomicU64,
     mem_hits: AtomicU64,
     disk_hits: AtomicU64,
     quarantined: AtomicU64,
+    tmp_swept: AtomicU64,
 }
 
 impl std::fmt::Debug for ResultStore {
@@ -128,10 +131,12 @@ impl ResultStore {
             results: Mutex::new(BTreeMap::new()),
             goldens: Mutex::new(BTreeMap::new()),
             cache_dir: None,
+            vfs: Arc::new(RealFs),
             executed: AtomicU64::new(0),
             mem_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
+            tmp_swept: AtomicU64::new(0),
         }
     }
 
@@ -139,10 +144,37 @@ impl ResultStore {
     /// first write). Disk entries survive the process, so repeated
     /// reports are incremental.
     pub fn with_cache_dir(dir: impl Into<PathBuf>) -> ResultStore {
+        ResultStore::with_cache_dir_on(dir, Arc::new(RealFs))
+    }
+
+    /// [`ResultStore::with_cache_dir`] with an explicit filesystem —
+    /// the seam where the chaos layer plugs in. Opening the store
+    /// sweeps stale `*.tmp` files a crashed writer left behind (the
+    /// durable-commit protocol guarantees they are the *only* possible
+    /// residue); the count is retrievable via
+    /// [`ResultStore::take_tmp_swept`].
+    pub fn with_cache_dir_on(dir: impl Into<PathBuf>, vfs: Arc<dyn Vfs>) -> ResultStore {
+        let dir = dir.into();
+        let mut swept = 0u64;
+        if let Ok(entries) = vfs.read_dir(&dir) {
+            for path in entries {
+                let is_tmp = path.extension().is_some_and(|e| e == "tmp");
+                if is_tmp && vfs.remove_file(&path).is_ok() {
+                    swept += 1;
+                }
+            }
+        }
         ResultStore {
-            cache_dir: Some(dir.into()),
+            cache_dir: Some(dir),
+            vfs,
+            tmp_swept: AtomicU64::new(swept),
             ..ResultStore::in_memory()
         }
+    }
+
+    /// The filesystem this store's disk traffic routes through.
+    pub fn vfs(&self) -> Arc<dyn Vfs> {
+        Arc::clone(&self.vfs)
     }
 
     /// The disk cache directory, if any.
@@ -175,7 +207,7 @@ impl ResultStore {
             return (None, LookupSource::Miss);
         };
         let path = cache::entry_path(dir, store_key);
-        let loaded = match cache::load(&path, store_key) {
+        let loaded = match cache::load(self.vfs.as_ref(), &path, store_key) {
             cache::LoadOutcome::Hit(result) => result,
             cache::LoadOutcome::Miss => return (None, LookupSource::Miss),
             cache::LoadOutcome::Corrupt => {
@@ -183,7 +215,7 @@ impl ResultStore {
                 // bytes stay inspectable but are never re-parsed, then
                 // fall through to recomputation.
                 let quarantine = path.with_extension("corrupt");
-                if std::fs::rename(&path, &quarantine).is_ok() {
+                if self.vfs.rename(&path, &quarantine).is_ok() {
                     self.quarantined.fetch_add(1, Ordering::Relaxed);
                     eprintln!(
                         "mpr-exp: quarantined corrupt cache entry {} -> {}",
@@ -209,7 +241,7 @@ impl ResultStore {
     pub fn insert(&self, store_key: &str, result: CellResult) -> std::io::Result<()> {
         self.executed.fetch_add(1, Ordering::Relaxed);
         let disk = match &self.cache_dir {
-            Some(dir) => cache::save(dir, store_key, &result),
+            Some(dir) => cache::save(self.vfs.as_ref(), dir, store_key, &result),
             None => Ok(()),
         };
         // mpr-allow: panic-hygiene -- a poisoned store lock means a worker already panicked; propagating is the only sound option
@@ -254,6 +286,12 @@ impl ResultStore {
     /// How many corrupt disk entries this store quarantined.
     pub fn quarantined(&self) -> u64 {
         self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Takes (and resets) the count of stale `*.tmp` files swept when
+    /// the store opened, so the engine reports each sweep exactly once.
+    pub fn take_tmp_swept(&self) -> u64 {
+        self.tmp_swept.swap(0, Ordering::Relaxed)
     }
 }
 
@@ -322,6 +360,37 @@ mod tests {
         assert!(again.is_none());
         assert_eq!(source, LookupSource::Miss);
         assert_eq!(store.quarantined(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn opening_a_store_sweeps_stale_tmp_files() {
+        let dir = std::env::temp_dir().join("mpr-exp-store-test-sweep");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let key = "seed=000000000000000a;v2;dev=x;wl=y;p=half;k=acc:k=1,t=1";
+        {
+            let seeder = ResultStore::with_cache_dir(&dir);
+            seeder
+                .insert(
+                    key,
+                    CellResult::Accumulate(AccumulateOutcome {
+                        sdc_probability: 0.5,
+                        corruption_extent: 0.5,
+                        trials: 1,
+                    }),
+                )
+                .expect("insert");
+        }
+        // Residue of two crashed commits alongside the committed entry.
+        std::fs::write(dir.join("aaaa.json.tmp"), "torn").expect("write");
+        std::fs::write(dir.join("bbbb.json.tmp"), "torn").expect("write");
+        let store = ResultStore::with_cache_dir(&dir);
+        assert_eq!(store.take_tmp_swept(), 2);
+        assert_eq!(store.take_tmp_swept(), 0, "reported exactly once");
+        assert!(!dir.join("aaaa.json.tmp").exists());
+        assert!(!dir.join("bbbb.json.tmp").exists());
+        assert!(store.lookup(key).is_some(), "committed entry intact");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

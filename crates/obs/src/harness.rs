@@ -38,6 +38,30 @@ struct TokenInner {
     deadline: Option<Instant>,
     /// The configured timeout, kept for failure reports.
     timeout: Option<Duration>,
+    /// A parent token this one inherits cancellation from: a fired
+    /// parent fires every descendant on its next poll. This is how a
+    /// plan-level shutdown reaches per-cell watchdog tokens without
+    /// the campaign drivers knowing about either.
+    parent: Option<Arc<TokenInner>>,
+}
+
+impl TokenInner {
+    /// Whether this token (or any ancestor) has fired. A hit anywhere
+    /// up the chain is cached into this token's own flag so later
+    /// polls stay a single atomic load.
+    fn fired(&self) -> bool {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        let tripped = self
+            .deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
+            || self.parent.as_deref().is_some_and(TokenInner::fired);
+        if tripped {
+            self.cancelled.store(true, Ordering::Relaxed);
+        }
+        tripped
+    }
 }
 
 impl CancelToken {
@@ -49,6 +73,7 @@ impl CancelToken {
                 cancelled: AtomicBool::new(false),
                 deadline: None,
                 timeout: None,
+                parent: None,
             }),
         }
     }
@@ -62,6 +87,24 @@ impl CancelToken {
                 cancelled: AtomicBool::new(false),
                 deadline: Instant::now().checked_add(timeout),
                 timeout: Some(timeout),
+                parent: None,
+            }),
+        }
+    }
+
+    /// A child token that fires when either its own (optional) timeout
+    /// expires or this parent fires — whichever is observed first.
+    /// Cancelling the child never touches the parent, so a per-cell
+    /// watchdog can abandon one cell while the plan keeps running,
+    /// while a plan-level [`CancelToken::cancel`] reaches every cell's
+    /// child token on its next poll.
+    pub fn child(&self, timeout: Option<Duration>) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                deadline: timeout.and_then(|t| Instant::now().checked_add(t)),
+                timeout,
+                parent: Some(Arc::clone(&self.inner)),
             }),
         }
     }
@@ -71,21 +114,13 @@ impl CancelToken {
         self.inner.cancelled.store(true, Ordering::Relaxed);
     }
 
-    /// Whether the token has fired (explicitly, or because its
-    /// deadline passed). Pollers call this at batch granularity; the
-    /// clock is read only when a deadline is configured and the flag
-    /// has not already tripped.
+    /// Whether the token has fired (explicitly, because its deadline
+    /// passed, or because an ancestor fired). Pollers call this at
+    /// batch granularity; the clock is read only when a deadline is
+    /// configured somewhere in the chain and the flag has not already
+    /// tripped.
     pub fn is_cancelled(&self) -> bool {
-        if self.inner.cancelled.load(Ordering::Relaxed) {
-            return true;
-        }
-        match self.inner.deadline {
-            Some(deadline) if Instant::now() >= deadline => {
-                self.inner.cancelled.store(true, Ordering::Relaxed);
-                true
-            }
-            _ => false,
-        }
+        self.inner.fired()
     }
 
     /// The configured timeout in seconds, if any.
@@ -139,6 +174,35 @@ mod tests {
 
         let far = CancelToken::with_timeout(Duration::from_secs(3600));
         assert!(!far.is_cancelled());
+    }
+
+    #[test]
+    fn child_inherits_parent_cancellation() {
+        let plan = CancelToken::unlimited();
+        let cell = plan.child(None);
+        assert!(!cell.is_cancelled());
+        plan.cancel();
+        assert!(cell.is_cancelled(), "parent fire reaches the child");
+        // The cached flag keeps answering without re-walking the chain.
+        assert!(cell.is_cancelled());
+    }
+
+    #[test]
+    fn child_cancel_leaves_parent_alive() {
+        let plan = CancelToken::unlimited();
+        let cell = plan.child(Some(Duration::from_secs(3600)));
+        assert_eq!(cell.timeout_s(), Some(3600.0));
+        cell.cancel();
+        assert!(cell.is_cancelled());
+        assert!(!plan.is_cancelled(), "cell watchdog never stops the plan");
+    }
+
+    #[test]
+    fn child_deadline_fires_independently() {
+        let plan = CancelToken::unlimited();
+        let cell = plan.child(Some(Duration::from_millis(0)));
+        assert!(cell.is_cancelled(), "expired child deadline trips");
+        assert!(!plan.is_cancelled());
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Chaos storm: turns the injector on the harness's own persistence
+//! layer and proves the crash-consistency story end to end.
+//!
+//! Three runs of the same six-cell plan:
+//!
+//! 1. **Clean** — a plain filesystem in directory A; its cache bytes
+//!    are the golden artifact set.
+//! 2. **Storm** — directory B behind [`ChaosFs`] with a pinned seed
+//!    and a 10% per-operation fault rate: torn writes, ENOSPC,
+//!    bit-flipped reads, failed renames. Results stay correct in
+//!    memory; some cache commits are lost or quarantined on disk.
+//! 3. **Resume** — directory B again on the plain filesystem; the
+//!    cache decides what re-executes.
+//!
+//! The exit criterion: after the resume, directory B's cache entries
+//! are byte-identical to directory A's. The manifest is compared
+//! structurally, not byte-wise — a resumed run legitimately records
+//! different attempt counts — and must report nothing unfinished.
+//!
+//! ```text
+//! cargo run --release --example chaos_storm
+//! cargo run --release --example chaos_storm -- --chaos-seed 7 --chaos-rate 0.25
+//! ```
+
+use mixed_precision_reliability::exp::{
+    CellKey, CellKind, ChaosConfig, ChaosFs, DeviceId, Engine, ExperimentPlan, Manifest,
+    ResultStore, WorkloadId,
+};
+use mixed_precision_reliability::kernels::MicroKernelOp;
+use mixed_precision_reliability::softfloat::Precision;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+fn plan() -> ExperimentPlan {
+    let mut plan = ExperimentPlan::new();
+    for workload in [
+        WorkloadId::Gemm { dim: 8 },
+        WorkloadId::Micro {
+            op: MicroKernelOp::Add,
+            threads: 32,
+            iters: 256,
+        },
+    ] {
+        for precision in [Precision::Double, Precision::Single, Precision::Half] {
+            plan.push(CellKey {
+                device: DeviceId::Zynq7000,
+                workload,
+                precision,
+                kind: CellKind::Accumulate {
+                    faults: 4,
+                    trials: 6,
+                },
+            });
+        }
+    }
+    plan
+}
+
+/// Cache-entry bytes keyed by file name, excluding the manifest (whose
+/// attempt counts legitimately differ between a clean and a resumed
+/// run) and transient `.tmp` residue.
+fn cache_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name == "manifest.json" || !name.ends_with(".json") {
+            continue;
+        }
+        if let Ok(bytes) = std::fs::read(&path) {
+            out.insert(name, bytes);
+        }
+    }
+    out
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed: u64 = flag_value(&args, "--chaos-seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2019);
+    let rate: f64 = flag_value(&args, "--chaos-rate")
+        .and_then(|v| v.parse().ok())
+        .filter(|r| (0.0..=1.0).contains(r))
+        .unwrap_or(0.10);
+
+    let base = std::env::temp_dir().join(format!("mpr_chaos_storm_{}", std::process::id()));
+    let clean_dir = base.join("clean");
+    let storm_dir = base.join("storm");
+
+    // 1. Clean run: the golden artifacts.
+    let engine = Engine::new(2019).with_store(Arc::new(ResultStore::with_cache_dir(&clean_dir)));
+    engine.run(&plan());
+    let golden = cache_bytes(&clean_dir);
+    println!(
+        "clean run: {} cache entries in {}",
+        golden.len(),
+        clean_dir.display()
+    );
+
+    // 2. Storm: same plan, hostile filesystem.
+    let chaos = Arc::new(ChaosFs::new(ChaosConfig {
+        seed,
+        rate,
+        crash_at: None,
+    }));
+    let engine = Engine::new(2019).with_store(Arc::new(ResultStore::with_cache_dir_on(
+        &storm_dir,
+        chaos.clone(),
+    )));
+    engine.run(&plan());
+    let stats = chaos.stats();
+    println!(
+        "storm (seed {seed}, rate {rate}): {} ops, {} faults injected, {} survived",
+        stats.ops,
+        stats.injected_total(),
+        stats.survived
+    );
+
+    // 3. Resume on the real filesystem; the cache re-fills what the
+    //    storm destroyed.
+    let engine = Engine::new(2019).with_store(Arc::new(ResultStore::with_cache_dir(&storm_dir)));
+    engine.run(&plan());
+    println!(
+        "resume: {} re-executed, {} disk hits, {} quarantined entries discarded",
+        engine.store().executed(),
+        engine.store().disk_hits(),
+        engine.store().quarantined()
+    );
+
+    // Verdict: storm-then-resume must converge to the golden bytes.
+    let recovered = cache_bytes(&storm_dir);
+    let mut ok = recovered == golden;
+    if !ok {
+        for name in golden.keys() {
+            if !recovered.contains_key(name) {
+                eprintln!("missing after resume: {name}");
+            }
+        }
+        for (name, bytes) in &recovered {
+            match golden.get(name) {
+                None => eprintln!("unexpected artifact: {name}"),
+                Some(g) if g != bytes => eprintln!("byte mismatch: {name}"),
+                Some(_) => {}
+            }
+        }
+    }
+    match Manifest::load(&storm_dir) {
+        Some(m) if m.unfinished().is_empty() => {}
+        Some(m) => {
+            eprintln!(
+                "manifest still lists {} unfinished cells",
+                m.unfinished().len()
+            );
+            ok = false;
+        }
+        None => {
+            eprintln!("no manifest after resume");
+            ok = false;
+        }
+    }
+    std::fs::remove_dir_all(&base).ok();
+    if ok {
+        println!("storm survived: resumed artifacts are byte-identical to the clean run");
+        std::process::exit(0);
+    }
+    eprintln!("artifact divergence after resume");
+    std::process::exit(1);
+}

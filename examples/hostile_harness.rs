@@ -14,11 +14,19 @@
 //! cargo run --release --example hostile_harness -- --stubborn     # exits 1
 //! cargo run --release --example hostile_harness -- --hang --cell-timeout 200ms
 //! cargo run --release --example hostile_harness -- --cache-dir /tmp/mpr --resume
+//! cargo run --release --example hostile_harness -- --hang --cancel-after 150ms \
+//!     --cache-dir /tmp/mpr        # graceful shutdown; rerun with --resume
 //! ```
+//!
+//! `--cancel-after DUR` plays the role of Ctrl-C: a watcher thread
+//! fires the engine's cancel token mid-run. In-flight cells finish,
+//! unstarted cells come back as `cancelled` with zero attempts, the
+//! manifest ledger is flushed, and a `--resume` run completes exactly
+//! the cancelled subset.
 
 use mixed_precision_reliability::exp::{
-    failure_table, CellKey, CellKind, DeviceId, Engine, ExperimentPlan, Manifest, ResultStore,
-    WorkloadId,
+    failure_table, CellKey, CellKind, DeviceId, Engine, ExperimentPlan, FailureKind, Manifest,
+    ResultStore, WorkloadId,
 };
 use mixed_precision_reliability::fault::hostile::HostileMode;
 use mixed_precision_reliability::softfloat::Precision;
@@ -68,6 +76,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(2);
     let cell_timeout = flag_value(&args, "--cell-timeout").and_then(|v| parse_duration(&v));
+    let cancel_after = flag_value(&args, "--cancel-after").and_then(|v| parse_duration(&v));
     let cache_dir = flag_value(&args, "--cache-dir");
 
     // The harness catches every cell panic; silence the default hook so
@@ -90,6 +99,15 @@ fn main() {
             }
         }
         engine = engine.with_store(Arc::new(ResultStore::with_cache_dir(dir)));
+    }
+    if let Some(delay) = cancel_after {
+        // Stand-in for a SIGINT handler: the token is the shutdown
+        // signal, whoever fires it.
+        let token = engine.cancel_token();
+        std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            token.cancel();
+        });
     }
 
     let flaky_mode = HostileMode::FlakyGolden {
@@ -144,5 +162,13 @@ fn main() {
         std::process::exit(0);
     }
     eprintln!("{}", failure_table(&failures));
+    if failures.iter().all(|f| f.kind == FailureKind::Cancelled) {
+        println!(
+            "graceful shutdown: {} cells cancelled, state resumable; \
+             rerun with --resume to finish them",
+            failures.len()
+        );
+        std::process::exit(0);
+    }
     std::process::exit(1);
 }
