@@ -3,6 +3,7 @@
 use crate::BeamSession;
 use mpr_arch::{Device, WorkloadProfile};
 use mpr_fault::{CampaignError, FaultModel, ValueFault, Workload};
+use mpr_metrics::sampling::{rel_ci_width, Planner, SamplingConfig, SamplingPlan};
 use mpr_metrics::{CrossSection, FitRate, Mebf, TreCurve};
 use mpr_obs::{
     mix_seed, panic_message, CancelToken, Counter, Gauge, Recorder, Timer, NULL_RECORDER,
@@ -21,6 +22,22 @@ pub type SdcLabel = &'static str;
 /// A domain classifier: maps `(golden, faulty)` outputs to an [`SdcLabel`].
 pub type SdcClassifier = dyn Fn(&[f64], &[f64]) -> SdcLabel + Sync;
 
+/// An SDC observation tagged with its strike index.
+type Observation = (u64, f64, Option<SdcLabel>);
+
+/// What a resolution pass (fixed or adaptive) hands back to `try_run`.
+struct Resolved {
+    /// Index-sorted SDC observations.
+    observed: Vec<Observation>,
+    /// Summed worker-busy seconds.
+    busy_total: f64,
+    /// Strikes actually executed.
+    executed: u64,
+    /// Stratified per-strike SDC rate (adaptive only): the unbiased
+    /// `sum_h W_h * e_h / n_h` estimate the cross section is scaled by.
+    rate: Option<f64>,
+}
+
 /// One beam campaign: device x workload x precision x session.
 pub struct BeamCampaign<'a> {
     device: &'a dyn Device,
@@ -29,6 +46,7 @@ pub struct BeamCampaign<'a> {
     precision: Precision,
     session: BeamSession,
     strike_batch: usize,
+    sampling: SamplingPlan,
     classifier: Option<&'a SdcClassifier>,
     golden: Option<&'a [f64]>,
     recorder: &'a dyn Recorder,
@@ -44,6 +62,7 @@ impl std::fmt::Debug for BeamCampaign<'_> {
             .field("precision", &self.precision)
             .field("session", &self.session)
             .field("strike_batch", &self.strike_batch)
+            .field("sampling", &self.sampling)
             .field("has_classifier", &self.classifier.is_some())
             .finish()
     }
@@ -78,6 +97,7 @@ impl<'a> BeamCampaign<'a> {
             precision,
             session: BeamSession::paper(0),
             strike_batch: 64,
+            sampling: SamplingPlan::Fixed,
             classifier: None,
             golden: None,
             recorder: &NULL_RECORDER,
@@ -105,6 +125,21 @@ impl<'a> BeamCampaign<'a> {
     pub fn strike_batch(mut self, batch: usize) -> Self {
         assert!(batch > 0, "strike batch must be at least 1");
         self.strike_batch = batch;
+        self
+    }
+
+    /// Selects the sampling plan (default [`SamplingPlan::Fixed`], the
+    /// reference oracle). Under [`SamplingPlan::Adaptive`] the campaign
+    /// proceeds in fixed-size decision rounds: strikes are allocated
+    /// across contiguous site strata by Neyman allocation from the
+    /// observed per-stratum SDC variance, and the cell stops as soon as
+    /// the relative `poisson_ci95` width of its SDC count crosses the
+    /// configured target. Every decision is a pure function of
+    /// completed-round statistics keyed by strike index, so adaptive
+    /// results stay byte-identical across `--threads` and
+    /// `strike_batch` (DT001, DESIGN.md §4k).
+    pub fn sampling(mut self, plan: SamplingPlan) -> Self {
+        self.sampling = plan;
         self
     }
 
@@ -198,18 +233,144 @@ impl<'a> BeamCampaign<'a> {
         let candidates = poisson(flux * exposure.compute * seconds, &mut rng);
         let due_events = poisson(flux * exposure.due * seconds, &mut rng);
 
-        // Resolve every candidate strike by injection, in parallel.
+        // Resolve candidate strikes by injection, in parallel.
         let nthreads = match self.session.threads {
             0 => std::thread::available_parallelism().map_or(4, |n| n.get()),
             n => n,
         }
         .min(candidates.max(1) as usize);
+        let resolved = match self.sampling {
+            SamplingPlan::Fixed => self.resolve_fixed(
+                candidates,
+                nthreads,
+                sites,
+                width,
+                model,
+                persistent,
+                golden,
+                &golden_bits,
+            ),
+            SamplingPlan::Adaptive(config) => self.resolve_adaptive(
+                config,
+                candidates,
+                nthreads,
+                sites,
+                width,
+                model,
+                persistent,
+                golden,
+                &golden_bits,
+            ),
+        };
+        let Resolved {
+            observed,
+            busy_total,
+            executed,
+            rate,
+        } = match resolved {
+            Ok(r) => r,
+            Err(e) => {
+                wall.cancel();
+                return Err(e);
+            }
+        };
+        let sdc_events = observed.len() as u64;
+        let severities: Vec<f64> = observed.iter().map(|&(_, s, _)| s).collect();
+        let labels: Vec<SdcLabel> = observed.iter().filter_map(|&(_, _, l)| l).collect();
+
+        Counter::new(rec, "beam.candidates", &self.scope).add(candidates);
+        Counter::new(rec, "beam.executed", &self.scope).add(executed);
+        Counter::new(rec, "beam.sdc", &self.scope).add(sdc_events);
+        Counter::new(rec, "beam.due", &self.scope).add(due_events);
+        // The masked tally covers the executed strikes only, and DUEs
+        // come out of it rather than hiding inside it (they used to be
+        // counted as masked). The DUE cross section is drawn from an
+        // independent control-logic exposure, so in rare quick-scale
+        // sessions the draw exceeds the quiet pool — the tally clamps
+        // so the fates always partition the executed strikes.
+        let quiet = executed - sdc_events;
+        let due_tally = due_events.min(quiet);
+        let masked = quiet - due_tally;
+        assert_eq!(
+            masked + sdc_events + due_tally,
+            executed,
+            "strike fates must sum to the executed strikes"
+        );
+        Counter::new(rec, "beam.masked", &self.scope).add(masked);
+        Counter::new(rec, "beam.strikes_saved", &self.scope)
+            .add(candidates.saturating_sub(executed));
+        let width_now = rel_ci_width(sdc_events);
+        if width_now.is_finite() {
+            Gauge::new(rec, "beam.ci_width", &self.scope).set(width_now);
+        }
+        let wall_s = wall.stop();
+        if wall_s > 0.0 {
+            // Executed strikes, not candidates: under early stopping the
+            // two diverge and the old formula overstated throughput.
+            Gauge::new(rec, "beam.strikes_per_s", &self.scope).set(executed as f64 / wall_s);
+            Gauge::new(rec, "beam.utilization", &self.scope)
+                .set(busy_total / (nthreads as f64 * wall_s));
+        }
+
+        // The SDC cross section always reads `events / fluence`. On the
+        // fixed path the full fluence applies. On the adaptive path the
+        // raw event count reflects a stratified, early-stopped sample,
+        // so the stored fluence is adjusted until `events / fluence`
+        // equals the unbiased estimate scaled to the full candidate
+        // population: `rate * candidates / session_fluence`. Keeping the
+        // raw integer count means `fit_ci95` still sees the true number
+        // of observations.
+        let sdc_fluence = match rate {
+            None => fluence,
+            Some(rate) => {
+                if sdc_events > 0 && rate > 0.0 && candidates > 0 {
+                    sdc_events as f64 * fluence / (rate * candidates as f64)
+                } else if executed > 0 && candidates > 0 {
+                    // No SDCs observed: scale the exposure to the strikes
+                    // actually spent, preserving the zero-event upper bound.
+                    fluence * executed as f64 / candidates as f64
+                } else {
+                    fluence
+                }
+            }
+        };
+
+        Ok(CampaignResult {
+            device: self.device.name().to_string(),
+            workload: self.workload.name().to_string(),
+            precision: self.precision,
+            exec_time_s: exec_time,
+            runs: seconds / exec_time,
+            fluence,
+            candidates,
+            executed,
+            sdc: CrossSection::new(sdc_events, sdc_fluence),
+            due: CrossSection::new(due_events, fluence),
+            severities,
+            labels,
+        })
+    }
+
+    /// The reference oracle: every candidate strike executes, sites
+    /// drawn uniformly over the whole space. Byte-identical to the
+    /// pre-adaptive driver.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_fixed(
+        &self,
+        candidates: u64,
+        nthreads: usize,
+        sites: u64,
+        width: u32,
+        model: FaultModel,
+        persistent: bool,
+        golden: &[f64],
+        golden_bits: &[u64],
+    ) -> Result<Resolved, CampaignError> {
+        let rec = self.recorder;
         // Workers take strikes in a thread stride, so each partial holds
         // an interleaved subsequence. Every observation is tagged with
         // its strike index and the merge sorts on it: severities and
         // labels come out in strike order for *any* thread count.
-        // An SDC observation tagged with its strike index.
-        type Observation = (u64, f64, Option<SdcLabel>);
         let mut partials: Vec<(Vec<Observation>, f64)> = Vec::new();
         // Set by a worker only when it actually bailed out early, so a
         // deadline that expires just after the last strike completes
@@ -267,7 +428,7 @@ impl<'a> BeamCampaign<'a> {
                             golden,
                             &mut |b, out| {
                                 let corrupted = out.len() != golden.len()
-                                    || out.iter().zip(golden_bits).any(|(v, &g)| v.to_bits() != g);
+                                    || out.iter().zip(*golden_bits).any(|(v, &g)| v.to_bits() != g);
                                 if corrupted {
                                     let severity = max_relative_error(out, golden);
                                     let label =
@@ -301,11 +462,9 @@ impl<'a> BeamCampaign<'a> {
         });
 
         if let Some(msg) = worker_panic {
-            wall.cancel();
             return Err(CampaignError::WorkerPanic(msg));
         }
         if aborted.load(Ordering::Relaxed) {
-            wall.cancel();
             return Err(CampaignError::Cancelled);
         }
 
@@ -316,33 +475,161 @@ impl<'a> BeamCampaign<'a> {
             busy_total += busy;
         }
         observed.sort_by_key(|&(i, _, _)| i);
-        let sdc_events = observed.len() as u64;
-        let severities: Vec<f64> = observed.iter().map(|&(_, s, _)| s).collect();
-        let labels: Vec<SdcLabel> = observed.iter().filter_map(|&(_, _, l)| l).collect();
+        Ok(Resolved {
+            observed,
+            busy_total,
+            executed: candidates,
+            rate: None,
+        })
+    }
 
-        Counter::new(rec, "beam.candidates", &self.scope).add(candidates);
-        Counter::new(rec, "beam.sdc", &self.scope).add(sdc_events);
-        Counter::new(rec, "beam.due", &self.scope).add(due_events);
-        Counter::new(rec, "beam.masked", &self.scope).add(candidates - sdc_events);
-        let wall_s = wall.stop();
-        if wall_s > 0.0 {
-            Gauge::new(rec, "beam.strikes_per_s", &self.scope).set(candidates as f64 / wall_s);
-            Gauge::new(rec, "beam.utilization", &self.scope)
-                .set(busy_total / (nthreads as f64 * wall_s));
+    /// The adaptive path: strikes execute in fixed-size decision rounds.
+    /// Between rounds the planner recomputes the CI width and the next
+    /// round's Neyman allocation from the merged, index-sorted tallies
+    /// of completed rounds only — never wall-clock, worker id, or
+    /// arrival order — so any thread count and any strike batch produce
+    /// byte-identical results (DT001, DESIGN.md §4k).
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_adaptive(
+        &self,
+        config: SamplingConfig,
+        candidates: u64,
+        nthreads: usize,
+        sites: u64,
+        width: u32,
+        model: FaultModel,
+        persistent: bool,
+        golden: &[f64],
+        golden_bits: &[u64],
+    ) -> Result<Resolved, CampaignError> {
+        let rec = self.recorder;
+        let mut planner = Planner::new(sites, candidates, config);
+        let bounds: Vec<(u64, u64)> = planner.bounds().to_vec();
+        let strata = bounds.len();
+        let mut all_observed: Vec<Observation> = Vec::new();
+        let mut busy_total = 0.0;
+        // Global strike index of the next round's slot 0. Per-strike RNG
+        // streams stay keyed by this global index, exactly like the
+        // fixed path's streams — only the site draw is stratified.
+        let mut round_base = 0u64;
+        while let Some(schedule) = planner.next_round() {
+            let slots = schedule.len() as u64;
+            if slots == 0 {
+                break;
+            }
+            let round_threads = nthreads.min(slots as usize).max(1);
+            let mut partials: Vec<(Vec<Observation>, f64)> = Vec::new();
+            let aborted = AtomicBool::new(false);
+            let mut worker_panic: Option<String> = None;
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for t in 0..round_threads {
+                    let golden = &golden;
+                    let golden_bits = &golden_bits;
+                    let schedule = &schedule;
+                    let bounds = &bounds;
+                    let campaign = &*self;
+                    let aborted = &aborted;
+                    handles.push(scope.spawn(move || {
+                        let busy = Timer::start(rec, "beam.worker_busy", campaign.scope.clone());
+                        let mut observed = Vec::new();
+                        let mut batch: Vec<(u64, ValueFault)> =
+                            Vec::with_capacity(campaign.strike_batch);
+                        let mut indices: Vec<u64> = Vec::with_capacity(campaign.strike_batch);
+                        let mut s = t as u64;
+                        let mut bailed = false;
+                        while s < slots && !bailed {
+                            if campaign.cancel.is_cancelled() {
+                                aborted.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                            batch.clear();
+                            indices.clear();
+                            while s < slots && batch.len() < campaign.strike_batch {
+                                let i = round_base + s;
+                                let mut rng =
+                                    StdRng::seed_from_u64(mix_seed(campaign.session.seed, i));
+                                // mpr-allow: panic-reachability -- the planner emits schedule entries that index its own bounds table (`schedule[..] < bounds.len()`, `s < slots == schedule.len()`); a violation is a planner bug the sampling unit tests pin, not a recoverable strike failure
+                                let (lo, len) = bounds[schedule[s as usize]];
+                                batch.push(campaign.draw_stratified_strike(
+                                    lo, len, width, model, persistent, &mut rng,
+                                ));
+                                indices.push(i);
+                                s += round_threads as u64;
+                            }
+                            campaign.workload.run_strike_batch(
+                                campaign.precision,
+                                &batch,
+                                golden,
+                                &mut |b, out| {
+                                    let corrupted = out.len() != golden.len()
+                                        || out
+                                            .iter()
+                                            .zip(*golden_bits)
+                                            .any(|(v, &g)| v.to_bits() != g);
+                                    if corrupted {
+                                        let severity = max_relative_error(out, golden);
+                                        let label = campaign
+                                            .classifier
+                                            .map(|classify| classify(golden, out));
+                                        // mpr-allow: panic-reachability -- same batch contract as the fixed path: `b` is always in range
+                                        observed.push((indices[b], severity, label));
+                                    }
+                                    if campaign.cancel.is_cancelled() {
+                                        bailed = true;
+                                        return false;
+                                    }
+                                    true
+                                },
+                            );
+                            if bailed {
+                                aborted.store(true, Ordering::Relaxed);
+                            }
+                        }
+                        (observed, busy.stop())
+                    }));
+                }
+                for h in handles {
+                    match h.join() {
+                        Ok(p) => partials.push(p),
+                        Err(payload) => worker_panic = Some(panic_message(payload)),
+                    }
+                }
+            });
+            if let Some(msg) = worker_panic {
+                return Err(CampaignError::WorkerPanic(msg));
+            }
+            if aborted.load(Ordering::Relaxed) {
+                return Err(CampaignError::Cancelled);
+            }
+
+            let mut round_obs: Vec<Observation> = Vec::new();
+            for (obs, busy) in partials {
+                round_obs.extend(obs);
+                busy_total += busy;
+            }
+            round_obs.sort_by_key(|&(i, _, _)| i);
+            // Commit the round: per-stratum strike and event tallies,
+            // recovered from the schedule by strike index.
+            let mut executed_by = vec![0u64; strata];
+            for &h in &schedule {
+                // mpr-allow: panic-reachability -- schedule entries index the planner's own bounds table; a violation is a planner bug the sampling unit tests pin
+                executed_by[h] += 1;
+            }
+            let mut events_by = vec![0u64; strata];
+            for &(i, _, _) in &round_obs {
+                // mpr-allow: panic-reachability -- every observation index lies in this round's slot range (`round_base..round_base + slots`) by construction
+                events_by[schedule[(i - round_base) as usize]] += 1;
+            }
+            planner.complete_round(&executed_by, &events_by);
+            all_observed.extend(round_obs);
+            round_base += slots;
         }
-
-        Ok(CampaignResult {
-            device: self.device.name().to_string(),
-            workload: self.workload.name().to_string(),
-            precision: self.precision,
-            exec_time_s: exec_time,
-            runs: seconds / exec_time,
-            fluence,
-            candidates,
-            sdc: CrossSection::new(sdc_events, fluence),
-            due: CrossSection::new(due_events, fluence),
-            severities,
-            labels,
+        Ok(Resolved {
+            observed: all_observed,
+            busy_total,
+            executed: planner.executed(),
+            rate: Some(planner.weighted_rate()),
         })
     }
 
@@ -357,7 +644,37 @@ impl<'a> BeamCampaign<'a> {
         rng: &mut StdRng,
     ) -> (u64, ValueFault) {
         let site = rng.gen_range(0..sites);
-        let fault = if persistent {
+        let fault = Self::draw_fault(width, model, persistent, rng);
+        (site, fault)
+    }
+
+    /// Draws one stratified strike: the site is confined to the
+    /// stratum's `(lo, len)` range, the fault shape draw is unchanged.
+    /// An empty stratum (more strata than sites) degrades to the
+    /// past-the-end site `lo`, where the fault never fires — the
+    /// planner never schedules zero-weight strata, so this is purely
+    /// defensive.
+    fn draw_stratified_strike(
+        &self,
+        lo: u64,
+        len: u64,
+        width: u32,
+        model: FaultModel,
+        persistent: bool,
+        rng: &mut StdRng,
+    ) -> (u64, ValueFault) {
+        let site = if len == 0 {
+            lo
+        } else {
+            lo + rng.gen_range(0..len)
+        };
+        let fault = Self::draw_fault(width, model, persistent, rng);
+        (site, fault)
+    }
+
+    /// Draws the fault shape for one strike from its per-strike stream.
+    fn draw_fault(width: u32, model: FaultModel, persistent: bool, rng: &mut StdRng) -> ValueFault {
+        if persistent {
             // FPGA configuration strike: a LUT or routing pip of one
             // processing element is rewired into a stuck-at function.
             // The fault is persistent but only *sensitized* by the
@@ -373,8 +690,7 @@ impl<'a> BeamCampaign<'a> {
             // Transient strike in a register / datapath value of a
             // live execution.
             model.sample(width, rng)
-        };
-        (site, fault)
+        }
     }
 }
 
@@ -418,8 +734,11 @@ pub struct CampaignResult {
     pub runs: f64,
     /// Accumulated fluence (a.u.).
     pub fluence: f64,
-    /// Compute strikes simulated.
+    /// Compute strike candidates the session produced (the fixed budget).
     pub candidates: u64,
+    /// Strikes actually executed: equals `candidates` on the fixed
+    /// path, fewer once adaptive early stopping converges.
+    pub executed: u64,
     /// SDC cross section.
     pub sdc: CrossSection,
     /// DUE cross section.
@@ -454,6 +773,17 @@ impl CampaignResult {
     /// TRE curve over the campaign's SDC severities.
     pub fn tre_curve(&self) -> TreCurve {
         TreCurve::from_errors(self.severities.clone())
+    }
+
+    /// Strikes the sampling plan saved against the fixed budget.
+    pub fn strikes_saved(&self) -> u64 {
+        self.candidates.saturating_sub(self.executed)
+    }
+
+    /// Relative 95% CI width over the observed SDC count (infinite for
+    /// a zero-event campaign).
+    pub fn ci_width(&self) -> f64 {
+        rel_ci_width(self.sdc.events())
     }
 
     /// Fraction of SDCs carrying each domain label, in first-seen order.

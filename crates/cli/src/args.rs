@@ -32,6 +32,7 @@ pub enum Command {
         threads: Option<usize>,
         retries: u32,
         cell_timeout: Option<Duration>,
+        sampling: SamplingOpts,
     },
     /// Run one injection campaign.
     Inject {
@@ -43,6 +44,7 @@ pub enum Command {
         threads: Option<usize>,
         retries: u32,
         cell_timeout: Option<Duration>,
+        sampling: SamplingOpts,
     },
     /// Run a hostile persistence exercise: a small fixed campaign whose
     /// cache and manifest I/O routes through the seeded chaos
@@ -90,9 +92,25 @@ pub enum Scale {
     Paper,
 }
 
+/// Adaptive strike-sampling options, shared by the study subcommands
+/// and the one-off `campaign`/`inject` commands.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SamplingOpts {
+    /// `--adaptive`: stratified Neyman allocation with sequential early
+    /// stopping; the strike/injection count becomes a budget ceiling.
+    pub adaptive: bool,
+    /// `--ci-width W`: target relative width of the SDC-count 95% CI at
+    /// which a cell stops early (defaults to the scale's preset:
+    /// 0.8 quick, 0.25 paper). Requires `--adaptive`.
+    pub ci_width: Option<f64>,
+    /// `--strike-budget N`: per-cell strike ceiling override (defaults
+    /// to the fixed-path budget). Requires `--adaptive`.
+    pub strike_budget: Option<u64>,
+}
+
 /// Options shared by every study-backed subcommand (tables, figures,
 /// ablations, report, export, validate).
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct StudyOpts {
     /// Statistical scale.
     pub scale: Scale,
@@ -115,6 +133,9 @@ pub struct StudyOpts {
     /// manifest records as failed, hung, or missing. Requires
     /// `--cache-dir`.
     pub resume: bool,
+    /// Adaptive-sampling flags (`--adaptive`, `--ci-width`,
+    /// `--strike-budget`).
+    pub sampling: SamplingOpts,
 }
 
 /// Options for the `chaos` subcommand.
@@ -215,9 +236,11 @@ USAGE:
                   --precision <double|single|half>
                   [--strikes N] [--hours H] [--seed S] [--threads N]
                   [--retries N] [--cell-timeout DUR]
+                  [--adaptive] [--ci-width W] [--strike-budget N]
     mpr inject    --workload <WORKLOAD> --precision <double|single|half>
                   [--n N] [--model single|double|byte] [--seed S] [--threads N]
                   [--retries N] [--cell-timeout DUR]
+                  [--adaptive] [--ci-width W] [--strike-budget N]
     mpr chaos     --cache-dir <PATH> [--chaos-seed S] [--chaos-rate R]
                   [--chaos-crash-at K] [--threads N] [--retries N] [--resume]
     mpr analyze   [--json] [--root <PATH>] [--baseline <REPORT.json>]
@@ -244,6 +267,15 @@ STUDY OPTS:
                        MPR_CELL_TIMEOUT, then no deadline)
     --resume           re-execute only the cells the cache manifest
                        records as failed/hung/missing (needs --cache-dir)
+    --adaptive         adaptive strike sampling: stratified Neyman
+                       allocation with sequential early stopping; the
+                       fixed budget becomes a ceiling and converged
+                       cells donate spare strikes to noisy ones
+    --ci-width W       stop a cell once the relative width of its SDC
+                       95% CI falls below W (default: 0.8 quick, 0.25
+                       paper; needs --adaptive)
+    --strike-budget N  per-cell strike ceiling override (needs
+                       --adaptive)
 
 WORKLOAD: mxm | lavamd | lavamd-knc | lud | micro-add | micro-mul |
           micro-fma | mnist | yolo
@@ -289,6 +321,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             threads: threads_of(&rest)?,
             retries: retries_of(&rest)?,
             cell_timeout: cell_timeout_of(&rest)?,
+            sampling: sampling_of(&rest)?,
         }),
         "inject" => Ok(Command::Inject {
             workload: workload_of(required(&rest, "--workload")?)?,
@@ -299,6 +332,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             threads: threads_of(&rest)?,
             retries: retries_of(&rest)?,
             cell_timeout: cell_timeout_of(&rest)?,
+            sampling: sampling_of(&rest)?,
         }),
         "chaos" => {
             const KNOWN: [&str; 7] = [
@@ -407,6 +441,8 @@ fn study_opts(rest: &[&str], allow_dir: bool) -> Result<StudyOpts, ParseError> {
                 opts.resume = true;
                 i += 1;
             }
+            "--adaptive" => i += 1,
+            "--ci-width" | "--strike-budget" => i += 2,
             "--dir" if allow_dir => i += 2,
             other => return Err(ParseError(format!("unknown flag `{other}`\n\n{USAGE}"))),
         }
@@ -416,7 +452,51 @@ fn study_opts(rest: &[&str], allow_dir: bool) -> Result<StudyOpts, ParseError> {
             "`--resume` needs `--cache-dir` (the manifest lives there)".to_string(),
         ));
     }
+    opts.sampling = sampling_of(rest)?;
     Ok(opts)
+}
+
+/// Parses the adaptive-sampling flags (study and campaign/inject).
+fn sampling_of(rest: &[&str]) -> Result<SamplingOpts, ParseError> {
+    let adaptive = rest.contains(&"--adaptive");
+    let ci_width = match optional(rest, "--ci-width") {
+        None => {
+            if rest.contains(&"--ci-width") {
+                return Err(ParseError("`--ci-width` expects a value".to_string()));
+            }
+            None
+        }
+        Some(v) => Some(
+            v.parse::<f64>()
+                .ok()
+                .filter(|x| x.is_finite() && *x > 0.0)
+                .ok_or_else(|| {
+                    ParseError(format!("`--ci-width` expects a positive number, got `{v}`"))
+                })?,
+        ),
+    };
+    let strike_budget =
+        match optional(rest, "--strike-budget") {
+            None => {
+                if rest.contains(&"--strike-budget") {
+                    return Err(ParseError("`--strike-budget` expects a count".to_string()));
+                }
+                None
+            }
+            Some(v) => Some(v.parse().map_err(|_| {
+                ParseError(format!("`--strike-budget` expects an integer, got `{v}`"))
+            })?),
+        };
+    if !adaptive && (ci_width.is_some() || strike_budget.is_some()) {
+        return Err(ParseError(
+            "`--ci-width` and `--strike-budget` need `--adaptive`".to_string(),
+        ));
+    }
+    Ok(SamplingOpts {
+        adaptive,
+        ci_width,
+        strike_budget,
+    })
 }
 
 /// Parses an optional `--threads N` flag (campaign/inject).
@@ -679,6 +759,7 @@ mod tests {
                 threads: None,
                 retries: 0,
                 cell_timeout: None,
+                sampling: SamplingOpts::default(),
             }
         );
         let c = parse_ok(
@@ -796,8 +877,81 @@ mod tests {
                 threads: None,
                 retries: 0,
                 cell_timeout: None,
+                sampling: SamplingOpts::default(),
             }
         );
+    }
+
+    #[test]
+    fn adaptive_sampling_flags_parse() {
+        assert_eq!(
+            parse_ok("report --adaptive"),
+            Command::Report {
+                opts: StudyOpts {
+                    sampling: SamplingOpts {
+                        adaptive: true,
+                        ..SamplingOpts::default()
+                    },
+                    ..StudyOpts::default()
+                }
+            }
+        );
+        assert_eq!(
+            parse_ok("figures --paper --adaptive --ci-width 0.3 --strike-budget 5000"),
+            Command::Figures {
+                opts: StudyOpts {
+                    scale: Scale::Paper,
+                    sampling: SamplingOpts {
+                        adaptive: true,
+                        ci_width: Some(0.3),
+                        strike_budget: Some(5000),
+                    },
+                    ..StudyOpts::default()
+                }
+            }
+        );
+        assert!(matches!(
+            parse_ok(
+                "campaign --device fpga --workload mxm --precision half \
+                 --strikes 1024 --adaptive --ci-width 0.5"
+            ),
+            Command::Campaign {
+                strikes: 1024,
+                sampling: SamplingOpts {
+                    adaptive: true,
+                    ci_width: Some(w),
+                    strike_budget: None,
+                },
+                ..
+            } if w == 0.5
+        ));
+        assert!(matches!(
+            parse_ok("inject --workload lud --precision double --adaptive --strike-budget 800"),
+            Command::Inject {
+                sampling: SamplingOpts {
+                    adaptive: true,
+                    ci_width: None,
+                    strike_budget: Some(800),
+                },
+                ..
+            }
+        ));
+        // The refinement flags are meaningless without --adaptive.
+        assert!(parse_err("report --ci-width 0.4").0.contains("--adaptive"));
+        assert!(parse_err("tables --strike-budget 100")
+            .0
+            .contains("--adaptive"));
+        assert!(parse_err("report --adaptive --ci-width zero")
+            .0
+            .contains("positive number"));
+        assert!(parse_err("report --adaptive --ci-width -0.2")
+            .0
+            .contains("positive number"));
+        assert!(parse_err(
+            "inject --workload lud --precision double --adaptive --strike-budget soon"
+        )
+        .0
+        .contains("integer"));
     }
 
     #[test]

@@ -1,15 +1,17 @@
 //! Command execution.
 
 use crate::args::{
-    duration_of, ChaosOpts, Command, DeviceArg, ModelArg, Scale, StudyOpts, WorkloadArg,
+    duration_of, ChaosOpts, Command, DeviceArg, ModelArg, SamplingOpts, Scale, StudyOpts,
+    WorkloadArg,
 };
 use mpr_core::Study;
 use mpr_exp::{
-    failure_table, CellKey, CellKind, ChaosConfig, ChaosFs, ClassifierId, DeviceId, Engine,
-    ExperimentPlan, RealFs, ResultStore, Vfs, WorkloadId,
+    failure_table, CellKey, CellKind, CellResult, ChaosConfig, ChaosFs, ClassifierId, DeviceId,
+    Engine, ExperimentPlan, RealFs, ResultStore, SamplingConfig, SamplingPlan, Vfs, WorkloadId,
 };
 use mpr_fault::FaultModel;
 use mpr_kernels::MicroKernelOp;
+use mpr_metrics::sampling::rel_ci_width;
 use mpr_metrics::{SeverityHistogram, Table};
 use mpr_obs::{JsonlRecorder, Recorder};
 use mpr_softfloat::Precision;
@@ -56,6 +58,7 @@ pub fn run(command: Command) -> i32 {
                 store.disk_hits(),
                 store.quarantined()
             );
+            print_convergence(store);
             finish_profile(rec)
         }
         Command::Validate { opts } => {
@@ -89,12 +92,14 @@ pub fn run(command: Command) -> i32 {
             threads,
             retries,
             cell_timeout,
+            sampling,
         } => run_campaign(
             device,
             workload,
             precision,
             strikes,
             hours,
+            sampling_plan(&sampling, Scale::Quick),
             engine_of(seed, threads, retries, cell_timeout),
         ),
         Command::Inject {
@@ -106,11 +111,13 @@ pub fn run(command: Command) -> i32 {
             threads,
             retries,
             cell_timeout,
+            sampling,
         } => run_inject(
             workload,
             precision,
             injections,
             model,
+            sampling_plan(&sampling, Scale::Quick),
             engine_of(seed, threads, retries, cell_timeout),
         ),
         Command::Chaos { opts } => run_chaos(opts),
@@ -265,6 +272,68 @@ fn print_ablations(study: &Study) {
     println!("{}", study.ablation_fault_accumulation().to_table());
 }
 
+/// Per-cell convergence: strikes executed against the fixed budget and
+/// the relative CI width each campaign landed on. Accumulation cells
+/// have no strike budget and are skipped; all-fixed studies still list
+/// their cells (executed == budget, saved == 0) so the table doubles
+/// as an execution ledger.
+fn print_convergence(store: &ResultStore) {
+    let mut t = Table::new(vec!["cell", "budget", "executed", "saved", "ci width"])
+        .with_title("per-cell convergence".to_string());
+    let mut rows = 0u32;
+    for (key, result) in store.snapshot() {
+        let (budget, executed, width) = match &result {
+            CellResult::Beam(r) => (r.candidates, r.executed, r.ci_width()),
+            CellResult::Inject(r) => {
+                let Some(budget) = inject_budget(&key) else {
+                    continue;
+                };
+                (budget, r.counts.total(), rel_ci_width(r.counts.sdc))
+            }
+            CellResult::Accumulate(_) => continue,
+        };
+        t.row(vec![
+            cell_label(&key),
+            budget.to_string(),
+            executed.to_string(),
+            budget.saturating_sub(executed).to_string(),
+            if width.is_finite() {
+                format!("{width:.3}")
+            } else {
+                "inf".to_string()
+            },
+        ]);
+        rows += 1;
+    }
+    if rows > 0 {
+        println!("{t}");
+    }
+}
+
+/// A store key shortened for table display: the per-run `seed=` and
+/// schema-version prefixes are dropped, the device/workload/precision/
+/// kind tokens kept verbatim.
+fn cell_label(store_key: &str) -> String {
+    store_key
+        .splitn(3, ';')
+        .nth(2)
+        .unwrap_or(store_key)
+        .to_string()
+}
+
+/// The strike budget of an injection cell, recovered from its store
+/// key: the adaptive `b:` override when present (a reallocation-boosted
+/// rerun), otherwise the `n=` request. `None` when the key doesn't
+/// carry either token.
+fn inject_budget(store_key: &str) -> Option<u64> {
+    let field = |marker: &str| -> Option<u64> {
+        let rest = store_key.split(marker).nth(1)?;
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        digits.parse().ok()
+    };
+    field(";b:").or_else(|| field("inj:n="))
+}
+
 fn run_analyze(json: bool, root: &str, baseline: Option<&str>) -> i32 {
     match mpr_analyze::analyze_workspace(std::path::Path::new(root)) {
         Ok(analysis) => {
@@ -395,11 +464,32 @@ fn resume_preflight(opts: &StudyOpts) -> Option<i32> {
     None
 }
 
+/// Builds the strike-sampling plan from the parsed flags: fixed unless
+/// `--adaptive`, starting from the scale's CI-width preset and refined
+/// by `--ci-width` / `--strike-budget`.
+fn sampling_plan(opts: &SamplingOpts, scale: Scale) -> SamplingPlan {
+    if !opts.adaptive {
+        return SamplingPlan::Fixed;
+    }
+    let mut config = match scale {
+        Scale::Quick => SamplingConfig::quick(),
+        Scale::Paper => SamplingConfig::paper(),
+    };
+    if let Some(w) = opts.ci_width {
+        config = config.with_ci_width(w);
+    }
+    if let Some(b) = opts.strike_budget {
+        config = config.with_budget(b);
+    }
+    SamplingPlan::Adaptive(config)
+}
+
 fn study(opts: &StudyOpts) -> Study {
     let mut study = match opts.scale {
         Scale::Quick => Study::quick(2019),
         Scale::Paper => Study::paper(2019),
     }
+    .with_sampling(sampling_plan(&opts.sampling, opts.scale))
     .with_threads(threads_from_env(opts.threads))
     .with_retries(opts.retries)
     .with_cell_timeout(cell_timeout_from_env(opts.cell_timeout));
@@ -517,6 +607,7 @@ fn run_campaign(
     precision: Precision,
     strikes: u64,
     hours: f64,
+    sampling: SamplingPlan,
     engine: Engine,
 ) -> i32 {
     let key = CellKey {
@@ -527,6 +618,7 @@ fn run_campaign(
             hours,
             target_candidates: strikes,
             classifier: classifier_for(&workload_id(workload_arg)),
+            sampling,
         },
     };
     if let Some(code) = check_supported(&key) {
@@ -551,6 +643,13 @@ fn run_campaign(
         "compute strikes".into(),
         result.candidates.to_string(),
     ]);
+    if result.executed != result.candidates {
+        t.row(vec!["executed strikes".into(), result.executed.to_string()]);
+        t.row(vec![
+            "strikes saved".into(),
+            result.strikes_saved().to_string(),
+        ]);
+    }
     t.row(vec!["SDC events".into(), result.sdc.events().to_string()]);
     t.row(vec!["DUE events".into(), result.due.events().to_string()]);
     t.row(vec![
@@ -593,6 +692,7 @@ fn run_inject(
     precision: Precision,
     injections: u64,
     model: ModelArg,
+    sampling: SamplingPlan,
     engine: Engine,
 ) -> i32 {
     let workload = workload_id(workload_arg);
@@ -615,6 +715,7 @@ fn run_inject(
             injections,
             model,
             live_fraction: 1.0,
+            sampling,
         },
     };
     if let Some(code) = check_supported(&key) {
@@ -641,7 +742,30 @@ fn run_inject(
 
 #[cfg(test)]
 mod tests {
-    use super::{resolve_threads, run_analyze};
+    use super::{cell_label, inject_budget, resolve_threads, run_analyze};
+
+    #[test]
+    fn inject_budget_reads_request_and_adaptive_override() {
+        let fixed = "seed=00000000000007e3;v2;dev=knc;wl=gemm:12;p=half;\
+                     k=inj:n=400,m=sb,lf=3ff0000000000000";
+        assert_eq!(inject_budget(fixed), Some(400));
+        // The adaptive `b:` override (a reallocation-boosted rerun)
+        // wins over the `n=` request; `b:-` means no override.
+        let boosted = "seed=00000000000007e3;v2;dev=knc;wl=gemm:12;p=half;\
+                       k=inj:n=400,m=sb,lf=3ff0000000000000,\
+                       a=w:3fe999999999999a;b:512;s:4;r:32";
+        assert_eq!(inject_budget(boosted), Some(512));
+        let unboosted = "k=inj:n=400,m=sb,a=w:3fe999999999999a;b:-;s:4;r:32";
+        assert_eq!(inject_budget(unboosted), Some(400));
+        assert_eq!(inject_budget("k=acc:k=3,t=40"), None);
+    }
+
+    #[test]
+    fn cell_label_strips_seed_and_version_prefixes() {
+        let key = "seed=00000000000007e3;v2;dev=knc;wl=gemm:12;p=half;k=inj:n=400";
+        assert_eq!(cell_label(key), "dev=knc;wl=gemm:12;p=half;k=inj:n=400");
+        assert_eq!(cell_label("no-prefix"), "no-prefix");
+    }
 
     fn temp_tree(tag: &str, rel: &str, source: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("mpr_cli_{tag}_{}", std::process::id()));

@@ -3,7 +3,7 @@
 use mpr_arch::{Fpga, VoltaGpu, WorkloadProfile, XeonPhiKnc};
 use mpr_exp::{
     mix_seed, CellKey, CellKind, CellResult, ClassifierId, DeviceId, Engine, ExperimentPlan,
-    ResultStore, WorkloadId,
+    ResultStore, SamplingPlan, WorkloadId,
 };
 use mpr_fault::FaultModel;
 use mpr_kernels::{profiles as kprofiles, MicroKernelOp};
@@ -39,6 +39,7 @@ pub enum StudyScale {
 pub struct Study {
     seed: u64,
     scale: StudyScale,
+    sampling: SamplingPlan,
     engine: Engine,
 }
 
@@ -48,6 +49,7 @@ impl Study {
         Study {
             seed,
             scale: StudyScale::Quick,
+            sampling: SamplingPlan::Fixed,
             engine: Engine::new(seed),
         }
     }
@@ -57,8 +59,22 @@ impl Study {
         Study {
             seed,
             scale: StudyScale::Paper,
+            sampling: SamplingPlan::Fixed,
             engine: Engine::new(seed),
         }
+    }
+
+    /// Selects the strike-sampling strategy for every beam and
+    /// injection cell this study builds. The default,
+    /// [`SamplingPlan::Fixed`], executes the full per-scale budget and
+    /// is the reference oracle; [`SamplingPlan::Adaptive`] keeps the
+    /// same budget as a ceiling but stops each cell once its SDC
+    /// confidence interval is narrow enough, then reinvests the spared
+    /// strikes into the noisiest cells of the plan. Adaptive cells key
+    /// (and cache) separately from fixed cells.
+    pub fn with_sampling(mut self, plan: SamplingPlan) -> Study {
+        self.sampling = plan;
+        self
     }
 
     /// Overrides the engine's worker-thread budget (0 = available
@@ -259,6 +275,7 @@ impl Study {
                 hours: self.hours(),
                 target_candidates: self.target_candidates(),
                 classifier,
+                sampling: self.sampling,
             },
         }
     }
@@ -289,6 +306,7 @@ impl Study {
                 injections: self.injections(),
                 model,
                 live_fraction,
+                sampling: self.sampling,
             },
         }
     }

@@ -113,9 +113,18 @@ fn decode_result(value: &Json) -> Option<CellResult> {
             runs: result.get("runs")?.as_f64()?,
             fluence: result.get("fluence")?.as_f64()?,
             candidates: result.get("candidates")?.as_u64()?,
+            // Adaptive-only fields; absent on fixed-path entries, where
+            // every candidate executed under the session fluence.
+            executed: match result.get("executed") {
+                Some(v) => v.as_u64()?,
+                None => result.get("candidates")?.as_u64()?,
+            },
             sdc: CrossSection::new(
                 result.get("sdc_events")?.as_u64()?,
-                result.get("fluence")?.as_f64()?,
+                match result.get("sdc_fluence") {
+                    Some(v) => v.as_f64()?,
+                    None => result.get("fluence")?.as_f64()?,
+                },
             ),
             due: CrossSection::new(
                 result.get("due_events")?.as_u64()?,
@@ -186,6 +195,16 @@ fn serialize(store_key: &str, result: &CellResult) -> String {
             field2(&mut out, "runs", &f64_json(r.runs));
             field2(&mut out, "fluence", &f64_json(r.fluence));
             field2(&mut out, "candidates", &r.candidates.to_string());
+            // Adaptive-only fields, emitted only when they differ from
+            // the fixed-path defaults: fixed entries keep their
+            // pre-adaptive bytes, so no KEY_VERSION bump and zero cache
+            // invalidation.
+            if r.executed != r.candidates {
+                field2(&mut out, "executed", &r.executed.to_string());
+            }
+            if r.sdc.fluence().to_bits() != r.fluence.to_bits() {
+                field2(&mut out, "sdc_fluence", &f64_json(r.sdc.fluence()));
+            }
             field2(&mut out, "sdc_events", &r.sdc.events().to_string());
             field2(&mut out, "due_events", &r.due.events().to_string());
             field2(&mut out, "severities", &f64_vec_json(&r.severities));
@@ -460,6 +479,7 @@ mod tests {
             runs: 3.5e5,
             fluence: 1.25e9,
             candidates: 400,
+            executed: 400,
             sdc: CrossSection::new(37, 1.25e9),
             due: CrossSection::new(5, 1.25e9),
             severities: vec![1e-8, 0.25, f64::INFINITY],
@@ -489,6 +509,50 @@ mod tests {
         let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&got.severities), bits(&orig.severities));
         assert_eq!(got.labels, orig.labels);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn adaptive_beam_round_trips_and_fixed_bytes_are_unchanged() {
+        // A fixed-path result must serialize without the adaptive-only
+        // fields — their presence would invalidate every pre-adaptive
+        // cache entry.
+        let key = "seed=0000000000000007;v2;dev=titan-v;wl=gemm:12;p=single;k=beam";
+        let fixed = serialize(key, &sample_beam());
+        assert!(!fixed.contains("executed"), "fixed entries gain no field");
+        assert!(!fixed.contains("sdc_fluence"));
+
+        // An adaptive result (early-stopped, reweighted cross section)
+        // round-trips both extra fields bit-exactly.
+        let dir = std::env::temp_dir().join("mpr-exp-cache-test-adaptive");
+        let adaptive = CellResult::Beam(CampaignResult {
+            device: "NVIDIA Titan V".to_string(),
+            workload: "MxM".to_string(),
+            precision: Precision::Single,
+            exec_time_s: 0.3,
+            runs: 3.5e5,
+            fluence: 1.25e9,
+            candidates: 400,
+            executed: 64,
+            sdc: CrossSection::new(37, 2.17e8),
+            due: CrossSection::new(5, 1.25e9),
+            severities: vec![0.25],
+            labels: vec![],
+        });
+        let body = serialize(key, &adaptive);
+        assert!(body.contains("\"executed\": 64"));
+        assert!(body.contains("sdc_fluence"));
+        save(&RealFs, &dir, key, &adaptive).expect("save");
+        let LoadOutcome::Hit(CellResult::Beam(got)) = load(&RealFs, &entry_path(&dir, key), key)
+        else {
+            // mpr-allow: panic-hygiene -- test asserts the variant round-trips
+            panic!("adaptive beam entry failed to load");
+        };
+        assert_eq!(got.executed, 64);
+        assert_eq!(got.candidates, 400);
+        assert_eq!(got.sdc.events(), 37);
+        assert_eq!(got.sdc.fluence().to_bits(), 2.17e8f64.to_bits());
+        assert_eq!(got.due.fluence().to_bits(), 1.25e9f64.to_bits());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

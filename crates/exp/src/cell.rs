@@ -12,6 +12,7 @@ use mpr_beam::SdcClassifier;
 use mpr_fault::hostile::{HostileMode, HostileWorkload};
 use mpr_fault::{FaultModel, Workload};
 use mpr_kernels::{profiles as kprofiles, Gemm, LavaMd, Lud, Micro, MicroKernelOp};
+use mpr_metrics::SamplingPlan;
 use mpr_nn::{profiles as nprofiles, ClassificationImpact, DetectionImpact, Mnist, TinyYolo};
 use mpr_obs::{fnv1a64, mix_seed};
 use mpr_softfloat::Precision;
@@ -281,6 +282,9 @@ pub enum CellKind {
         target_candidates: u64,
         /// Domain classifier attached to the campaign.
         classifier: ClassifierId,
+        /// How the strike budget is spent (fixed reference or adaptive
+        /// stratified sampling with early stopping).
+        sampling: SamplingPlan,
     },
     /// A fault-injection campaign (`mpr-fault`).
     Inject {
@@ -290,6 +294,8 @@ pub enum CellKind {
         model: FaultModel,
         /// Fraction of register flips landing in live state.
         live_fraction: f64,
+        /// How the injection budget is spent.
+        sampling: SamplingPlan,
     },
     /// An accumulation trial set: `faults` stuck-at configuration
     /// upsets piled up per run, over `trials` runs (the FPGA
@@ -300,6 +306,29 @@ pub enum CellKind {
         /// Number of trials.
         trials: u32,
     },
+}
+
+/// Canonical token suffix for a sampling plan. The fixed plan encodes
+/// as the *empty string*, so every pre-adaptive key — and every cache
+/// entry filed under it — stays byte-identical with no KEY_VERSION
+/// bump. Adaptive plans append every decision parameter, since each of
+/// them changes results.
+fn sampling_token(plan: SamplingPlan) -> String {
+    match plan {
+        SamplingPlan::Fixed => String::new(),
+        SamplingPlan::Adaptive(c) => {
+            let budget = match c.budget {
+                Some(b) => b.to_string(),
+                None => "-".to_string(),
+            };
+            format!(
+                ",a=w:{:016x};b:{budget};s:{};r:{}",
+                c.ci_width.to_bits(),
+                c.strata,
+                c.round
+            )
+        }
+    }
 }
 
 fn model_token(model: FaultModel) -> String {
@@ -323,22 +352,50 @@ impl CellKind {
                 hours,
                 target_candidates,
                 classifier,
+                sampling,
             } => format!(
-                "beam:h={:016x},n={target_candidates},c={}",
+                "beam:h={:016x},n={target_candidates},c={}{}",
                 hours.to_bits(),
-                classifier.token()
+                classifier.token(),
+                sampling_token(*sampling)
             ),
             CellKind::Inject {
                 injections,
                 model,
                 live_fraction,
+                sampling,
             } => format!(
-                "inj:n={injections},m={},lf={:016x}",
+                "inj:n={injections},m={},lf={:016x}{}",
                 model_token(*model),
-                live_fraction.to_bits()
+                live_fraction.to_bits(),
+                sampling_token(*sampling)
             ),
             CellKind::Accumulate { faults, trials } => format!("acc:k={faults},t={trials}"),
         }
+    }
+
+    /// The cell's sampling plan (accumulation cells are always fixed).
+    pub fn sampling(&self) -> SamplingPlan {
+        match self {
+            CellKind::Beam { sampling, .. } | CellKind::Inject { sampling, .. } => *sampling,
+            CellKind::Accumulate { .. } => SamplingPlan::Fixed,
+        }
+    }
+
+    /// A copy of this cell with its adaptive strike budget replaced —
+    /// the identity of a reallocation-boosted rerun. Fixed cells (and
+    /// accumulation cells) come back unchanged.
+    pub fn with_sampling_budget(&self, budget: u64) -> CellKind {
+        let mut kind = *self;
+        match &mut kind {
+            CellKind::Beam { sampling, .. } | CellKind::Inject { sampling, .. } => {
+                if let SamplingPlan::Adaptive(config) = sampling {
+                    config.budget = Some(budget);
+                }
+            }
+            CellKind::Accumulate { .. } => {}
+        }
+        kind
     }
 }
 
@@ -415,6 +472,7 @@ mod tests {
                 hours: 10.0,
                 target_candidates: 400,
                 classifier: ClassifierId::None,
+                sampling: SamplingPlan::Fixed,
             },
         }
     }
@@ -441,8 +499,37 @@ mod tests {
             hours: 10.0,
             target_candidates: 401,
             classifier: ClassifierId::None,
+            sampling: SamplingPlan::Fixed,
         };
         assert_ne!(a.hash64(), c.hash64());
+    }
+
+    #[test]
+    fn sampling_plans_key_separately_and_fixed_keys_are_untouched() {
+        use mpr_metrics::SamplingConfig;
+        let fixed = beam_key();
+        let mut adaptive = fixed.clone();
+        adaptive.kind = CellKind::Beam {
+            hours: 10.0,
+            target_candidates: 400,
+            classifier: ClassifierId::None,
+            sampling: SamplingPlan::Adaptive(SamplingConfig::quick()),
+        };
+        // Adaptive and fixed results must never share a cache entry.
+        assert_ne!(fixed.canonical(), adaptive.canonical());
+        // The adaptive token pins every decision parameter.
+        assert_eq!(
+            adaptive.canonical(),
+            "v2;dev=titan-v;wl=gemm:12;p=single;\
+             k=beam:h=4024000000000000,n=400,c=none,a=w:3fe999999999999a;b:-;s:4;r:32"
+        );
+        // A boosted budget is a different experiment.
+        let boosted = adaptive.kind.with_sampling_budget(512);
+        assert_ne!(boosted.token(), adaptive.kind.token());
+        assert!(boosted.token().contains(";b:512;"));
+        // Boosting a fixed cell is a no-op.
+        assert_eq!(fixed.kind.with_sampling_budget(512), fixed.kind);
+        assert_eq!(fixed.kind.sampling(), SamplingPlan::Fixed);
     }
 
     #[test]
@@ -512,6 +599,7 @@ mod tests {
                 hours: 10.0,
                 target_candidates: 100,
                 classifier: ClassifierId::None,
+                sampling: SamplingPlan::Fixed,
             },
         };
         assert!(!key.supported());

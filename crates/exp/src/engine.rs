@@ -9,6 +9,7 @@ use crate::store::{AccumulateOutcome, CellResult, LookupSource, ResultStore};
 use mpr_beam::{BeamCampaign, BeamSession};
 use mpr_fault::hook::MultiStrikeHook;
 use mpr_fault::{CampaignError, InjectionCampaign, ValueFault};
+use mpr_metrics::sampling::{largest_remainder, rel_ci_width, SamplingPlan};
 use mpr_obs::{
     fnv1a64, panic_message, CancelToken, Counter, Metric, NullRecorder, Recorder, SplitMix, Timer,
 };
@@ -377,6 +378,15 @@ impl Engine {
             }
         }
 
+        // Cross-cell budget reallocation (adaptive cells only): strikes
+        // that converged cells left unspent flow to the plan's noisiest
+        // unconverged cells, which rerun with a boosted budget under a
+        // *new* cell key (a bigger budget is a different experiment, so
+        // it caches separately). The grant schedule is a pure function
+        // of the phase-1 results, so the two-phase run inherits their
+        // determinism across thread counts and cache temperatures.
+        self.reallocate_spare_budget(&unique, &mut slots);
+
         if let Some(dir) = self.store.cache_dir() {
             self.write_manifest(dir, &store_keys, &slots);
         }
@@ -406,6 +416,104 @@ impl Engine {
         plan.push(key.clone());
         // mpr-allow: panic-hygiene -- a one-cell plan returns exactly one result
         self.try_run(&plan).into_iter().next().expect("one result")
+    }
+
+    /// Phase-2 budget reallocation across a resolved plan (see
+    /// [`Engine::try_run`]). Converged adaptive cells donate their
+    /// unspent strikes to a plan-level pool; the pool is apportioned
+    /// over the unconverged adaptive cells by largest-remainder
+    /// rounding on their CI widths (noisier cells draw more), and each
+    /// granted cell reruns with its budget raised by the grant. A
+    /// failed boost never degrades the plan — the phase-1 result stays
+    /// in its slot.
+    fn reallocate_spare_budget(&self, unique: &[&CellKey], slots: &mut [Option<CellOutcome>]) {
+        let rec = &*self.recorder;
+        if self.cancel.is_cancelled() {
+            return;
+        }
+        let mut pool: u64 = 0;
+        // (unique index, effective strike budget, noisiness weight)
+        let mut needy: Vec<(usize, u64, f64)> = Vec::new();
+        for (i, key) in unique.iter().enumerate() {
+            let SamplingPlan::Adaptive(config) = key.kind.sampling() else {
+                continue;
+            };
+            let Some((Ok(result), _)) = slots[i].as_ref() else {
+                continue;
+            };
+            let (budget, executed, width) = match result {
+                CellResult::Beam(r) => (
+                    config.budget.unwrap_or(r.candidates),
+                    r.executed,
+                    rel_ci_width(r.sdc.events()),
+                ),
+                CellResult::Inject(r) => {
+                    let CellKind::Inject { injections, .. } = key.kind else {
+                        continue;
+                    };
+                    (
+                        config.budget.unwrap_or(injections),
+                        r.counts.total(),
+                        rel_ci_width(r.counts.sdc),
+                    )
+                }
+                CellResult::Accumulate(_) => continue,
+            };
+            if width <= config.ci_width {
+                pool += budget.saturating_sub(executed);
+            } else {
+                // Noisiness rank: a zero-event cell (infinite width)
+                // outranks every finite width, which tops out near 3.9
+                // at one observed event.
+                let weight = if width.is_finite() { width } else { 4.0 };
+                needy.push((i, budget, weight));
+            }
+        }
+        if pool == 0 || needy.is_empty() {
+            return;
+        }
+        let weights: Vec<f64> = needy.iter().map(|&(_, _, w)| w).collect();
+        let grants = largest_remainder(&weights, pool);
+        Counter::new(rec, "plan.realloc_pool", "").add(pool);
+        let inner = self.threads();
+        for (&(i, budget, _), &extra) in needy.iter().zip(&grants) {
+            if extra == 0 || self.cancel.is_cancelled() {
+                continue;
+            }
+            let key = unique[i];
+            let boosted = CellKey {
+                kind: key.kind.with_sampling_budget(budget + extra),
+                ..key.clone()
+            };
+            let canonical = boosted.canonical();
+            Counter::new(rec, "plan.realloc_granted", &canonical).add(extra);
+            let store_key = ResultStore::store_key(self.seed, &boosted);
+            let (hit, source) = self.store.lookup_traced(&store_key);
+            let counter = match source {
+                LookupSource::Memory => "cache.mem_hit",
+                LookupSource::Disk => "cache.disk_hit",
+                LookupSource::Miss | LookupSource::CorruptQuarantined => "cache.miss",
+            };
+            Counter::new(rec, counter, &canonical).incr();
+            let outcome = match hit {
+                Some(result) => (Ok(result), 0),
+                None => {
+                    let exec = Timer::start(rec, "cell.exec", &canonical);
+                    let outcome = self.execute_with_recovery(&boosted, inner, &canonical);
+                    exec.stop();
+                    if let (Ok(result), _) = &outcome {
+                        if let Err(e) = self.store.insert(&store_key, result.clone()) {
+                            Counter::new(rec, "engine.cache_write_failed", &canonical).incr();
+                            eprintln!("mpr-exp: failed to write cache entry for {canonical}: {e}");
+                        }
+                    }
+                    outcome
+                }
+            };
+            if outcome.0.is_ok() {
+                slots[i] = Some(outcome);
+            }
+        }
     }
 
     /// Merges this run's per-cell statuses into the cache directory's
@@ -570,6 +678,7 @@ impl Engine {
                 hours,
                 target_candidates,
                 classifier,
+                sampling,
             } => {
                 let device = key.device.build();
                 let profile = key.workload.profile(key.device);
@@ -583,6 +692,7 @@ impl Engine {
                 let mut campaign =
                     BeamCampaign::new(device.as_ref(), workload.as_ref(), &profile, key.precision)
                         .session(session)
+                        .sampling(sampling)
                         .golden(&golden)
                         .telemetry(rec, canonical)
                         .cancel_token(token.clone());
@@ -595,6 +705,7 @@ impl Engine {
                 injections,
                 model,
                 live_fraction,
+                sampling,
             } => {
                 let golden = memoized_golden(&self.store);
                 InjectionCampaign::new(workload.as_ref(), key.precision)
@@ -602,6 +713,7 @@ impl Engine {
                     .seed(seed)
                     .model(model)
                     .live_fraction(live_fraction)
+                    .sampling(sampling)
                     .threads(inner)
                     .golden(&golden)
                     .telemetry(rec, canonical)
@@ -667,6 +779,7 @@ mod tests {
     use crate::cell::{ClassifierId, DeviceId, WorkloadId};
     use mpr_fault::hostile::HostileMode;
     use mpr_fault::FaultModel;
+    use mpr_metrics::SamplingPlan;
     use mpr_softfloat::Precision;
 
     fn micro_cell(p: Precision) -> CellKey {
@@ -682,6 +795,7 @@ mod tests {
                 hours: 10.0,
                 target_candidates: 80,
                 classifier: ClassifierId::None,
+                sampling: SamplingPlan::Fixed,
             },
         }
     }
@@ -715,6 +829,7 @@ mod tests {
                 injections: 40,
                 model: FaultModel::SingleBit,
                 live_fraction: 1.0,
+                sampling: SamplingPlan::Fixed,
             },
         };
         let a = engine.run_one(&key);

@@ -33,7 +33,9 @@
 //! to prove a resumed run converges to byte-identical artifacts.
 //!
 //! ```rust
-//! use mpr_exp::{CellKey, CellKind, ClassifierId, DeviceId, Engine, ExperimentPlan, WorkloadId};
+//! use mpr_exp::{
+//!     CellKey, CellKind, ClassifierId, DeviceId, Engine, ExperimentPlan, SamplingPlan, WorkloadId,
+//! };
 //! use mpr_softfloat::Precision;
 //!
 //! let engine = Engine::new(2019);
@@ -47,6 +49,7 @@
 //!             hours: 10.0,
 //!             target_candidates: 60,
 //!             classifier: ClassifierId::None,
+//!             sampling: SamplingPlan::Fixed,
 //!         },
 //!     });
 //! }
@@ -69,6 +72,9 @@ pub use cell::{CellKey, CellKind, ClassifierId, DeviceId, WorkloadId, KEY_VERSIO
 pub use engine::{Engine, ExperimentPlan};
 pub use failure::{failure_table, CellFailure, FailureKind};
 pub use manifest::{manifest_path, CellState, CellStatus, Manifest, MANIFEST_FILE};
+/// Re-exported from [`mpr_metrics::sampling`] so plan builders can pick a
+/// strike-sampling strategy without depending on the metrics crate directly.
+pub use mpr_metrics::{SamplingConfig, SamplingPlan};
 /// Re-exported from [`mpr_obs::seed`], the workspace's shared
 /// seed-derivation scheme (kept here for backwards compatibility).
 pub use mpr_obs::{fnv1a64, mix_seed, splitmix64, SplitMix};

@@ -250,6 +250,20 @@ impl ResultStore {
         disk
     }
 
+    /// A point-in-time snapshot of every memoized result, in sorted
+    /// store-key order (deterministic across thread schedules and
+    /// cache temperatures). Reports use this to enumerate what a study
+    /// actually executed — e.g. the per-cell convergence table —
+    /// without re-threading results through every figure.
+    pub fn snapshot(&self) -> Vec<(String, CellResult)> {
+        // mpr-allow: panic-hygiene -- a poisoned store lock means a worker already panicked; propagating is the only sound option
+        let results = self.results.lock().expect("store lock");
+        results
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
     /// The golden output for a (workload × precision) pair, computing
     /// it with `compute` on first request and reusing it afterwards.
     pub fn golden(&self, golden_key: &str, compute: impl FnOnce() -> Vec<f64>) -> Arc<Vec<f64>> {

@@ -1,6 +1,7 @@
 //! Seeded, parallel fault-injection campaigns.
 
 use crate::{FaultModel, Workload};
+use mpr_metrics::sampling::{rel_ci_width, Planner, SamplingConfig, SamplingPlan};
 use mpr_metrics::{Outcome, OutcomeCounts, TreCurve, Vulnerability};
 use mpr_obs::{
     mix_seed, panic_message, CancelToken, Counter, Gauge, Recorder, Timer, NULL_RECORDER,
@@ -82,6 +83,7 @@ pub struct InjectionCampaign<'a> {
     live_fraction: f64,
     threads: usize,
     strike_batch: usize,
+    sampling: SamplingPlan,
     golden: Option<&'a [f64]>,
     recorder: &'a dyn Recorder,
     scope: String,
@@ -99,6 +101,7 @@ impl std::fmt::Debug for InjectionCampaign<'_> {
             .field("live_fraction", &self.live_fraction)
             .field("threads", &self.threads)
             .field("strike_batch", &self.strike_batch)
+            .field("sampling", &self.sampling)
             .finish()
     }
 }
@@ -126,6 +129,7 @@ impl<'a> InjectionCampaign<'a> {
             live_fraction: 1.0,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             strike_batch: 64,
+            sampling: SamplingPlan::Fixed,
             golden: None,
             recorder: &NULL_RECORDER,
             scope: String::new(),
@@ -194,6 +198,21 @@ impl<'a> InjectionCampaign<'a> {
     pub fn strike_batch(mut self, batch: usize) -> Self {
         assert!(batch > 0, "strike batch must be at least 1");
         self.strike_batch = batch;
+        self
+    }
+
+    /// Selects the strike-sampling strategy. [`SamplingPlan::Fixed`]
+    /// (the default) executes every requested injection and is the
+    /// reference oracle. [`SamplingPlan::Adaptive`] runs injections in
+    /// rounds over stratified site ranges, reallocates each round by
+    /// observed per-stratum SDC variance (Neyman allocation), and stops
+    /// once the SDC-count confidence interval is narrower than the
+    /// configured target — `injections` then acts as the strike budget.
+    /// All adaptive decisions derive from completed-round statistics
+    /// keyed by injection index, so results stay byte-identical across
+    /// thread counts and strike batches (DT001).
+    pub fn sampling(mut self, plan: SamplingPlan) -> Self {
+        self.sampling = plan;
         self
     }
 
@@ -266,6 +285,59 @@ impl<'a> InjectionCampaign<'a> {
         // injection derives its own RNG from (seed, index) so the result
         // is independent of the thread count.
         let nthreads = self.threads.min(self.injections.max(1) as usize);
+        let resolved = match self.sampling {
+            SamplingPlan::Fixed => self.resolve_fixed(nthreads, sites, width, golden, &golden_bits),
+            SamplingPlan::Adaptive(config) => {
+                self.resolve_adaptive(config, nthreads, sites, width, golden, &golden_bits)
+            }
+        };
+        let (counts, severities, busy_total, executed) = match resolved {
+            Ok(r) => r,
+            Err(e) => {
+                wall.cancel();
+                return Err(e);
+            }
+        };
+
+        Counter::new(rec, "inject.injections", &self.scope).add(self.injections);
+        Counter::new(rec, "inject.executed", &self.scope).add(executed);
+        Counter::new(rec, "inject.strikes_saved", &self.scope)
+            .add(self.injections.saturating_sub(executed));
+        Counter::new(rec, "inject.sdc", &self.scope).add(counts.sdc);
+        Counter::new(rec, "inject.due", &self.scope).add(counts.due);
+        Counter::new(rec, "inject.masked", &self.scope).add(counts.masked);
+        let ci_now = rel_ci_width(counts.sdc);
+        if ci_now.is_finite() {
+            Gauge::new(rec, "inject.ci_width", &self.scope).set(ci_now);
+        }
+        let wall_s = wall.stop();
+        if wall_s > 0.0 {
+            // Executed strikes, not the requested budget: an adaptive
+            // campaign that stops early must not inflate throughput with
+            // injections it never ran.
+            Gauge::new(rec, "inject.strikes_per_s", &self.scope).set(executed as f64 / wall_s);
+            Gauge::new(rec, "inject.utilization", &self.scope)
+                .set(busy_total / (nthreads as f64 * wall_s));
+        }
+
+        Ok(InjectionReport {
+            workload: self.workload.name().to_string(),
+            precision: self.precision,
+            counts,
+            severities,
+        })
+    }
+
+    /// Fixed-budget resolution: every requested injection executes.
+    /// Returns `(counts, sorted severities, busy seconds, executed)`.
+    fn resolve_fixed(
+        &self,
+        nthreads: usize,
+        sites: u64,
+        width: u32,
+        golden: &[f64],
+        golden_bits: &[u64],
+    ) -> Result<(OutcomeCounts, Vec<f64>, f64, u64), CampaignError> {
         // Workers take injections in a thread stride; each SDC severity
         // is tagged with its injection index and the merge sorts on it,
         // so the severity vector is in injection order for *any* thread
@@ -282,12 +354,14 @@ impl<'a> InjectionCampaign<'a> {
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..nthreads {
-                let golden = &golden;
-                let golden_bits = &golden_bits;
                 let campaign = &*self;
                 let aborted = &aborted;
                 handles.push(scope.spawn(move || {
-                    let busy = Timer::start(rec, "inject.worker_busy", campaign.scope.clone());
+                    let busy = Timer::start(
+                        campaign.recorder,
+                        "inject.worker_busy",
+                        campaign.scope.clone(),
+                    );
                     let mut counts = OutcomeCounts::default();
                     let mut severities = Vec::new();
                     // Gathered live strikes plus their injection indices,
@@ -380,11 +454,9 @@ impl<'a> InjectionCampaign<'a> {
         });
 
         if let Some(msg) = worker_panic {
-            wall.cancel();
             return Err(CampaignError::WorkerPanic(msg));
         }
         if aborted.load(Ordering::Relaxed) {
-            wall.cancel();
             return Err(CampaignError::Cancelled);
         }
 
@@ -398,25 +470,169 @@ impl<'a> InjectionCampaign<'a> {
         }
         tagged.sort_by_key(|&(i, _)| i);
         let severities: Vec<f64> = tagged.into_iter().map(|(_, s)| s).collect();
+        Ok((counts, severities, busy_total, self.injections))
+    }
 
-        Counter::new(rec, "inject.injections", &self.scope).add(self.injections);
-        Counter::new(rec, "inject.sdc", &self.scope).add(counts.sdc);
-        Counter::new(rec, "inject.due", &self.scope).add(counts.due);
-        Counter::new(rec, "inject.masked", &self.scope).add(counts.masked);
-        let wall_s = wall.stop();
-        if wall_s > 0.0 {
-            Gauge::new(rec, "inject.strikes_per_s", &self.scope)
-                .set(self.injections as f64 / wall_s);
-            Gauge::new(rec, "inject.utilization", &self.scope)
-                .set(busy_total / (nthreads as f64 * wall_s));
+    /// Adaptive resolution: injections execute in planner rounds over
+    /// stratified site ranges; after each round the per-stratum Neyman
+    /// weights and the stopping rule are recomputed from the merged
+    /// round statistics. Every adaptive decision is a pure function of
+    /// completed-round tallies keyed by injection index — never
+    /// wall-clock, worker identity, or arrival order — so schedules and
+    /// result bytes are identical for every thread count and strike
+    /// batch (DT001).
+    fn resolve_adaptive(
+        &self,
+        config: SamplingConfig,
+        nthreads: usize,
+        sites: u64,
+        width: u32,
+        golden: &[f64],
+        golden_bits: &[u64],
+    ) -> Result<(OutcomeCounts, Vec<f64>, f64, u64), CampaignError> {
+        let mut planner = Planner::new(sites, self.injections, config);
+        let bounds = planner.bounds().to_vec();
+        let mut counts = OutcomeCounts::default();
+        let mut tagged: Vec<(u64, f64)> = Vec::new();
+        let mut busy_total = 0.0;
+        let mut round_base = 0u64;
+        while let Some(schedule) = planner.next_round() {
+            let slots = schedule.len();
+            let round_threads = nthreads.min(slots).max(1);
+            type WorkerPartial = (OutcomeCounts, Vec<(u64, f64)>, f64);
+            let mut partials: Vec<WorkerPartial> = Vec::new();
+            let aborted = AtomicBool::new(false);
+            let mut worker_panic: Option<String> = None;
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for t in 0..round_threads {
+                    let campaign = &*self;
+                    let aborted = &aborted;
+                    let schedule = &schedule;
+                    let bounds = &bounds;
+                    handles.push(scope.spawn(move || {
+                        let busy = Timer::start(
+                            campaign.recorder,
+                            "inject.worker_busy",
+                            campaign.scope.clone(),
+                        );
+                        let mut counts = OutcomeCounts::default();
+                        let mut severities = Vec::new();
+                        let mut batch: Vec<(u64, crate::ValueFault)> =
+                            Vec::with_capacity(campaign.strike_batch);
+                        let mut indices: Vec<u64> = Vec::with_capacity(campaign.strike_batch);
+                        // Workers stride over the round's schedule slots;
+                        // the global injection index (round base + slot)
+                        // seeds the per-strike RNG exactly like the fixed
+                        // path does.
+                        let mut s = t;
+                        while s < slots {
+                            if campaign.cancel.is_cancelled() {
+                                aborted.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                            batch.clear();
+                            indices.clear();
+                            while s < slots && batch.len() < campaign.strike_batch {
+                                let idx = round_base + s as u64;
+                                let mut rng = StdRng::seed_from_u64(mix_seed(campaign.seed, idx));
+                                // mpr-allow: panic-reachability -- the planner emits schedule entries that index its own bounds table (`schedule[..] < bounds.len()`, `s < slots == schedule.len()`); a violation is a planner bug the sampling unit tests pin, not a recoverable strike failure
+                                let (lo, len) = bounds[schedule[s]];
+                                let site = if len == 0 {
+                                    lo
+                                } else {
+                                    lo + rng.gen_range(0..len)
+                                };
+                                let fault = campaign.model.sample(width, &mut rng);
+                                let dead = matches!(fault, crate::ValueFault::BitFlip(_))
+                                    && campaign.live_fraction < 1.0
+                                    && !rng.gen_bool(campaign.live_fraction);
+                                if dead {
+                                    counts.record(Outcome::Masked);
+                                } else {
+                                    batch.push((site, fault));
+                                    indices.push(idx);
+                                }
+                                s += round_threads;
+                            }
+                            if batch.is_empty() {
+                                continue;
+                            }
+                            let mut bailed = false;
+                            campaign.workload.run_strike_batch(
+                                campaign.precision,
+                                &batch,
+                                golden,
+                                &mut |b, out| {
+                                    let corrupted = out.len() != golden.len()
+                                        || out
+                                            .iter()
+                                            .zip(golden_bits)
+                                            .any(|(v, &g)| v.to_bits() != g);
+                                    if corrupted {
+                                        counts.record(Outcome::Sdc);
+                                        let sev = max_relative_error(out, golden);
+                                        // mpr-allow: panic-reachability -- the batch contract keys callbacks by batch position (`b < batch.len() == indices.len()`); an out-of-range `b` is a workload-override bug the differential tests pin, not a recoverable strike failure
+                                        severities.push((indices[b], sev));
+                                    } else {
+                                        counts.record(Outcome::Masked);
+                                    }
+                                    if campaign.cancel.is_cancelled() {
+                                        bailed = true;
+                                        return false;
+                                    }
+                                    true
+                                },
+                            );
+                            if bailed {
+                                aborted.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                        (counts, severities, busy.stop())
+                    }));
+                }
+                for h in handles {
+                    match h.join() {
+                        Ok(p) => partials.push(p),
+                        Err(payload) => worker_panic = Some(panic_message(payload)),
+                    }
+                }
+            });
+
+            if let Some(msg) = worker_panic {
+                return Err(CampaignError::WorkerPanic(msg));
+            }
+            if aborted.load(Ordering::Relaxed) {
+                return Err(CampaignError::Cancelled);
+            }
+
+            let mut round_sev: Vec<(u64, f64)> = Vec::new();
+            for (c, s, busy) in partials {
+                counts.merge(c);
+                round_sev.extend(s);
+                busy_total += busy;
+            }
+            // Per-stratum round tallies: every scheduled slot executed
+            // (a cancelled round returns above), and each SDC maps back
+            // to its stratum through the schedule slot it ran in.
+            let mut executed_by = vec![0u64; bounds.len()];
+            for &h in schedule.iter() {
+                // mpr-allow: panic-reachability -- schedule entries index the planner's own bounds table; a violation is a planner bug the sampling unit tests pin
+                executed_by[h] += 1;
+            }
+            let mut events_by = vec![0u64; bounds.len()];
+            for &(idx, _) in &round_sev {
+                // mpr-allow: panic-reachability -- every severity index lies in this round's slot range (`round_base..round_base + slots`) by construction
+                events_by[schedule[(idx - round_base) as usize]] += 1;
+            }
+            planner.complete_round(&executed_by, &events_by);
+            tagged.extend(round_sev);
+            round_base += slots as u64;
         }
-
-        Ok(InjectionReport {
-            workload: self.workload.name().to_string(),
-            precision: self.precision,
-            counts,
-            severities,
-        })
+        tagged.sort_by_key(|&(i, _)| i);
+        let severities: Vec<f64> = tagged.into_iter().map(|(_, s)| s).collect();
+        Ok((counts, severities, busy_total, planner.executed()))
     }
 }
 

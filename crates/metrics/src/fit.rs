@@ -170,6 +170,31 @@ mod tests {
     }
 
     #[test]
+    fn single_event_campaign_keeps_positive_lower_bound() {
+        // One event: lo = (1 - z/2)^2 counts, hi = (1 + z/2)^2 counts,
+        // both scaled by flux / fluence. The interval must bracket the
+        // point estimate and keep a strictly positive (if tiny) floor.
+        let xs = CrossSection::new(1, 2e9);
+        let (lo, hi) = xs.fit_ci95();
+        let point = xs.fit_au();
+        assert!(lo.au() > 0.0, "single event keeps a nonzero lower bound");
+        assert!(lo.au() < point.au() && point.au() < hi.au());
+        let per_count = TERRESTRIAL_FLUX_N_CM2_H * 1e9 / 2e9;
+        assert!((hi.au() - (1.0 + 1.959964f64 / 2.0).powi(2) * per_count).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_count_ci_narrows_toward_the_point_estimate() {
+        // 1e6 events: the relative half-width collapses to ~z/sqrt(k),
+        // so the bounds hug the point estimate to within 0.3%.
+        let xs = CrossSection::new(1_000_000, 1e12);
+        let (lo, hi) = xs.fit_ci95();
+        let point = xs.fit_au().au();
+        assert!((hi.au() - lo.au()) / point < 0.005);
+        assert!(lo.au() < point && point < hi.au());
+    }
+
+    #[test]
     fn merge_pools_events_and_fluence() {
         let a = CrossSection::new(10, 1e9);
         let b = CrossSection::new(30, 3e9);

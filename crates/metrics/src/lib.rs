@@ -15,6 +15,8 @@
 //!   Relative Error.
 //! * [`Vulnerability`] — AVF/PVF estimates from injection campaigns with
 //!   Wilson confidence intervals.
+//! * [`sampling`] — stratified Neyman allocation and sequential early
+//!   stopping, the decision layer of the adaptive campaign drivers.
 //! * [`Table`] — fixed-width text tables used by every experiment report.
 //!
 //! # Example
@@ -39,6 +41,7 @@ mod histogram;
 mod mebf;
 mod outcome;
 mod report;
+pub mod sampling;
 pub mod stats;
 mod tre;
 mod vulnerability;
@@ -48,6 +51,7 @@ pub use histogram::SeverityHistogram;
 pub use mebf::Mebf;
 pub use outcome::{Outcome, OutcomeCounts};
 pub use report::{Table, TableError};
+pub use sampling::{SamplingConfig, SamplingPlan};
 pub use tre::TreCurve;
 pub use vulnerability::Vulnerability;
 

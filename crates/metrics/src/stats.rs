@@ -148,6 +148,56 @@ mod tests {
     }
 
     #[test]
+    fn poisson_zero_events_exact_upper_limit() {
+        // The zero-count bounds are absolute counts, not multipliers:
+        // both interval forms must agree on the exact 3.7-event limit.
+        assert_eq!(poisson_ci95(0), (0.0, 3.7));
+        assert_eq!(poisson_ci95_counts(0), (0.0, 3.7));
+    }
+
+    #[test]
+    fn poisson_single_event() {
+        // k=1 on the sqrt scale: lo = (1 - z/2)^2, hi = (1 + z/2)^2.
+        let z: f64 = 1.959964;
+        let (lo, hi) = poisson_ci95(1);
+        assert!((lo - (1.0 - z / 2.0).powi(2)).abs() < 1e-12);
+        assert!((hi - (1.0 + z / 2.0).powi(2)).abs() < 1e-12);
+        assert!(lo > 0.0 && lo < 0.001, "lo {lo}");
+        assert!((3.5..4.0).contains(&hi), "hi {hi}");
+        // Count form is just the multiplier form scaled by k=1.
+        assert_eq!(poisson_ci95_counts(1), poisson_ci95(1));
+    }
+
+    #[test]
+    fn poisson_large_count_matches_normal_approximation() {
+        // For large k the sqrt-scale interval must converge to the
+        // plain normal approximation k +- z*sqrt(k): relative width
+        // 2z/sqrt(k). At 1e4 events the two agree to a few percent.
+        let z = 1.959964;
+        for k in [10_000u64, 100_000, 1_000_000] {
+            let (lo, hi) = poisson_ci95(k);
+            let width = hi - lo;
+            let normal = 2.0 * z / (k as f64).sqrt();
+            assert!(
+                (width / normal - 1.0).abs() < 0.05,
+                "k={k}: sqrt-scale width {width} vs normal {normal}"
+            );
+            // And the interval is centered near unity (small skew only).
+            assert!((0.5 * (lo + hi) - 1.0).abs() < 0.01, "k={k}");
+        }
+    }
+
+    #[test]
+    fn poisson_width_is_monotone_in_event_count() {
+        let mut prev = f64::INFINITY;
+        for k in 1..2000u64 {
+            let (lo, hi) = poisson_ci95(k);
+            assert!(hi - lo <= prev + 1e-12, "width grew at k={k}");
+            prev = hi - lo;
+        }
+    }
+
+    #[test]
     fn descriptive_statistics() {
         let xs = [1.0, 2.0, 3.0, 4.0];
         assert_eq!(mean(&xs), 2.5);

@@ -54,6 +54,42 @@ proptest! {
     }
 
     #[test]
+    fn poisson_width_is_monotone_nonincreasing(k in 1u64..1_000_000) {
+        // Adjacent counts: one more event never widens the interval.
+        // This is what sequential early stopping leans on — once a cell
+        // crosses the width target it can never un-converge.
+        let (lo, hi) = poisson_ci95(k);
+        let (lo2, hi2) = poisson_ci95(k + 1);
+        prop_assert!(hi2 - lo2 <= hi - lo + 1e-12, "width grew at k={k}");
+        // CrossSection::fit_ci95 inherits the same monotonicity at a
+        // fixed fluence.
+        let a = CrossSection::new(k, 1e9).fit_ci95();
+        let b = CrossSection::new(k + 1, 1e9).fit_ci95();
+        let (wa, wb) = (a.1.au() - a.0.au(), b.1.au() - b.0.au());
+        // Widths in counts scale by k, so compare relative widths.
+        let point_a = CrossSection::new(k, 1e9).fit_au().au();
+        let point_b = CrossSection::new(k + 1, 1e9).fit_au().au();
+        prop_assert!(wb / point_b <= wa / point_a + 1e-12);
+    }
+
+    #[test]
+    fn sampling_allocation_is_exact_and_floored(
+        weights in proptest::collection::vec(0.0f64..100.0, 1..8),
+        total in 0u64..500,
+    ) {
+        let alloc = mpr_metrics::sampling::largest_remainder(&weights, total);
+        prop_assert_eq!(alloc.iter().sum::<u64>(), total);
+        let positive = weights.iter().filter(|w| **w > 0.0).count() as u64;
+        if total >= positive && positive > 0 {
+            for (h, w) in weights.iter().enumerate() {
+                if *w > 0.0 {
+                    prop_assert!(alloc[h] >= 1, "stratum {h} starved: {alloc:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn cross_section_merge_is_event_weighted(
         e1 in 0u64..1000, f1 in 1.0f64..1e6,
         e2 in 0u64..1000, f2 in 1.0f64..1e6,

@@ -236,6 +236,50 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_sampling_ledger_balances() {
+        // The adaptive drivers publish a strike ledger: per cell,
+        // requested == executed + saved; across the plan, the
+        // reallocation pool is fully apportioned into grants. A report
+        // built from the profile log must be able to re-check both
+        // invariants from counters alone.
+        let cell_a = "dev=fpga;k=beam";
+        let cell_b = "dev=gpu;k=beam";
+        let events = vec![
+            ev(0, "inject.injections", cell_a, Metric::Count(400)),
+            ev(1, "inject.executed", cell_a, Metric::Count(96)),
+            ev(2, "inject.strikes_saved", cell_a, Metric::Count(304)),
+            ev(3, "inject.injections", cell_b, Metric::Count(400)),
+            ev(4, "inject.executed", cell_b, Metric::Count(400)),
+            ev(5, "inject.strikes_saved", cell_b, Metric::Count(0)),
+            ev(6, "plan.realloc_pool", "", Metric::Count(304)),
+            ev(7, "plan.realloc_granted", cell_b, Metric::Count(304)),
+            ev(8, "inject.ci_width", cell_a, Metric::Gauge(0.74)),
+        ];
+        let s = summarize(&events);
+        for cell in [cell_a, cell_b] {
+            let of = |name: &str| {
+                s.counter_scopes(name)
+                    .iter()
+                    .find(|(sc, _)| *sc == cell)
+                    .map_or(0, |(_, n)| *n)
+            };
+            assert_eq!(
+                of("inject.injections"),
+                of("inject.executed") + of("inject.strikes_saved"),
+                "strike ledger must balance for {cell}"
+            );
+        }
+        assert_eq!(
+            s.counter_total("plan.realloc_pool"),
+            s.counter_total("plan.realloc_granted"),
+            "spare budget must be fully apportioned"
+        );
+        let widths = s.gauge_scopes("inject.ci_width");
+        assert_eq!(widths.len(), 1);
+        assert!(widths[0].1.mean() <= 0.8, "quick preset target met");
+    }
+
+    #[test]
     fn empty_log_summarizes_to_zeroes() {
         let s = summarize(&[]);
         assert_eq!(s.events, 0);

@@ -12,7 +12,7 @@
 //! ```
 
 use mixed_precision_reliability::exp::{
-    CellKey, CellKind, ClassifierId, DeviceId, Engine, ExperimentPlan, WorkloadId,
+    CellKey, CellKind, ClassifierId, DeviceId, Engine, ExperimentPlan, SamplingPlan, WorkloadId,
 };
 use mixed_precision_reliability::kernels::MicroKernelOp;
 use mixed_precision_reliability::metrics::Table;
@@ -51,6 +51,7 @@ fn main() {
                             WorkloadId::Yolo => ClassifierId::YoloDetections,
                             _ => ClassifierId::None,
                         },
+                        sampling: SamplingPlan::Fixed,
                     },
                 });
             }

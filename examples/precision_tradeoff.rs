@@ -8,7 +8,7 @@
 //! ```
 
 use mixed_precision_reliability::exp::{
-    CellKey, CellKind, ClassifierId, DeviceId, Engine, ExperimentPlan, WorkloadId,
+    CellKey, CellKind, ClassifierId, DeviceId, Engine, ExperimentPlan, SamplingPlan, WorkloadId,
 };
 use mixed_precision_reliability::kernels::MicroKernelOp;
 use mixed_precision_reliability::metrics::Table;
@@ -23,6 +23,7 @@ fn beam_cell(device: DeviceId, workload: WorkloadId, precision: Precision) -> Ce
             hours: 10.0,
             target_candidates: 800,
             classifier: ClassifierId::None,
+            sampling: SamplingPlan::Fixed,
         },
     }
 }

@@ -11,7 +11,7 @@
 //! ```
 
 use mixed_precision_reliability::exp::{
-    CellKey, CellKind, ClassifierId, DeviceId, Engine, ExperimentPlan, WorkloadId,
+    CellKey, CellKind, ClassifierId, DeviceId, Engine, ExperimentPlan, SamplingPlan, WorkloadId,
 };
 use mixed_precision_reliability::metrics::Table;
 use mixed_precision_reliability::softfloat::Precision;
@@ -38,6 +38,7 @@ fn main() {
                 hours: 10.0,
                 target_candidates: 1500,
                 classifier: ClassifierId::None,
+                sampling: SamplingPlan::Fixed,
             },
         });
     }

@@ -8,7 +8,7 @@
 //! ```
 
 use mixed_precision_reliability::exp::{
-    CellKey, CellKind, ClassifierId, DeviceId, Engine, ExperimentPlan, WorkloadId,
+    CellKey, CellKind, ClassifierId, DeviceId, Engine, ExperimentPlan, SamplingPlan, WorkloadId,
 };
 use mixed_precision_reliability::metrics::Table;
 use mixed_precision_reliability::nn::TinyYolo;
@@ -41,6 +41,7 @@ fn main() {
                 hours: 10.0,
                 target_candidates: 1200,
                 classifier: ClassifierId::YoloDetections,
+                sampling: SamplingPlan::Fixed,
             },
         });
     }

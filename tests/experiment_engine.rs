@@ -5,7 +5,7 @@
 
 use mixed_precision_reliability::core::Study;
 use mixed_precision_reliability::exp::{
-    CellKey, CellKind, ClassifierId, DeviceId, Engine, ExperimentPlan, WorkloadId,
+    CellKey, CellKind, ClassifierId, DeviceId, Engine, ExperimentPlan, SamplingPlan, WorkloadId,
 };
 use mixed_precision_reliability::softfloat::Precision;
 
@@ -18,6 +18,7 @@ fn beam_cell(precision: Precision, target_candidates: u64) -> CellKey {
             hours: 10.0,
             target_candidates,
             classifier: ClassifierId::None,
+            sampling: SamplingPlan::Fixed,
         },
     }
 }
@@ -137,6 +138,7 @@ fn classified_beam_cells_survive_the_disk_round_trip() {
             hours: 10.0,
             target_candidates: 120,
             classifier: ClassifierId::YoloDetections,
+            sampling: SamplingPlan::Fixed,
         },
     };
 

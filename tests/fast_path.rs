@@ -17,7 +17,8 @@
 use mixed_precision_reliability::arch::{Fpga, VoltaGpu};
 use mixed_precision_reliability::beam::{BeamCampaign, BeamSession};
 use mixed_precision_reliability::exp::{
-    CellKey, CellKind, ClassifierId, DeviceId, Engine, ResultStore, WorkloadId, KEY_VERSION,
+    CellKey, CellKind, ClassifierId, DeviceId, Engine, ResultStore, SamplingPlan, WorkloadId,
+    KEY_VERSION,
 };
 use mixed_precision_reliability::fault::hook::FaultHook;
 use mixed_precision_reliability::fault::{FaultModel, InjectionCampaign, ValueFault, Workload};
@@ -272,6 +273,7 @@ fn engine_cache_bytes_unchanged_with_no_key_version_bump() {
                 injections: 200,
                 model: FaultModel::SingleBit,
                 live_fraction: 1.0,
+                sampling: SamplingPlan::Fixed,
             },
         },
         CellKey {
@@ -282,6 +284,7 @@ fn engine_cache_bytes_unchanged_with_no_key_version_bump() {
                 hours: 10.0,
                 target_candidates: 160,
                 classifier: ClassifierId::YoloDetections,
+                sampling: SamplingPlan::Fixed,
             },
         },
     ];

@@ -9,7 +9,7 @@
 //! strike order, making the raw result thread-invariant.
 
 use mixed_precision_reliability::exp::{
-    CellKey, CellKind, ClassifierId, DeviceId, Engine, ResultStore, WorkloadId,
+    CellKey, CellKind, ClassifierId, DeviceId, Engine, ResultStore, SamplingPlan, WorkloadId,
 };
 use mixed_precision_reliability::fault::FaultModel;
 use mixed_precision_reliability::softfloat::Precision;
@@ -27,6 +27,7 @@ fn beam_cell() -> CellKey {
             hours: 10.0,
             target_candidates: 160,
             classifier: ClassifierId::YoloDetections,
+            sampling: SamplingPlan::Fixed,
         },
     }
 }
@@ -41,6 +42,7 @@ fn inject_cell() -> CellKey {
             injections: 200,
             model: FaultModel::SingleBit,
             live_fraction: 1.0,
+            sampling: SamplingPlan::Fixed,
         },
     }
 }
